@@ -1,0 +1,66 @@
+// Shared benchmark plumbing: flag parsing, the TCP_CRR experiment driver
+// used by the Table 1 / Table 2 benches, and the closed-loop throughput
+// model that converts measured virtual cycles into a transaction rate.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "vswitchd/switch.h"
+#include "workload/workloads.h"
+
+namespace ovs::benchutil {
+
+// Minimal --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  uint64_t u64(const std::string& name, uint64_t def) const;
+  double f64(const std::string& name, double def) const;
+  bool boolean(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+// The paper's Netperf testbed parameters (§7.2): 400 parallel CRR sessions
+// on a 16-core 2.0 GHz server. The throughput of a closed-loop CRR test is
+// limited by three serial resources: the userspace flow-setup path, the
+// kernel forwarding path, and the application-level request-response loop
+// (whose latency grows with the number of flow-setup round trips a
+// transaction incurs).
+struct CrrModel {
+  double sessions = 400;
+  double user_cores = 4;          // upcall handler threads (§4.1)
+  double kernel_cores = 8;
+  double app_floor_s = 3.3e-3;    // per-transaction latency, all cache hits
+  double upcall_rt_s = 0.34e-3;   // added latency per flow-setup round trip
+};
+
+struct CrrResult {
+  double ktps = 0;                // modeled transactions/s, thousands
+  double flows = 0;               // steady-state datapath flow count
+  double masks = 0;               // datapath tuple count
+  double user_cpu_pct = 0;        // % of one core at the modeled rate
+  double kernel_cpu_pct = 0;
+  double tuples_per_pkt = 0;      // avg megaflow hash tables searched
+  double misses_per_txn = 0;      // flow setups per transaction
+};
+
+// Runs `txns` measured CRR transactions (after `warmup`) against a Switch
+// configured with `cfg` and the §7.2 flow table, and reports the modeled
+// throughput and cache shape.
+CrrResult run_crr_experiment(const SwitchConfig& cfg, size_t warmup,
+                             size_t txns, const CrrModel& model = {});
+
+// Combines per-transaction resource costs into a closed-loop rate.
+double model_tps(double user_cycles_per_txn, double kernel_cycles_per_txn,
+                 double misses_per_txn, const CostModel& cost,
+                 const CrrModel& model);
+
+void print_rule(char c = '-', int width = 78);
+
+}  // namespace ovs::benchutil

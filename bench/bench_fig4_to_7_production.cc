@@ -1,0 +1,154 @@
+// Reproduces the production study of §7.1 — Figures 4, 5, 6 and 7 — on the
+// simulated hypervisor fleet (see src/sim/fleet.h for the substitution
+// rationale). One run of the fleet produces all four figures:
+//
+//   Figure 4: CDF of min/mean/max megaflow counts per hypervisor
+//             (paper: 50% of hypervisors had mean <= 107 flows; 99th pct of
+//              the max was 7,033)
+//   Figure 5: CDF of cache hit rates over measurement intervals, overall /
+//             busiest quartile / slowest quartile (paper: 97.7% overall,
+//             98.0% busiest, 74.7% slowest)
+//   Figure 6: CDF of cache-hit and miss (flow setup) packet rates
+//             (paper: 99% of hypervisors < 79k hit-pps, < 1.5k miss-pps)
+//   Figure 7: userspace CPU% as a function of misses/s, with the ICMP
+//             prefix-tracking outliers in the upper right corner
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/fleet.h"
+#include "util/stats.h"
+
+using namespace ovs;
+using namespace ovs::benchutil;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  FleetConfig cfg;
+  cfg.n_hypervisors = flags.u64("hypervisors", 150);
+  cfg.n_intervals = flags.u64("intervals", 10);
+  cfg.sim_seconds_per_interval = flags.f64("sim_seconds", 1.0);
+  cfg.seed = flags.u64("seed", 42);
+
+  std::printf("Simulating %zu hypervisors x %zu intervals...\n",
+              cfg.n_hypervisors, cfg.n_intervals);
+  FleetResults fleet = run_fleet(cfg);
+
+  // ---- Figure 4 -------------------------------------------------------
+  Distribution fmin, fmean, fmax;
+  for (const FleetHypervisor& hv : fleet.hypervisors) {
+    fmin.add(hv.flows_min);
+    fmean.add(hv.flows_mean);
+    fmax.add(hv.flows_max);
+  }
+  std::printf("\nFigure 4: megaflow flow counts per hypervisor (CDF)\n");
+  print_rule('=');
+  std::printf("%12s %10s %10s %10s\n", "percentile", "min", "mean", "max");
+  print_rule();
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0})
+    std::printf("%11.0f%% %10.0f %10.0f %10.0f\n", p, fmin.percentile(p),
+                fmean.percentile(p), fmax.percentile(p));
+  std::printf("shape check: median mean-flow-count O(100); max tail "
+              "O(1000s)\n");
+
+  // ---- Figure 5 -------------------------------------------------------
+  // Rank steady-state intervals by forwarded packets; quartiles by volume.
+  std::vector<const FleetInterval*> steady;
+  for (const FleetInterval& iv : fleet.intervals)
+    if (iv.interval > 0) steady.push_back(&iv);
+  std::sort(steady.begin(), steady.end(),
+            [](const FleetInterval* a, const FleetInterval* b) {
+              return a->hit_pps + a->miss_pps < b->hit_pps + b->miss_pps;
+            });
+  Distribution hit_all, hit_busy, hit_slow;
+  double weighted_hits = 0, weighted_total = 0;
+  for (size_t i = 0; i < steady.size(); ++i) {
+    const FleetInterval& iv = *steady[i];
+    hit_all.add(iv.hit_rate);
+    if (i < steady.size() / 4) hit_slow.add(iv.hit_rate);
+    if (i >= steady.size() - steady.size() / 4) hit_busy.add(iv.hit_rate);
+    weighted_hits += iv.hit_pps;
+    weighted_total += iv.hit_pps + iv.miss_pps;
+  }
+  std::printf("\nFigure 5: cache hit rates over measurement intervals\n");
+  print_rule('=');
+  std::printf("overall traffic-weighted hit rate: %.2f%%  (paper: 97.7%%)\n",
+              100.0 * weighted_hits / weighted_total);
+  std::printf("%12s %10s %12s %12s\n", "percentile", "all", "busiest-25%",
+              "slowest-25%");
+  print_rule();
+  for (double p : {5.0, 10.0, 25.0, 50.0, 75.0, 90.0})
+    std::printf("%11.0f%% %9.1f%% %11.1f%% %11.1f%%\n", p,
+                100 * hit_all.percentile(p), 100 * hit_busy.percentile(p),
+                100 * hit_slow.percentile(p));
+  std::printf("shape check: busiest quartile hit rate >= overall >> "
+              "slowest quartile\n");
+
+  // ---- Figure 6 -------------------------------------------------------
+  Distribution hit_rates_hv, miss_rates_hv;
+  {
+    std::vector<double> hsum(cfg.n_hypervisors, 0), msum(cfg.n_hypervisors, 0);
+    std::vector<int> cnt(cfg.n_hypervisors, 0);
+    for (const FleetInterval& iv : fleet.intervals) {
+      if (iv.interval == 0) continue;
+      hsum[iv.hypervisor] += iv.hit_pps;
+      msum[iv.hypervisor] += iv.miss_pps;
+      ++cnt[iv.hypervisor];
+    }
+    for (size_t h = 0; h < cfg.n_hypervisors; ++h) {
+      if (cnt[h] == 0) continue;
+      hit_rates_hv.add(hsum[h] / cnt[h]);
+      miss_rates_hv.add(msum[h] / cnt[h]);
+    }
+  }
+  std::printf("\nFigure 6: cache hit and miss packet rates per hypervisor "
+              "(CDF)\n");
+  print_rule('=');
+  std::printf("%12s %14s %16s\n", "percentile", "hit pkts/s",
+              "miss (setups)/s");
+  print_rule();
+  for (double p : {25.0, 50.0, 75.0, 90.0, 99.0, 100.0})
+    std::printf("%11.0f%% %14.0f %16.1f\n", p, hit_rates_hv.percentile(p),
+                miss_rates_hv.percentile(p));
+  std::printf("shape check: hit-rate tail O(10k-100k) pps; misses orders of "
+              "magnitude lower\n");
+
+  // ---- Figure 7 -------------------------------------------------------
+  std::printf("\nFigure 7: userspace CPU%% vs misses/s (log-bucketed "
+              "scatter)\n");
+  print_rule('=');
+  std::printf("%18s %10s %12s %12s %8s\n", "misses/s bucket", "samples",
+              "mean CPU%", "max CPU%", "outlier");
+  print_rule();
+  struct Bucket {
+    double lo, hi;
+    Distribution cpu;
+    int outliers = 0;
+  };
+  std::vector<Bucket> buckets;
+  for (double lo = 1; lo < 200000; lo *= 4)
+    buckets.push_back(Bucket{lo, lo * 4, {}, 0});
+  Distribution all_cpu;
+  for (const FleetInterval& iv : fleet.intervals) {
+    if (iv.interval == 0) continue;
+    all_cpu.add(iv.user_cpu_pct);
+    for (Bucket& b : buckets)
+      if (iv.miss_pps >= b.lo && iv.miss_pps < b.hi) {
+        b.cpu.add(iv.user_cpu_pct);
+        if (iv.outlier) ++b.outliers;
+      }
+  }
+  for (const Bucket& b : buckets) {
+    if (b.cpu.count() == 0) continue;
+    std::printf("%8.0f - %-8.0f %10zu %11.1f%% %11.1f%% %8s\n", b.lo, b.hi,
+                b.cpu.count(), b.cpu.mean(), b.cpu.max(),
+                b.outliers > 0 ? "yes" : "");
+  }
+  print_rule();
+  std::printf("fraction of hypervisor-intervals with user CPU <= 5%%: "
+              "%.0f%%  (paper: 80%% of hypervisors <= 5%%)\n",
+              100.0 * all_cpu.cdf(5.0));
+  std::printf("shape check: CPU%% grows with misses/s; ICMP-bug outliers "
+              "occupy the top-right\n");
+  return 0;
+}

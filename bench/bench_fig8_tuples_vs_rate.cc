@@ -1,0 +1,107 @@
+// Reproduces Figure 8: "Forwarding rate in terms of the average number of
+// megaflow tuples searched, with the microflow cache disabled" — plus the
+// flat ~10.6 Mpps line measured with the microflow cache enabled.
+//
+// Method: install long-lived megaflows under k = 1..30 distinct masks (one
+// nw_dst prefix length per mask, so a matching packet's lookup terminates
+// after a mask-dependent number of tuples), drive steady traffic, record
+// the measured average tuples searched per packet, and convert the
+// per-packet virtual cycle cost into Mpps on two forwarding cores.
+//
+// Shape to match: hyperbolic decay from ~10 Mpps at 1 tuple toward ~2 Mpps
+// past 30 tuples; the EMC-enabled line stays flat (paper: 10.6 Mpps,
+// "independent of the number of tuples in the kernel classifier").
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datapath/datapath.h"
+#include "sim/clock.h"
+#include "workload/workloads.h"
+
+using namespace ovs;
+using namespace ovs::benchutil;
+
+namespace {
+
+// Builds a datapath whose megaflow cache has `k` masks (nw_dst prefixes of
+// distinct lengths). Returns the k packets that match them (one per mask).
+std::vector<Packet> fill_megaflows(Datapath& dp, size_t k) {
+  // k distinct masks (distinct prefix lengths) over k DISJOINT address
+  // regions (distinct first octets), so every packet matches exactly one
+  // tuple and a lookup searches (k+1)/2 tuples on average.
+  std::vector<Packet> pkts;
+  for (size_t i = 0; i < k; ++i) {
+    const unsigned plen = static_cast<unsigned>(32 - (i % 24));
+    const Ipv4 dst(static_cast<uint8_t>(20 + i), 0, 0, 1);
+    Match m = MatchBuilder()
+                  .ip()
+                  .nw_dst_prefix(Ipv4(dst.value() & ipv4_prefix_mask(plen)),
+                                 plen);
+    dp.install(m, DpActions().output(2), 0);
+
+    Packet p;
+    p.key.set_in_port(1);
+    p.key.set_eth_type(ethertype::kIpv4);
+    p.key.set_nw_proto(ipproto::kUdp);
+    p.key.set_nw_src(Ipv4(1, 1, 1, 1));
+    p.key.set_nw_dst(dst);
+    p.key.set_tp_src(static_cast<uint16_t>(1000 + i));
+    p.key.set_tp_dst(5001);
+    pkts.push_back(p);
+  }
+  return pkts;
+}
+
+double run_series(bool microflow, size_t k, size_t packets,
+                  double* avg_tuples) {
+  DatapathConfig cfg;
+  cfg.microflow_enabled = microflow;
+  Datapath dp(cfg);
+  auto pkts = fill_megaflows(dp, k);
+
+  Rng rng(k * 7919 + (microflow ? 1 : 0));
+  // Warm.
+  for (size_t i = 0; i < 4096; ++i)
+    dp.receive(pkts[rng.uniform(pkts.size())], i);
+  dp.reset_stats();
+
+  CostModel m;
+  double cycles = 0;
+  for (size_t i = 0; i < packets; ++i) {
+    auto rx = dp.receive(pkts[rng.uniform(pkts.size())], 10000 + i);
+    cycles += m.per_packet + (microflow ? m.microflow_probe : 0);
+    if (rx.path != Datapath::Path::kMicroflowHit)
+      cycles += m.per_tuple * rx.tuples_searched;
+  }
+  *avg_tuples = static_cast<double>(dp.stats().tuples_searched) /
+                static_cast<double>(dp.stats().packets);
+  const double cycles_per_pkt = cycles / static_cast<double>(packets);
+  return 2 * m.ghz * 1e9 / cycles_per_pkt / 1e6;  // Mpps on 2 cores
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t packets = flags.u64("packets", 200000);
+  const size_t max_masks = flags.u64("max_masks", 24);
+
+  std::printf("Figure 8: forwarding rate vs. average megaflow tuples "
+              "searched\n");
+  print_rule('=');
+  std::printf("%7s %16s %18s | %18s\n", "masks", "avg tuples/pkt",
+              "Mpps (EMC off)", "Mpps (EMC on)");
+  print_rule();
+  for (size_t k = 1; k <= max_masks; k += (k < 8 ? 1 : 4)) {
+    double tuples_off = 0, tuples_on = 0;
+    const double off = run_series(false, k, packets, &tuples_off);
+    const double on = run_series(true, k, packets, &tuples_on);
+    std::printf("%7zu %16.2f %18.2f | %18.2f\n", k, tuples_off, off, on);
+  }
+  print_rule();
+  std::printf(
+      "Shape checks: the EMC-off series decays hyperbolically with the\n"
+      "number of tuples searched; the EMC-on series stays flat (paper:\n"
+      "~10.6 Mpps regardless of kernel classifier size).\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "baseline/linux_bridge.h"
+
+namespace ovs {
+
+LinuxBridge::Verdict LinuxBridge::process(const Packet& pkt, uint64_t now_ns) {
+  ++stats_.packets;
+  cycles_ += cfg_.per_packet_cycles;
+
+  // Netfilter chain: per-packet, linear in the number of rules.
+  if (!rules_.empty()) {
+    cycles_ += cfg_.netfilter_hook_cycles +
+               cfg_.per_rule_cycles * static_cast<double>(rules_.size());
+    for (const Match& r : rules_) {
+      if (r.matches(pkt.key)) {
+        ++stats_.dropped;
+        return Verdict::kDropped;
+      }
+    }
+  }
+
+  mac_.learn(pkt.key.eth_src(), pkt.key.vlan_tci(), pkt.key.in_port(),
+             now_ns);
+  if (!pkt.key.eth_dst().is_multicast() &&
+      mac_.lookup(pkt.key.eth_dst(), pkt.key.vlan_tci(), now_ns)
+          .has_value()) {
+    ++stats_.forwarded;
+    return Verdict::kForwarded;
+  }
+  ++stats_.flooded;
+  return Verdict::kFlooded;
+}
+
+}  // namespace ovs

@@ -1,0 +1,79 @@
+// The microflow (exact-match) cache as OVS actually runs it concurrently
+// (§4.1): many forwarding threads probe the cache lock-free while a single
+// maintenance/install path updates it — "nonblocking multiple-reader,
+// single-writer flow tables" built on optimistic concurrent cuckoo hashing.
+//
+// The single-threaded Datapath uses its own inline EMC for determinism;
+// this component is the threaded counterpart, stress-tested in
+// tests/concurrent_emc_test.cc and benchmarked in bench_raw_lookup.
+//
+// Capacity is bounded: "the microflow cache has a fixed maximum size, with
+// new microflows replacing old ones" (§6). Eviction is FIFO over the
+// install ring — a fair stand-in for the paper's pseudo-random replacement
+// that keeps the writer O(1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/cuckoo.h"
+
+namespace ovs {
+
+class ConcurrentEmc {
+ public:
+  explicit ConcurrentEmc(size_t capacity = 8192)
+      : capacity_(capacity), map_(capacity), ring_(capacity * 2, 0) {}
+
+  // --- Readers (any thread, lock-free) -------------------------------------
+
+  // Returns the hinted megaflow id for this microflow hash, if cached.
+  std::optional<uint64_t> lookup(uint64_t flow_hash) const noexcept {
+    uint64_t v = 0;
+    if (map_.find(nonzero(flow_hash), &v)) return v;
+    return std::nullopt;
+  }
+
+  // --- Writer (one thread) ---------------------------------------------------
+
+  void install(uint64_t flow_hash, uint64_t megaflow_id) {
+    const uint64_t key = nonzero(flow_hash);
+    // Bounded size (§6): evict oldest installs until there is room. Stale
+    // ring entries (invalidated or re-installed keys) pop as no-ops; the
+    // loop terminates because every live key has a ring entry.
+    while (map_.size() >= capacity_ && count_ > 0) pop_evict();
+    if (count_ == ring_.size()) pop_evict();  // ring itself full
+    map_.insert(key, megaflow_id);
+    ring_[(head_ + count_) % ring_.size()] = key;
+    ++count_;
+  }
+
+  // Drops one hint (e.g. its megaflow died); stale hints are otherwise
+  // corrected by the full lookup path on first use (§6).
+  void invalidate(uint64_t flow_hash) noexcept {
+    map_.erase(nonzero(flow_hash));
+  }
+
+  size_t size() const noexcept { return map_.size(); }
+  size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  // CuckooMap64 reserves key 0.
+  static uint64_t nonzero(uint64_t h) noexcept { return h | 1; }
+
+  void pop_evict() noexcept {
+    if (count_ == 0) return;
+    map_.erase(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+  }
+
+  size_t capacity_;
+  CuckooMap64 map_;
+  std::vector<uint64_t> ring_;  // FIFO of installed keys (may hold dups)
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace ovs

@@ -1,0 +1,166 @@
+#include "datapath/datapath.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ovs {
+
+namespace {
+
+ClassifierConfig kernel_classifier_config() {
+  // The kernel classifier is deliberately simple (§4.2): no priorities (it
+  // "can terminate as soon as it finds any match"), no staged lookup, no
+  // tries, no partitions — just a list of per-mask hash tables.
+  ClassifierConfig cfg = ClassifierConfig::all_disabled();
+  cfg.first_match_only = true;
+  return cfg;
+}
+
+}  // namespace
+
+Datapath::Datapath(DatapathConfig cfg)
+    : cfg_(cfg),
+      mega_(kernel_classifier_config()),
+      micro_(cfg.microflow_sets * cfg.microflow_ways),
+      rng_(cfg.seed) {}
+
+Datapath::~Datapath() = default;
+
+MegaflowEntry* Datapath::microflow_lookup(const FlowKey& key,
+                                          uint64_t hash) noexcept {
+  const size_t set = (hash >> 32) & (cfg_.microflow_sets - 1);
+  for (size_t w = 0; w < cfg_.microflow_ways; ++w) {
+    MicroSlot& slot = micro_[set * cfg_.microflow_ways + w];
+    if (slot.entry == nullptr || slot.hash != hash) continue;
+    MegaflowEntry* e = slot.entry;
+    // "A stale microflow cache entry is detected and corrected the first
+    // time a packet matches it" (§6): validate against the megaflow.
+    if (e->dead() || !e->match().matches(key)) {
+      slot.entry = nullptr;
+      ++stats_.stale_microflow_hits;
+      return nullptr;
+    }
+    return e;
+  }
+  return nullptr;
+}
+
+void Datapath::microflow_insert(uint64_t hash, MegaflowEntry* entry) noexcept {
+  const size_t set = (hash >> 32) & (cfg_.microflow_sets - 1);
+  // Prefer an empty or same-hash way; otherwise pseudo-random replacement
+  // ("we use a pseudo-random replacement policy, for simplicity", §6).
+  for (size_t w = 0; w < cfg_.microflow_ways; ++w) {
+    MicroSlot& slot = micro_[set * cfg_.microflow_ways + w];
+    if (slot.entry == nullptr || slot.hash == hash) {
+      slot = {hash, entry};
+      return;
+    }
+  }
+  const size_t w = rng_.uniform(cfg_.microflow_ways);
+  micro_[set * cfg_.microflow_ways + w] = {hash, entry};
+}
+
+Datapath::RxResult Datapath::receive(const Packet& pkt, uint64_t now_ns) {
+  ++stats_.packets;
+  RxResult res;
+
+  const uint64_t hash = pkt.key.hash();
+  if (cfg_.microflow_enabled) {
+    if (MegaflowEntry* e = microflow_lookup(pkt.key, hash)) {
+      e->packets_ += 1;
+      e->bytes_ += pkt.size_bytes;
+      e->used_ns_ = now_ns;
+      ++stats_.microflow_hits;
+      // The hinted megaflow's hash table counts as the single table probed.
+      stats_.tuples_searched += 1;
+      res = {Path::kMicroflowHit, &e->actions(), 1};
+      return res;
+    }
+  }
+
+  const auto before = mega_.stats().tuples_searched;
+  const Rule* r = mega_.lookup(pkt.key);
+  const auto searched =
+      static_cast<uint32_t>(mega_.stats().tuples_searched - before);
+  stats_.tuples_searched += searched;
+  if (r != nullptr) {
+    auto* e = const_cast<MegaflowEntry*>(static_cast<const MegaflowEntry*>(r));
+    e->packets_ += 1;
+    e->bytes_ += pkt.size_bytes;
+    e->used_ns_ = now_ns;
+    ++stats_.megaflow_hits;
+    if (cfg_.microflow_enabled) microflow_insert(hash, e);
+    res = {Path::kMegaflowHit, &e->actions(), searched};
+    return res;
+  }
+
+  ++stats_.misses;
+  if (upcalls_.size() >= cfg_.max_upcall_queue) {
+    ++stats_.upcall_drops;
+  } else {
+    upcalls_.push_back(pkt);
+  }
+  res = {Path::kMiss, nullptr, searched};
+  return res;
+}
+
+MegaflowEntry* Datapath::install(const Match& match, DpActions actions,
+                                 uint64_t now_ns) {
+  if (Rule* existing = mega_.find_exact(match, 0))
+    return static_cast<MegaflowEntry*>(existing);
+  auto owned = std::make_unique<MegaflowEntry>(match, std::move(actions));
+  MegaflowEntry* e = owned.get();
+  e->created_ns_ = now_ns;
+  e->used_ns_ = now_ns;
+  e->index_ = entries_.size();
+  mega_.insert(e);
+  entries_.push_back(std::move(owned));
+  return e;
+}
+
+void Datapath::remove(MegaflowEntry* entry) {
+  assert(!entry->dead());
+  mega_.remove(entry);
+  entry->dead_ = true;
+  const size_t i = entry->index_;
+  assert(i < entries_.size() && entries_[i].get() == entry);
+  graveyard_.push_back(std::move(entries_[i]));
+  if (i + 1 != entries_.size()) {
+    entries_[i] = std::move(entries_.back());
+    entries_[i]->index_ = i;
+  }
+  entries_.pop_back();
+}
+
+void Datapath::update_actions(MegaflowEntry* entry, DpActions actions) {
+  entry->set_actions(std::move(actions));
+}
+
+void Datapath::purge_dead() {
+  if (graveyard_.empty()) return;
+  // Grace period: clear any microflow slots that still point at dead
+  // entries, then free them.
+  for (MicroSlot& slot : micro_)
+    if (slot.entry != nullptr && slot.entry->dead()) slot.entry = nullptr;
+  graveyard_.clear();
+}
+
+std::vector<MegaflowEntry*> Datapath::dump() const {
+  std::vector<MegaflowEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.get());
+  return out;
+}
+
+std::vector<Packet> Datapath::take_upcalls(size_t max_batch) {
+  std::vector<Packet> out;
+  const size_t n = std::min(max_batch, upcalls_.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(upcalls_.front());
+    upcalls_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace ovs

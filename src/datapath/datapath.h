@@ -1,0 +1,164 @@
+// The simulated kernel datapath (paper §3.1, §4).
+//
+// Packet path:
+//   1. microflow cache — exact-match table mapping the packet's full-key
+//      hash to its megaflow entry ("a hint to the first hash table to
+//      search"); pseudo-random replacement; stale entries are "detected and
+//      corrected the first time a packet matches" (§6);
+//   2. megaflow cache — a single priority-less tuple-space classifier that
+//      terminates on the first match (§4.2); entries are installed by
+//      userspace and are disjoint;
+//   3. miss — the packet is queued as an *upcall* to userspace (§3.1).
+//
+// Entry deletion is deferred RCU-style: removed entries park in a graveyard
+// until purge_dead() (the simulated grace period) sweeps microflow slots and
+// frees them, mirroring OVS's use of RCU for nonblocking readers (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "classifier/classifier.h"
+#include "datapath/dp_actions.h"
+#include "packet/packet.h"
+#include "util/rng.h"
+
+namespace ovs {
+
+// An installed datapath flow: a priority-less classifier rule carrying
+// actions and statistics.
+class MegaflowEntry : public Rule {
+ public:
+  MegaflowEntry(Match match, DpActions actions)
+      : Rule(match, /*priority=*/0), actions_(std::move(actions)) {}
+
+  const DpActions& actions() const noexcept { return actions_; }
+  void set_actions(DpActions a) noexcept { actions_ = std::move(a); }
+
+  uint64_t packets() const noexcept { return packets_; }
+  uint64_t bytes() const noexcept { return bytes_; }
+  uint64_t used_ns() const noexcept { return used_ns_; }
+  uint64_t created_ns() const noexcept { return created_ns_; }
+  bool dead() const noexcept { return dead_; }
+
+  // Userspace annotation: Bloom tags of the soft state this flow's actions
+  // depend on (the historical tag-based invalidation scheme of §6, kept as
+  // an ablation). The datapath itself never reads this.
+  uint64_t tags = 0;
+
+ private:
+  friend class Datapath;
+
+  DpActions actions_;
+  size_t index_ = 0;  // position in Datapath::entries_ (swap-remove)
+  uint64_t packets_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t used_ns_ = 0;     // last hit time
+  uint64_t created_ns_ = 0;
+  bool dead_ = false;
+};
+
+struct DatapathConfig {
+  bool microflow_enabled = true;      // first-level exact-match cache (§4.2)
+  size_t microflow_ways = 2;          // associativity
+  size_t microflow_sets = 4096;       // total slots = ways * sets
+  size_t max_upcall_queue = 4096;     // miss queue to userspace
+  uint64_t seed = 0xDA7A;             // pseudo-random replacement (§6)
+};
+
+class Datapath {
+ public:
+  explicit Datapath(DatapathConfig cfg = {});
+  ~Datapath();
+
+  Datapath(const Datapath&) = delete;
+  Datapath& operator=(const Datapath&) = delete;
+
+  enum class Path : uint8_t { kMicroflowHit, kMegaflowHit, kMiss };
+
+  struct RxResult {
+    Path path = Path::kMiss;
+    const DpActions* actions = nullptr;  // null on miss
+    uint32_t tuples_searched = 0;        // megaflow hash tables probed
+  };
+
+  // Processes one received packet at (virtual) time now_ns. On a miss the
+  // packet is queued for userspace (or dropped if the queue is full).
+  RxResult receive(const Packet& pkt, uint64_t now_ns);
+
+  // --- Userspace-facing flow table API (the netlink equivalent) -----------
+
+  // Installs a flow. Duplicate masked keys are rejected (returns the
+  // existing entry and does not install) because userspace keeps megaflows
+  // disjoint (§4.2).
+  MegaflowEntry* install(const Match& match, DpActions actions,
+                         uint64_t now_ns);
+
+  // Removes a flow; the entry stays valid until purge_dead().
+  void remove(MegaflowEntry* entry);
+
+  // Updates an entry's actions in place (revalidation, §6).
+  void update_actions(MegaflowEntry* entry, DpActions actions);
+
+  // Credits a packet that userspace forwarded on the flow's behalf (the
+  // miss packet executed during flow setup) to the entry's statistics.
+  void credit_packet(MegaflowEntry* entry, const Packet& pkt,
+                     uint64_t now_ns) noexcept {
+    entry->packets_ += 1;
+    entry->bytes_ += pkt.size_bytes;
+    if (now_ns > entry->used_ns_) entry->used_ns_ = now_ns;
+  }
+
+  // Frees removed entries after sweeping stale microflow pointers. Call at
+  // batch boundaries (the simulated RCU grace period).
+  void purge_dead();
+
+  // Snapshot of all live entries, for revalidation and stats polling.
+  std::vector<MegaflowEntry*> dump() const;
+
+  size_t flow_count() const noexcept { return mega_.rule_count(); }
+  size_t mask_count() const noexcept { return mega_.tuple_count(); }
+
+  // Drains up to max_batch queued upcalls.
+  std::vector<Packet> take_upcalls(size_t max_batch);
+  size_t upcall_queue_depth() const noexcept { return upcalls_.size(); }
+
+  struct Stats {
+    uint64_t packets = 0;
+    uint64_t microflow_hits = 0;
+    uint64_t megaflow_hits = 0;
+    uint64_t misses = 0;
+    uint64_t upcall_drops = 0;          // queue overflow
+    uint64_t stale_microflow_hits = 0;  // corrected on first use (§6)
+    uint64_t tuples_searched = 0;       // total megaflow tables probed
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
+  const DatapathConfig& config() const noexcept { return cfg_; }
+  void set_microflow_enabled(bool on) noexcept {
+    cfg_.microflow_enabled = on;
+  }
+
+ private:
+  struct MicroSlot {
+    uint64_t hash = 0;
+    MegaflowEntry* entry = nullptr;
+  };
+
+  MegaflowEntry* microflow_lookup(const FlowKey& key, uint64_t hash) noexcept;
+  void microflow_insert(uint64_t hash, MegaflowEntry* entry) noexcept;
+
+  DatapathConfig cfg_;
+  Classifier mega_;  // first_match_only, no priorities — the kernel TSS
+  std::vector<std::unique_ptr<MegaflowEntry>> entries_;
+  std::vector<std::unique_ptr<MegaflowEntry>> graveyard_;
+  std::vector<MicroSlot> micro_;
+  std::deque<Packet> upcalls_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace ovs

@@ -1,0 +1,103 @@
+// A fabric of hypervisor switches joined by a tunnel mesh (§1-§2: network
+// virtualization "leav[es] physical datacenter networks with transportation
+// of IP tunneled packets between hypervisors"; "a single virtual switch
+// [may] have thousands of virtual switches as its peers in a mesh of
+// point-to-point IP tunnels").
+//
+// Each hypervisor runs a real Switch with an NVP-style 4-table pipeline:
+//
+//   table 0  ingress classification: VM port or (tunnel port, tun_id) ->
+//            logical datapath id in metadata
+//   table 1  per-tenant global L2: eth_dst -> reg1 = local port or the
+//            tunnel port toward the VM's hypervisor
+//   table 2  per-tenant ACLs
+//   table 3  egress: reg1 -> output (local) or tunnel(port, tenant)
+//
+// Fabric::send() injects a packet at the source VM's hypervisor and relays
+// tunnel outputs to the peer switches until delivery, so cross-hypervisor
+// behaviour (including megaflow generation for tunneled traffic) is
+// exercised end to end. migrate() relocates a VM and reprograms the fleet,
+// the control-plane event whose cache-invalidation story §6 tells.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vswitchd/switch.h"
+
+namespace ovs {
+
+class Fabric {
+ public:
+  struct Config {
+    size_t n_hypervisors = 3;
+    size_t n_tenants = 2;
+    size_t vms_per_tenant_per_hv = 2;
+    // Tenants with index < acl_tenants get an L4 ACL (drop tcp dst 25).
+    size_t acl_tenants = 1;
+    SwitchConfig switch_config;
+  };
+
+  struct Vm {
+    size_t id = 0;
+    size_t hypervisor = 0;
+    uint32_t port = 0;  // port on its hypervisor's switch
+    uint64_t tenant = 0;
+    EthAddr mac;
+    Ipv4 ip;
+  };
+
+  explicit Fabric(const Config& cfg);
+
+  const std::vector<Vm>& vms() const noexcept { return vms_; }
+  Switch& hypervisor(size_t i) { return *switches_[i]; }
+  size_t n_hypervisors() const noexcept { return switches_.size(); }
+
+  // Tunnel port on hypervisor `local` facing hypervisor `peer`.
+  static uint32_t tunnel_port(size_t peer) {
+    return 1000 + static_cast<uint32_t>(peer);
+  }
+
+  struct Delivery {
+    bool delivered = false;
+    size_t dst_hypervisor = 0;
+    uint32_t dst_port = 0;
+    size_t tunnel_hops = 0;
+  };
+
+  // Sends one TCP packet from src to dst (returns where it landed).
+  Delivery send(const Vm& src, const Vm& dst, uint16_t sport, uint16_t dport,
+                uint64_t now_ns, uint8_t proto = ipproto::kTcp);
+
+  // Moves a VM to another hypervisor and reprograms every switch's L2
+  // table, as the central controller would (§2: "virtual switches receive
+  // forwarding state updates as VMs boot, migrate, and shut down").
+  void migrate(size_t vm_id, size_t new_hypervisor, uint64_t now_ns);
+
+  // Runs maintenance (revalidators etc.) on every hypervisor.
+  void tick(uint64_t now_ns);
+
+  // Total datapath flows across the fabric.
+  size_t total_flows() const;
+
+ private:
+  void program_l2(uint64_t now_ns);
+  uint32_t next_free_port(size_t hypervisor);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<Vm> vms_;
+  std::vector<uint32_t> next_port_;  // per hypervisor
+
+  // Relay state for the current send().
+  struct PendingTx {
+    size_t hypervisor;
+    uint32_t port;
+    Packet pkt;
+  };
+  std::vector<PendingTx> pending_;
+  size_t active_hv_ = 0;
+};
+
+}  // namespace ovs

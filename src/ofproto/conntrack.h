@@ -1,0 +1,102 @@
+// Minimal connection tracker (paper §8.1: "an ongoing effort to provide a
+// new OpenFlow action that invokes a kernel module that provides ...
+// connection state (new, established, related)").
+//
+// Connections are keyed by the bidirectional 5-tuple; the CT action stamps
+// ct_state into the flow key so subsequent tables can match on it, exactly
+// like the OVS `ct` action feeding `ct_state` matches.
+#pragma once
+
+#include <cstdint>
+
+#include "packet/flow_key.h"
+#include "util/flat_hash.h"
+
+namespace ovs {
+
+namespace ct_state {
+inline constexpr uint8_t kNew = 0x01;
+inline constexpr uint8_t kEstablished = 0x02;
+inline constexpr uint8_t kReply = 0x04;
+}  // namespace ct_state
+
+class ConnTracker {
+ public:
+  // Connection state of the packet's 5-tuple (direction-normalized).
+  uint8_t lookup(const FlowKey& key) const noexcept {
+    const ConnKey ck = conn_key(key);
+    const ConnKey* e = table_.find(ck.hash(), [&](const ConnKey& x) {
+      return x == ck;
+    });
+    if (e == nullptr) return ct_state::kNew;
+    uint8_t s = ct_state::kEstablished;
+    if (!forward_direction(key)) s |= ct_state::kReply;
+    return s;
+  }
+
+  // Commits the connection (the `ct(commit)` action).
+  void commit(const FlowKey& key) {
+    const ConnKey ck = conn_key(key);
+    if (table_.find(ck.hash(), [&](const ConnKey& x) { return x == ck; }))
+      return;
+    table_.insert(ck.hash(), ck);
+    ++generation_;
+  }
+
+  // Tears down the connection (simulating FIN/RST or timeout).
+  bool remove(const FlowKey& key) noexcept {
+    const ConnKey ck = conn_key(key);
+    if (!table_.erase(ck.hash(), [&](const ConnKey& x) { return x == ck; }))
+      return false;
+    ++generation_;
+    return true;
+  }
+
+  size_t size() const noexcept { return table_.size(); }
+  uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  struct ConnKey {
+    uint64_t lo_addr = 0, hi_addr = 0;  // normalized endpoint order
+    uint32_t lo_port = 0, hi_port = 0;
+    uint8_t proto = 0;
+
+    bool operator==(const ConnKey&) const noexcept = default;
+    uint64_t hash() const noexcept {
+      uint64_t h = hash_mix64(lo_addr);
+      h = hash_add64(h, hi_addr);
+      h = hash_add64(h, (uint64_t{lo_port} << 32) | hi_port);
+      return hash_add64(h, proto);
+    }
+  };
+
+  // Endpoint (addr, port) pairs sorted so both directions map to one key.
+  static ConnKey conn_key(const FlowKey& k) noexcept {
+    const uint64_t a_addr = k.nw_src().value(), b_addr = k.nw_dst().value();
+    const uint32_t a_port = k.tp_src(), b_port = k.tp_dst();
+    ConnKey ck;
+    ck.proto = k.nw_proto();
+    if (a_addr < b_addr || (a_addr == b_addr && a_port <= b_port)) {
+      ck.lo_addr = a_addr;
+      ck.hi_addr = b_addr;
+      ck.lo_port = a_port;
+      ck.hi_port = b_port;
+    } else {
+      ck.lo_addr = b_addr;
+      ck.hi_addr = a_addr;
+      ck.lo_port = b_port;
+      ck.hi_port = a_port;
+    }
+    return ck;
+  }
+
+  static bool forward_direction(const FlowKey& k) noexcept {
+    const uint64_t a = k.nw_src().value(), b = k.nw_dst().value();
+    return a < b || (a == b && k.tp_src() <= k.tp_dst());
+  }
+
+  HashBuckets<ConnKey> table_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace ovs

@@ -1,0 +1,54 @@
+// Text interface for flow programming, an ovs-ofctl-compatible subset:
+//
+//   table=0, priority=100, tcp, nw_dst=9.1.1.0/24, tp_dst=80,
+//       actions=set_field:5->reg0, resubmit(,1), output:2
+//
+// Match tokens: bare protocol keywords (ip, ipv6, tcp, udp, icmp, arp) and
+// key=value pairs — in_port, metadata, tun_id, reg0..reg3, ct_state,
+// dl_src, dl_dst, dl_type, vlan_tci, nw_src/nw_dst (with /len), nw_proto,
+// nw_ttl, nw_tos, arp_op, ipv6_src/ipv6_dst (with /len), tp_src/tp_dst
+// (with /len), tcp_flags, icmp_type, icmp_code.
+//
+// Actions: output:N, drop, normal, controller, resubmit(,T) or resubmit:T,
+// set_field:V->FIELD (V = integer, a.b.c.d, or aa:bb:cc:dd:ee:ff),
+// load:V->FIELD (alias), tunnel(PORT,ID), ct(table=T[,commit]).
+//
+// format_flow() emits the same syntax; parse(format(f)) round-trips.
+#pragma once
+
+#include <string>
+
+#include "ofproto/flow_table.h"
+
+namespace ovs {
+
+struct ParsedFlow {
+  size_t table = 0;
+  bool has_table = false;  // whether table= appeared (for loose deletes)
+  int32_t priority = 0;
+  uint64_t cookie = 0;
+  FlowTimeouts timeouts;  // idle_timeout= / hard_timeout= (seconds)
+  Match match;
+  OfActions actions;
+};
+
+// Result of a parse: either a flow or a human-readable error.
+struct FlowParseResult {
+  bool ok = false;
+  ParsedFlow flow;
+  std::string error;
+};
+
+FlowParseResult parse_flow(const std::string& text);
+
+// Formats a flow in the syntax parse_flow accepts.
+std::string format_flow(size_t table, int32_t priority, const Match& match,
+                        const OfActions& actions);
+
+// Formats just the match portion ("tcp, nw_dst=9.1.1.0/24, tp_dst=80").
+std::string format_match(const Match& match);
+
+// Formats just the actions ("output:2, resubmit(,1)").
+std::string format_actions(const OfActions& actions);
+
+}  // namespace ovs

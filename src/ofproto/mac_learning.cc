@@ -1,0 +1,55 @@
+#include "ofproto/mac_learning.h"
+
+#include <vector>
+
+namespace ovs {
+
+bool MacLearning::learn(EthAddr mac, uint16_t vlan, uint32_t port,
+                        uint64_t now_ns) {
+  if (mac.is_multicast()) return false;  // never learn multicast sources
+  const uint64_t h = key_hash(mac.bits(), vlan);
+  Entry* e = table_.find(h, [&](const Entry& x) {
+    return x.mac_bits == mac.bits() && x.vlan == vlan;
+  });
+  if (e != nullptr) {
+    e->used_ns = now_ns;
+    if (e->port == port) return false;
+    e->port = port;  // MAC move
+    ++generation_;
+    changed_tags_ |= tag(mac, vlan);
+    return true;
+  }
+  if (table_.size() >= cfg_.max_entries) return false;  // table full
+  table_.insert(h, Entry{mac.bits(), vlan, port, now_ns});
+  ++generation_;
+  changed_tags_ |= tag(mac, vlan);
+  return true;
+}
+
+std::optional<uint32_t> MacLearning::lookup(EthAddr mac, uint16_t vlan,
+                                            uint64_t now_ns) const {
+  const uint64_t h = key_hash(mac.bits(), vlan);
+  const Entry* e = table_.find(h, [&](const Entry& x) {
+    return x.mac_bits == mac.bits() && x.vlan == vlan;
+  });
+  if (e == nullptr) return std::nullopt;
+  if (now_ns - e->used_ns > cfg_.idle_ns) return std::nullopt;  // expired
+  return e->port;
+}
+
+size_t MacLearning::expire(uint64_t now_ns) {
+  std::vector<Entry> stale;
+  table_.for_each([&](const Entry& e) {
+    if (now_ns - e.used_ns > cfg_.idle_ns) stale.push_back(e);
+  });
+  for (const Entry& e : stale) {
+    table_.erase(key_hash(e.mac_bits, e.vlan), [&](const Entry& x) {
+      return x.mac_bits == e.mac_bits && x.vlan == e.vlan;
+    });
+    ++generation_;
+    changed_tags_ |= tag(EthAddr(e.mac_bits), e.vlan);
+  }
+  return stale.size();
+}
+
+}  // namespace ovs

@@ -1,0 +1,76 @@
+// MAC learning table with aging, driving the NORMAL (learning switch)
+// action and the precise-invalidation path of §6 ("when the Open vSwitch
+// implementation of MAC learning detects that a MAC address has moved from
+// one port to another, the datapath flows that used that MAC are the ones
+// that need an update").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "packet/addr.h"
+#include "util/flat_hash.h"
+#include "util/hash.h"
+
+namespace ovs {
+
+class MacLearning {
+ public:
+  struct Config {
+    uint64_t idle_ns = 300ull * 1000 * 1000 * 1000;  // 300 s, the OVS default
+    size_t max_entries = 8192;
+  };
+
+  MacLearning() = default;
+  explicit MacLearning(Config cfg) : cfg_(cfg) {}
+
+  // Learns (mac, vlan) -> port. Returns true if this created a new binding
+  // or *moved* an existing one — the events that invalidate datapath flows.
+  bool learn(EthAddr mac, uint16_t vlan, uint32_t port, uint64_t now_ns);
+
+  // Port the MAC was last seen on, or nullopt (unknown / expired -> flood).
+  std::optional<uint32_t> lookup(EthAddr mac, uint16_t vlan,
+                                 uint64_t now_ns) const;
+
+  // Removes entries idle longer than the configured timeout. Returns the
+  // number removed (each removal is also a generation bump).
+  size_t expire(uint64_t now_ns);
+
+  // Bumped on every new binding, move, or expiry; revalidators compare this
+  // to decide whether flows may be stale.
+  uint64_t generation() const noexcept { return generation_; }
+
+  size_t size() const noexcept { return table_.size(); }
+
+  // A per-binding tag for the Bloom-filter invalidation ablation (§6):
+  // flows record the tags of the bindings they depended on.
+  static uint64_t tag(EthAddr mac, uint16_t vlan) noexcept {
+    const uint64_t h = hash_add64(hash_mix64(mac.bits()), vlan);
+    return uint64_t{1} << (h & 63);
+  }
+
+  // Tags invalidated since the last call (for tag-based revalidation).
+  uint64_t take_changed_tags() noexcept {
+    const uint64_t t = changed_tags_;
+    changed_tags_ = 0;
+    return t;
+  }
+
+ private:
+  struct Entry {
+    uint64_t mac_bits = 0;
+    uint16_t vlan = 0;
+    uint32_t port = 0;
+    uint64_t used_ns = 0;
+  };
+  static uint64_t key_hash(uint64_t mac_bits, uint16_t vlan) noexcept {
+    return hash_add64(hash_mix64(mac_bits), vlan);
+  }
+
+  Config cfg_;
+  HashBuckets<Entry> table_;
+  uint64_t generation_ = 0;
+  uint64_t changed_tags_ = 0;
+};
+
+}  // namespace ovs

@@ -1,0 +1,98 @@
+// The userspace OpenFlow pipeline and its translation ("xlate") step.
+//
+// Translation is the megaflow generator (§4.2): it runs a packet through the
+// flow tables (following resubmits, register writes, NORMAL processing,
+// connection tracking), collects the flattened datapath actions, and tracks
+// every key bit the decision consulted. The resulting (mask, masked key,
+// actions) triple is exactly what userspace installs into the datapath.
+//
+// Field rewrites are handled the way OVS does: once an action sets a field,
+// later reads of that field observe the written value and therefore must
+// NOT unwildcard the original packet bits — the translation suppresses
+// wildcard contributions on rewritten bits.
+//
+// Simplifications vs. real OVS (documented substitutions):
+//   * `ct` recirculation is folded into translation: the connection state is
+//     stamped during xlate and the consulted 5-tuple becomes part of the
+//     megaflow, so ct-using pipelines produce per-connection megaflows.
+//     Connection-table changes do not retroactively revalidate megaflows;
+//     the new/established transition only affects later flow setups.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "datapath/dp_actions.h"
+#include "ofproto/conntrack.h"
+#include "ofproto/flow_table.h"
+#include "ofproto/mac_learning.h"
+
+namespace ovs {
+
+struct XlateResult {
+  Match megaflow;          // generated cache entry match
+  DpActions actions;       // flattened datapath actions
+  bool to_controller = false;
+  bool error = false;      // resubmit depth exceeded
+  uint32_t table_lookups = 0;  // classifier lookups performed (§3.2: ~15
+                               // for network-virtualization pipelines)
+  uint64_t tags = 0;       // Bloom tags of consulted soft state (§6 ablation)
+  // Every OpenFlow rule the packet matched, in order: the attribution list
+  // for per-flow statistics (§6). Pointers are valid until the next flow
+  // table modification (which bumps Pipeline::generation()).
+  std::vector<const OfRule*> matched_rules;
+};
+
+class Pipeline {
+ public:
+  static constexpr size_t kMaxTables = 16;
+  static constexpr int kMaxResubmitDepth = 64;
+
+  explicit Pipeline(size_t n_tables = 8, ClassifierConfig cls_cfg = {});
+
+  FlowTable& table(size_t i) { return *tables_[i]; }
+  const FlowTable& table(size_t i) const { return *tables_[i]; }
+  size_t n_tables() const noexcept { return tables_.size(); }
+
+  MacLearning& mac_learning() noexcept { return mac_; }
+  const MacLearning& mac_learning() const noexcept { return mac_; }
+  ConnTracker& conntrack() noexcept { return ct_; }
+
+  void add_port(uint32_t port);
+  void remove_port(uint32_t port);
+  const std::vector<uint32_t>& ports() const noexcept { return ports_; }
+
+  // Translates a packet through the pipeline starting at table 0.
+  // Non-const: NORMAL learns MACs; ct(commit) commits connections. Pass
+  // side_effects=false for revalidation re-translations, which must observe
+  // but not mutate soft state (§6).
+  XlateResult translate(const FlowKey& pkt, uint64_t now_ns,
+                        bool side_effects = true);
+
+  // Total flows across all tables.
+  size_t flow_count() const noexcept;
+
+  // Expires OpenFlow rules past their idle/hard timeouts in every table.
+  size_t expire_flows(uint64_t now_ns);
+
+  // Changes whenever translation results may change: flow table mods, MAC
+  // learning changes, port changes. (Conntrack commits are deliberately
+  // excluded; see the header comment.)
+  uint64_t generation() const noexcept;
+
+ private:
+  struct XlateCtx;
+  void xlate_table(XlateCtx& ctx, size_t table_id, int depth);
+  void do_normal(XlateCtx& ctx);
+  void do_ct(XlateCtx& ctx, const OfCt& ct, int depth);
+
+  std::vector<std::unique_ptr<FlowTable>> tables_;
+  MacLearning mac_;
+  ConnTracker ct_;
+  std::vector<uint32_t> ports_;
+  uint64_t port_generation_ = 0;
+};
+
+}  // namespace ovs

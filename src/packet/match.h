@@ -1,0 +1,126 @@
+// Match = (pre-masked key, mask): what a classifier rule matches on, and a
+// fluent builder so rule tables in tests/examples read like ovs-ofctl syntax.
+#pragma once
+
+#include <string>
+
+#include "packet/flow_key.h"
+
+namespace ovs {
+
+struct Match {
+  FlowKey key;    // always pre-masked (normalize() enforces it)
+  FlowMask mask;
+
+  bool matches(const FlowKey& pkt) const noexcept {
+    return masked_equal(pkt, key, mask);
+  }
+
+  void normalize() noexcept { apply_mask(key, mask); }
+
+  bool operator==(const Match&) const noexcept = default;
+
+  std::string to_string() const {
+    return "match{" + mask.to_string() + " : " + key.to_string() + "}";
+  }
+};
+
+// Fluent builder. Example:
+//   Match m = MatchBuilder().eth_type_ipv4().nw_dst_prefix({9,1,1,1}, 24);
+class MatchBuilder {
+ public:
+  MatchBuilder() = default;
+
+  MatchBuilder& in_port(uint32_t p) { return exact(FieldId::kInPort, p); }
+  MatchBuilder& tun_id(uint64_t v) { return exact(FieldId::kTunId, v); }
+  MatchBuilder& metadata(uint64_t v) { return exact(FieldId::kMetadata, v); }
+  MatchBuilder& reg(unsigned i, uint32_t v) {
+    return exact(
+        static_cast<FieldId>(static_cast<unsigned>(FieldId::kReg0) + i), v);
+  }
+  MatchBuilder& ct_state(uint8_t v) { return exact(FieldId::kCtState, v); }
+
+  MatchBuilder& eth_src(EthAddr a) { return exact(FieldId::kEthSrc, a.bits()); }
+  MatchBuilder& eth_dst(EthAddr a) { return exact(FieldId::kEthDst, a.bits()); }
+  MatchBuilder& eth_type(uint16_t t) { return exact(FieldId::kEthType, t); }
+  MatchBuilder& eth_type_ipv4() { return eth_type(ethertype::kIpv4); }
+  MatchBuilder& eth_type_ipv6() { return eth_type(ethertype::kIpv6); }
+  MatchBuilder& eth_type_arp() { return eth_type(ethertype::kArp); }
+  MatchBuilder& vlan_tci(uint16_t v) { return exact(FieldId::kVlanTci, v); }
+
+  MatchBuilder& nw_src(Ipv4 a) { return exact(FieldId::kNwSrc, a.value()); }
+  MatchBuilder& nw_dst(Ipv4 a) { return exact(FieldId::kNwDst, a.value()); }
+  MatchBuilder& nw_src_prefix(Ipv4 a, unsigned len) {
+    return prefix(FieldId::kNwSrc, a.value(), len);
+  }
+  MatchBuilder& nw_dst_prefix(Ipv4 a, unsigned len) {
+    return prefix(FieldId::kNwDst, a.value(), len);
+  }
+  MatchBuilder& nw_proto(uint8_t p) { return exact(FieldId::kNwProto, p); }
+  MatchBuilder& nw_ttl(uint8_t v) { return exact(FieldId::kNwTtl, v); }
+  MatchBuilder& nw_tos(uint8_t v) { return exact(FieldId::kNwTos, v); }
+  MatchBuilder& arp_op(uint16_t v) { return exact(FieldId::kArpOp, v); }
+
+  MatchBuilder& ipv6_src(Ipv6 a) {
+    m_.key.set_ipv6_src(a);
+    m_.mask.set_exact(FieldId::kIpv6Src);
+    return *this;
+  }
+  MatchBuilder& ipv6_dst(Ipv6 a) {
+    m_.key.set_ipv6_dst(a);
+    m_.mask.set_exact(FieldId::kIpv6Dst);
+    return *this;
+  }
+  MatchBuilder& ipv6_dst_prefix(Ipv6 a, unsigned len) {
+    m_.key.set_ipv6_dst(a);
+    m_.mask.set_prefix(FieldId::kIpv6Dst, len);
+    return *this;
+  }
+  MatchBuilder& ipv6_src_prefix(Ipv6 a, unsigned len) {
+    m_.key.set_ipv6_src(a);
+    m_.mask.set_prefix(FieldId::kIpv6Src, len);
+    return *this;
+  }
+
+  MatchBuilder& tp_src(uint16_t p) { return exact(FieldId::kTpSrc, p); }
+  MatchBuilder& tp_dst(uint16_t p) { return exact(FieldId::kTpDst, p); }
+  MatchBuilder& tp_src_prefix(uint16_t p, unsigned len) {
+    return prefix(FieldId::kTpSrc, p, len);
+  }
+  MatchBuilder& tp_dst_prefix(uint16_t p, unsigned len) {
+    return prefix(FieldId::kTpDst, p, len);
+  }
+  MatchBuilder& tcp_flags(uint16_t f) { return exact(FieldId::kTcpFlags, f); }
+  MatchBuilder& icmp_type(uint8_t t) { return exact(FieldId::kTpSrc, t); }
+  MatchBuilder& icmp_code(uint8_t c) { return exact(FieldId::kTpDst, c); }
+
+  // Common shorthands matching ovs-ofctl keywords.
+  MatchBuilder& tcp() { return eth_type_ipv4().nw_proto(ipproto::kTcp); }
+  MatchBuilder& udp() { return eth_type_ipv4().nw_proto(ipproto::kUdp); }
+  MatchBuilder& icmp() { return eth_type_ipv4().nw_proto(ipproto::kIcmp); }
+  MatchBuilder& arp() { return eth_type_arp(); }
+  MatchBuilder& ip() { return eth_type_ipv4(); }
+
+  Match build() const {
+    Match m = m_;
+    m.normalize();
+    return m;
+  }
+  operator Match() const { return build(); }  // NOLINT(google-explicit-*)
+
+ private:
+  MatchBuilder& exact(FieldId f, uint64_t v) {
+    m_.key.set(f, v);
+    m_.mask.set_exact(f);
+    return *this;
+  }
+  MatchBuilder& prefix(FieldId f, uint64_t v, unsigned len) {
+    m_.key.set(f, v);
+    m_.mask.set_prefix(f, len);
+    return *this;
+  }
+
+  Match m_;
+};
+
+}  // namespace ovs

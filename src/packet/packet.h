@@ -1,0 +1,19 @@
+// A packet as seen by the datapath: the parsed flow key plus wire size.
+//
+// Workload generators construct these directly; the byte-level parser
+// (parser.h) produces them from raw frames, which is what a real datapath
+// would do on receive.
+#pragma once
+
+#include <cstdint>
+
+#include "packet/flow_key.h"
+
+namespace ovs {
+
+struct Packet {
+  FlowKey key;
+  uint32_t size_bytes = 64;  // wire length including Ethernet header
+};
+
+}  // namespace ovs

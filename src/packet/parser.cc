@@ -1,0 +1,242 @@
+#include "packet/parser.h"
+
+#include <cstring>
+
+namespace ovs {
+
+namespace {
+
+// Big-endian readers/writers.
+uint16_t rd16(const uint8_t* p) noexcept {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+uint32_t rd32(const uint8_t* p) noexcept {
+  return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) |
+         (uint32_t{p[2]} << 8) | uint32_t{p[3]};
+}
+uint64_t rd48(const uint8_t* p) noexcept {
+  return (uint64_t{rd16(p)} << 32) | rd32(p + 2);
+}
+uint64_t rd64(const uint8_t* p) noexcept {
+  return (uint64_t{rd32(p)} << 32) | rd32(p + 4);
+}
+
+void wr16(RawFrame& f, uint16_t v) {
+  f.push_back(static_cast<uint8_t>(v >> 8));
+  f.push_back(static_cast<uint8_t>(v));
+}
+void wr32(RawFrame& f, uint32_t v) {
+  wr16(f, static_cast<uint16_t>(v >> 16));
+  wr16(f, static_cast<uint16_t>(v));
+}
+void wr48(RawFrame& f, uint64_t v) {
+  wr16(f, static_cast<uint16_t>(v >> 32));
+  wr32(f, static_cast<uint32_t>(v));
+}
+void wr64(RawFrame& f, uint64_t v) {
+  wr32(f, static_cast<uint32_t>(v >> 32));
+  wr32(f, static_cast<uint32_t>(v));
+}
+
+void write_eth(RawFrame& f, EthAddr dst, EthAddr src,
+               std::optional<uint16_t> vlan, uint16_t type) {
+  wr48(f, dst.bits());
+  wr48(f, src.bits());
+  if (vlan) {
+    wr16(f, ethertype::kVlan);
+    wr16(f, *vlan & 0x0fff);
+  }
+  wr16(f, type);
+}
+
+void write_ipv4(RawFrame& f, Ipv4 src, Ipv4 dst, uint8_t proto, uint8_t ttl,
+                uint8_t tos, uint16_t l4_len) {
+  f.push_back(0x45);  // version 4, IHL 5
+  f.push_back(tos);
+  wr16(f, static_cast<uint16_t>(20 + l4_len));
+  wr16(f, 0);       // id
+  wr16(f, 0x4000);  // DF, no fragment
+  f.push_back(ttl);
+  f.push_back(proto);
+  wr16(f, 0);  // checksum (unverified by the simulated datapath)
+  wr32(f, src.value());
+  wr32(f, dst.value());
+}
+
+}  // namespace
+
+std::optional<FlowKey> parse_frame(std::span<const uint8_t> frame,
+                                   uint32_t in_port) {
+  FlowKey key;
+  key.set_in_port(in_port);
+  const uint8_t* p = frame.data();
+  size_t n = frame.size();
+  if (n < 14) return std::nullopt;
+
+  key.set_eth_dst(EthAddr(rd48(p)));
+  key.set_eth_src(EthAddr(rd48(p + 6)));
+  uint16_t type = rd16(p + 12);
+  p += 14;
+  n -= 14;
+
+  if (type == ethertype::kVlan) {
+    if (n < 4) return std::nullopt;
+    key.set_vlan_tci(rd16(p));
+    type = rd16(p + 2);
+    p += 4;
+    n -= 4;
+  }
+  key.set_eth_type(type);
+
+  if (type == ethertype::kArp) {
+    if (n < 28) return std::nullopt;
+    key.set_arp_op(rd16(p + 6));
+    key.set_nw_src(Ipv4(rd32(p + 14)));  // sender protocol address
+    key.set_nw_dst(Ipv4(rd32(p + 24)));  // target protocol address
+    return key;
+  }
+
+  uint8_t proto = 0;
+  if (type == ethertype::kIpv4) {
+    if (n < 20) return std::nullopt;
+    const unsigned ihl = (p[0] & 0x0f) * 4u;
+    if (ihl < 20 || n < ihl) return std::nullopt;
+    key.set_nw_tos(p[1]);
+    const uint16_t frag = rd16(p + 6);
+    if ((frag & 0x3fff) != 0) key.set(FieldId::kNwFrag, 1);
+    key.set_nw_ttl(p[8]);
+    proto = p[9];
+    key.set_nw_proto(proto);
+    key.set_nw_src(Ipv4(rd32(p + 12)));
+    key.set_nw_dst(Ipv4(rd32(p + 16)));
+    p += ihl;
+    n -= ihl;
+    // A non-first fragment has no L4 header.
+    if ((frag & 0x1fff) != 0) return key;
+  } else if (type == ethertype::kIpv6) {
+    if (n < 40) return std::nullopt;
+    key.set_nw_tos(static_cast<uint8_t>(((p[0] & 0x0f) << 4) | (p[1] >> 4)));
+    proto = p[6];
+    key.set_nw_proto(proto);
+    key.set_nw_ttl(p[7]);
+    key.set_ipv6_src(Ipv6(rd64(p + 8), rd64(p + 16)));
+    key.set_ipv6_dst(Ipv6(rd64(p + 24), rd64(p + 32)));
+    p += 40;
+    n -= 40;
+  } else {
+    return key;  // non-IP: L2-only key
+  }
+
+  switch (proto) {
+    case ipproto::kTcp:
+      if (n < 20) return std::nullopt;
+      key.set_tp_src(rd16(p));
+      key.set_tp_dst(rd16(p + 2));
+      key.set_tcp_flags(static_cast<uint16_t>(rd16(p + 12) & 0x0fff));
+      break;
+    case ipproto::kUdp:
+      if (n < 8) return std::nullopt;
+      key.set_tp_src(rd16(p));
+      key.set_tp_dst(rd16(p + 2));
+      break;
+    case ipproto::kIcmp:
+    case ipproto::kIcmpv6:
+      if (n < 4) return std::nullopt;
+      key.set_tp_src(p[0]);  // type
+      key.set_tp_dst(p[1]);  // code
+      break;
+    default:
+      break;
+  }
+  return key;
+}
+
+std::optional<Packet> parse_to_packet(std::span<const uint8_t> frame,
+                                      uint32_t in_port) {
+  auto key = parse_frame(frame, in_port);
+  if (!key) return std::nullopt;
+  Packet pkt;
+  pkt.key = *key;
+  pkt.size_bytes = static_cast<uint32_t>(frame.size());
+  return pkt;
+}
+
+RawFrame build_tcp_ipv4(const TcpParams& p) {
+  RawFrame f;
+  write_eth(f, p.eth_dst, p.eth_src, p.vlan, ethertype::kIpv4);
+  write_ipv4(f, p.ip_src, p.ip_dst, ipproto::kTcp, p.ttl, p.tos,
+             static_cast<uint16_t>(20 + p.payload_len));
+  wr16(f, p.sport);
+  wr16(f, p.dport);
+  wr32(f, 1);  // seq
+  wr32(f, 1);  // ack
+  wr16(f, static_cast<uint16_t>(0x5000 | (p.flags & 0x0fff)));
+  wr16(f, 65535);  // window
+  wr16(f, 0);      // checksum
+  wr16(f, 0);      // urgent
+  f.insert(f.end(), p.payload_len, 0xab);
+  return f;
+}
+
+RawFrame build_udp_ipv4(const UdpParams& p) {
+  RawFrame f;
+  write_eth(f, p.eth_dst, p.eth_src, p.vlan, ethertype::kIpv4);
+  write_ipv4(f, p.ip_src, p.ip_dst, ipproto::kUdp, p.ttl, 0,
+             static_cast<uint16_t>(8 + p.payload_len));
+  wr16(f, p.sport);
+  wr16(f, p.dport);
+  wr16(f, static_cast<uint16_t>(8 + p.payload_len));
+  wr16(f, 0);  // checksum
+  f.insert(f.end(), p.payload_len, 0xcd);
+  return f;
+}
+
+RawFrame build_icmp_ipv4(const IcmpParams& p) {
+  RawFrame f;
+  write_eth(f, p.eth_dst, p.eth_src, std::nullopt, ethertype::kIpv4);
+  write_ipv4(f, p.ip_src, p.ip_dst, ipproto::kIcmp, p.ttl, 0, 8);
+  f.push_back(p.type);
+  f.push_back(p.code);
+  wr16(f, 0);  // checksum
+  wr32(f, 0);  // rest of header
+  return f;
+}
+
+RawFrame build_arp(const ArpParams& p) {
+  RawFrame f;
+  write_eth(f, p.eth_dst, p.eth_src, std::nullopt, ethertype::kArp);
+  wr16(f, 1);  // htype ethernet
+  wr16(f, ethertype::kIpv4);
+  f.push_back(6);  // hlen
+  f.push_back(4);  // plen
+  wr16(f, p.op);
+  wr48(f, p.eth_src.bits());
+  wr32(f, p.spa.value());
+  wr48(f, p.op == 2 ? p.eth_dst.bits() : 0);
+  wr32(f, p.tpa.value());
+  return f;
+}
+
+RawFrame build_tcp_ipv6(const TcpV6Params& p) {
+  RawFrame f;
+  write_eth(f, p.eth_dst, p.eth_src, std::nullopt, ethertype::kIpv6);
+  wr32(f, 0x60000000);  // version 6, tc 0, flow label 0
+  wr16(f, 20);          // payload length (TCP header)
+  f.push_back(ipproto::kTcp);
+  f.push_back(p.hlim);
+  wr64(f, p.ip_src.hi());
+  wr64(f, p.ip_src.lo());
+  wr64(f, p.ip_dst.hi());
+  wr64(f, p.ip_dst.lo());
+  wr16(f, p.sport);
+  wr16(f, p.dport);
+  wr32(f, 1);
+  wr32(f, 1);
+  wr16(f, static_cast<uint16_t>(0x5000 | (p.flags & 0x0fff)));
+  wr16(f, 65535);
+  wr16(f, 0);
+  wr16(f, 0);
+  return f;
+}
+
+}  // namespace ovs

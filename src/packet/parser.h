@@ -1,0 +1,82 @@
+// Byte-level frame parsing and construction.
+//
+// A real datapath extracts the flow key from raw frames; we implement the
+// same extraction (Ethernet, 802.1Q, ARP, IPv4 with options, IPv6, TCP, UDP,
+// ICMP, ICMPv6) so that the flow-key model is grounded in actual packet
+// formats, and provide frame builders for tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "packet/packet.h"
+
+namespace ovs {
+
+using RawFrame = std::vector<uint8_t>;
+
+// Parses a frame into a flow key. Returns std::nullopt for frames too short
+// to contain the headers they advertise. `in_port` is recorded as metadata.
+std::optional<FlowKey> parse_frame(std::span<const uint8_t> frame,
+                                   uint32_t in_port);
+
+// Convenience: parse into a Packet (key + wire size).
+std::optional<Packet> parse_to_packet(std::span<const uint8_t> frame,
+                                      uint32_t in_port);
+
+// --- Frame builders ---------------------------------------------------------
+
+struct TcpParams {
+  EthAddr eth_src, eth_dst;
+  Ipv4 ip_src, ip_dst;
+  uint16_t sport = 0, dport = 0;
+  uint16_t flags = 0x10;  // ACK
+  uint8_t ttl = 64;
+  uint8_t tos = 0;
+  uint16_t payload_len = 0;
+  std::optional<uint16_t> vlan;  // 802.1Q VID if tagged
+};
+
+RawFrame build_tcp_ipv4(const TcpParams& p);
+
+struct UdpParams {
+  EthAddr eth_src, eth_dst;
+  Ipv4 ip_src, ip_dst;
+  uint16_t sport = 0, dport = 0;
+  uint8_t ttl = 64;
+  uint16_t payload_len = 0;
+  std::optional<uint16_t> vlan;
+};
+
+RawFrame build_udp_ipv4(const UdpParams& p);
+
+struct IcmpParams {
+  EthAddr eth_src, eth_dst;
+  Ipv4 ip_src, ip_dst;
+  uint8_t type = 8, code = 0;  // echo request
+  uint8_t ttl = 64;
+};
+
+RawFrame build_icmp_ipv4(const IcmpParams& p);
+
+struct ArpParams {
+  EthAddr eth_src, eth_dst = kEthBroadcast;
+  uint16_t op = 1;  // request
+  Ipv4 spa, tpa;
+};
+
+RawFrame build_arp(const ArpParams& p);
+
+struct TcpV6Params {
+  EthAddr eth_src, eth_dst;
+  Ipv6 ip_src, ip_dst;
+  uint16_t sport = 0, dport = 0;
+  uint16_t flags = 0x10;
+  uint8_t hlim = 64;
+};
+
+RawFrame build_tcp_ipv6(const TcpV6Params& p);
+
+}  // namespace ovs

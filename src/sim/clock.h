@@ -1,0 +1,26 @@
+// Virtual time. All timestamps in the library are nanoseconds of virtual
+// time so tests and benchmarks are deterministic and independent of host
+// speed.
+#pragma once
+
+#include <cstdint>
+
+namespace ovs {
+
+inline constexpr uint64_t kMicrosecond = 1000;
+inline constexpr uint64_t kMillisecond = 1000 * kMicrosecond;
+inline constexpr uint64_t kSecond = 1000 * kMillisecond;
+
+class VirtualClock {
+ public:
+  uint64_t now() const noexcept { return now_ns_; }
+  void advance(uint64_t ns) noexcept { now_ns_ += ns; }
+  void advance_to(uint64_t ns) noexcept {
+    if (ns > now_ns_) now_ns_ = ns;
+  }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+}  // namespace ovs

@@ -1,0 +1,207 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/clock.h"
+#include "util/stats.h"
+#include "vswitchd/switch.h"
+#include "workload/table_gen.h"
+
+namespace ovs {
+
+namespace {
+
+struct Connection {
+  size_t src_vm = 0;
+  size_t dst_vm = 0;
+  uint16_t sport = 0;
+  uint16_t dport = 0;
+  uint8_t proto = ipproto::kTcp;
+};
+
+class HypervisorSim {
+ public:
+  HypervisorSim(const FleetConfig& fleet, Rng& master, bool outlier)
+      : fleet_(fleet), rng_(master.next()), outlier_(outlier) {
+    SwitchConfig cfg;
+    cfg.classifier.icmp_port_trie_bug = outlier;
+    sw_ = std::make_unique<Switch>(cfg);
+
+    NvpConfig nvp;
+    nvp.n_tenants = 4;
+    nvp.vms_per_tenant = 4;
+    nvp.acl_tenant_fraction = outlier ? 1.0 : 0.5;
+    nvp.stateful_acl_tenants = true;
+    nvp.seed = rng_.next();
+    topo_ = install_nvp_pipeline(*sw_, nvp);
+    if (outlier_) {
+      // The §7.1 outlier recipe: ICMP-matching ACL flows that poison the
+      // port tries when the bug is present.
+      for (uint64_t t = 1; t <= nvp.n_tenants; ++t)
+        sw_->table(2).add_flow(
+            MatchBuilder().metadata(t).icmp().icmp_type(3).icmp_code(4), 30,
+            OfActions::drop());
+    }
+
+    double pps = rng_.lognormal(fleet.pps_log_mean, fleet.pps_log_sigma);
+    double conns =
+        rng_.lognormal(fleet.conns_log_mean, fleet.conns_log_sigma);
+    if (outlier_) {
+      pps *= fleet.outlier_pps_factor;
+      conns *= fleet.outlier_conns_factor;
+    }
+    base_pps_ = std::clamp(pps, 50.0, 120000.0);
+    n_conns_ = static_cast<size_t>(std::clamp(conns, 4.0, 40000.0));
+    churn_ = outlier_ ? fleet.outlier_churn : fleet.churn_per_second;
+
+    conns_.reserve(n_conns_);
+    for (size_t i = 0; i < n_conns_; ++i) conns_.push_back(new_connection());
+    zipf_ = std::make_unique<ZipfSampler>(n_conns_, 1.02);
+  }
+
+  FleetInterval run_interval(size_t hv, size_t idx) {
+    const double mult = rng_.lognormal(0, fleet_.interval_sigma);
+    const double pps = std::clamp(base_pps_ * mult, 20.0, 150000.0);
+    const double seconds = fleet_.sim_seconds_per_interval;
+
+    const auto dp0 = sw_->datapath().stats();
+    const double user0 = sw_->cpu().user_cycles;
+    const double kern0 = sw_->cpu().kernel_cycles;
+
+    const auto whole_seconds = static_cast<size_t>(std::ceil(seconds));
+    for (size_t s = 0; s < whole_seconds; ++s) {
+      const double frac =
+          std::min(1.0, seconds - static_cast<double>(s));
+      churn_connections(frac);
+      const auto npkts = static_cast<size_t>(pps * frac);
+      for (size_t i = 0; i < npkts; ++i) {
+        sw_->inject(pick_packet(), clock_.now());
+        clock_.advance(static_cast<uint64_t>(1e9 * frac /
+                                             std::max<size_t>(npkts, 1)));
+        if ((i & 63) == 63) sw_->handle_upcalls(clock_.now());
+      }
+      sw_->handle_upcalls(clock_.now());
+      sw_->run_maintenance(clock_.now());
+      // Housekeeping: stats polling over the flow table + daemon overhead.
+      sw_->cpu().user_cycles +=
+          frac * (fleet_.daemon_fixed_cycles_per_sec +
+                  fleet_.stats_poll_cycles_per_flow *
+                      static_cast<double>(sw_->datapath().flow_count()));
+      flow_samples_.add(static_cast<double>(sw_->datapath().flow_count()));
+    }
+
+    const auto dp1 = sw_->datapath().stats();
+    // Charge the end-to-end userspace cost of the interval's flow setups
+    // (see FleetConfig::flow_setup_user_cycles) before reading CPU deltas.
+    sw_->cpu().user_cycles += fleet_.flow_setup_user_cycles *
+                              static_cast<double>(dp1.misses - dp0.misses);
+    const uint64_t pkts = dp1.packets - dp0.packets;
+    const uint64_t hits = (dp1.microflow_hits - dp0.microflow_hits) +
+                          (dp1.megaflow_hits - dp0.megaflow_hits);
+    const uint64_t misses = dp1.misses - dp0.misses;
+
+    FleetInterval out;
+    out.hypervisor = hv;
+    out.interval = idx;
+    out.outlier = outlier_;
+    out.offered_pps = pps;
+    out.hit_rate = pkts == 0 ? 1.0
+                             : static_cast<double>(hits) /
+                                   static_cast<double>(pkts);
+    out.hit_pps = static_cast<double>(hits) / seconds;
+    out.miss_pps = static_cast<double>(misses) / seconds;
+    const CostModel& m = sw_->config().cost;
+    out.user_cpu_pct =
+        100.0 * m.seconds(sw_->cpu().user_cycles - user0) / seconds;
+    out.kernel_cpu_pct =
+        100.0 * m.seconds(sw_->cpu().kernel_cycles - kern0) / seconds;
+    out.flows = sw_->datapath().flow_count();
+    return out;
+  }
+
+  FleetHypervisor summary() const {
+    FleetHypervisor h;
+    h.outlier = outlier_;
+    h.flows_min = flow_samples_.min();
+    h.flows_mean = flow_samples_.mean();
+    h.flows_max = flow_samples_.max();
+    return h;
+  }
+
+ private:
+  Connection new_connection() {
+    Connection c;
+    c.src_vm = rng_.uniform(topo_.vms.size());
+    // Destination within the same tenant.
+    const uint64_t tenant = topo_.vms[c.src_vm].tenant;
+    for (int tries = 0; tries < 16; ++tries) {
+      c.dst_vm = rng_.uniform(topo_.vms.size());
+      if (c.dst_vm != c.src_vm && topo_.vms[c.dst_vm].tenant == tenant)
+        break;
+    }
+    if (topo_.vms[c.dst_vm].tenant != tenant || c.dst_vm == c.src_vm)
+      c.dst_vm = c.src_vm;  // degenerate but harmless
+    c.sport = static_cast<uint16_t>(rng_.range(32768, 60999));
+    static constexpr uint16_t kServices[] = {80, 443, 22, 3306, 8080, 53};
+    c.dport = kServices[rng_.uniform(6)];
+    c.proto = rng_.chance(0.96) ? ipproto::kTcp : ipproto::kUdp;
+    return c;
+  }
+
+  void churn_connections(double frac) {
+    const auto n = static_cast<size_t>(
+        churn_ * frac * static_cast<double>(conns_.size()));
+    for (size_t i = 0; i < n; ++i)
+      conns_[rng_.uniform(conns_.size())] = new_connection();
+  }
+
+  Packet pick_packet() {
+    const Connection& c = conns_[zipf_->sample(rng_)];
+    const NvpVm& a = topo_.vms[c.src_vm];
+    const NvpVm& b = topo_.vms[c.dst_vm];
+    const bool fwd = rng_.chance(0.55);
+    Packet p = fwd ? nvp_packet(a, b, c.sport, c.dport, c.proto)
+                   : nvp_packet(b, a, c.dport, c.sport, c.proto);
+    return p;
+  }
+
+  const FleetConfig& fleet_;
+  Rng rng_;
+  bool outlier_;
+  std::unique_ptr<Switch> sw_;
+  NvpTopology topo_;
+  std::unique_ptr<ZipfSampler> zipf_;
+  std::vector<Connection> conns_;
+  size_t n_conns_ = 0;
+  double base_pps_ = 0;
+  double churn_ = 0;
+  VirtualClock clock_;
+  Distribution flow_samples_;
+};
+
+}  // namespace
+
+FleetResults run_fleet(const FleetConfig& cfg) {
+  FleetResults results;
+  Rng master(cfg.seed);
+  // Deterministic outlier count (at least one when the fraction is
+  // non-zero), so the Figure 7 upper-right corner is always populated.
+  const size_t n_outliers =
+      cfg.outlier_fraction <= 0
+          ? 0
+          : std::max<size_t>(
+                1, static_cast<size_t>(cfg.outlier_fraction *
+                                       static_cast<double>(
+                                           cfg.n_hypervisors)));
+  for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
+    const bool outlier = hv < n_outliers;
+    HypervisorSim sim(cfg, master, outlier);
+    for (size_t i = 0; i < cfg.n_intervals; ++i)
+      results.intervals.push_back(sim.run_interval(hv, i));
+    results.hypervisors.push_back(sim.summary());
+  }
+  return results;
+}
+
+}  // namespace ovs

@@ -1,0 +1,81 @@
+// Fleet simulator: reproduces the production study of §7.1 (24 hours of
+// statistics from >1,000 hypervisors in a multi-tenant data center).
+//
+// Substitution (see DESIGN.md): we cannot observe Rackspace's fleet, so each
+// simulated hypervisor runs the real Switch with an NVP-style pipeline and a
+// tenant workload whose load parameters are drawn from heavy-tailed
+// (log-normal) distributions. Each 10-minute measurement interval is
+// compressed to a short contiguous window of representative traffic; rates
+// are reported per second of simulated traffic, so the figures' axes mean
+// the same thing as the paper's.
+//
+// A small fraction of hypervisors are "outliers": their classifier carries
+// the ICMP/port-trie bug of §7.1 and their tenants all have L4 + ICMP ACLs,
+// reproducing the upper-right corner of Figure 7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ovs {
+
+struct FleetConfig {
+  size_t n_hypervisors = 200;
+  size_t n_intervals = 12;            // measurement intervals per hypervisor
+  double sim_seconds_per_interval = 1.0;
+  uint64_t seed = 42;
+
+  // Heavy-tailed per-hypervisor load (log-normal parameters).
+  double pps_log_mean = 7.6;      // exp(7.6) ~ 2000 pps median
+  double pps_log_sigma = 1.6;     // 99th pct ~ 80 kpps (Figure 6)
+  double conns_log_mean = 4.8;    // exp(4.8) ~ 120 active connections
+  double conns_log_sigma = 1.3;   // 99th pct of max flows ~ few thousand
+  double interval_sigma = 0.5;    // per-interval load wobble
+  double churn_per_second = 0.35; // fraction of connections replaced / s
+
+  // Outliers (§7.1: six hypervisors with the prefix-tracking ICMP bug).
+  double outlier_fraction = 0.008;
+  double outlier_pps_factor = 10.0;
+  double outlier_conns_factor = 30.0;
+  double outlier_churn = 0.8;
+
+  // Userspace housekeeping charged per simulated second (stats polling once
+  // per second, §6, plus fixed daemon overhead).
+  double daemon_fixed_cycles_per_sec = 2.5e7;
+  double stats_poll_cycles_per_flow = 1500;
+  // End-to-end userspace CPU per flow setup (handler wakeup, batching
+  // inefficiency at low rates, revalidator churn). Calibrated to Figure 7's
+  // observed slope (~5% of a core at ~100 misses/s, >100% near 10k).
+  double flow_setup_user_cycles = 4e5;
+};
+
+struct FleetInterval {
+  size_t hypervisor = 0;
+  size_t interval = 0;
+  bool outlier = false;
+  double offered_pps = 0;
+  double hit_rate = 0;       // (EMC + megaflow hits) / packets
+  double hit_pps = 0;
+  double miss_pps = 0;       // flow setups entering userspace per second
+  double user_cpu_pct = 0;   // ovs-vswitchd equivalent, % of one core
+  double kernel_cpu_pct = 0;
+  uint64_t flows = 0;        // datapath flow count at interval end
+};
+
+struct FleetHypervisor {
+  bool outlier = false;
+  double flows_min = 0;
+  double flows_mean = 0;
+  double flows_max = 0;
+};
+
+struct FleetResults {
+  std::vector<FleetInterval> intervals;
+  std::vector<FleetHypervisor> hypervisors;
+};
+
+FleetResults run_fleet(const FleetConfig& cfg);
+
+}  // namespace ovs

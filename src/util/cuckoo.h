@@ -1,0 +1,262 @@
+// Optimistic concurrent cuckoo hash map (paper §4.1: "Drawing inspiration
+// from CuckooSwitch, we adopted optimistic concurrent cuckoo hashing and
+// RCU techniques to implement nonblocking multiple-reader, single-writer
+// flow tables").
+//
+// Semantics: one writer thread, any number of concurrent reader threads.
+// Readers never block and never take locks; they validate optimistically:
+//
+//   * slots hold atomic key/value words, so reads are never torn;
+//   * displacement ("kicking") and rehashing run under a seqlock version —
+//     readers that race a displacement retry, so a key that is present
+//     can never be missed because it was mid-flight between its two
+//     candidate buckets.
+//
+// Keys and values are 64-bit words; key 0 is reserved as the empty marker
+// (store hash(key) if your key space includes 0). This mirrors the kernel
+// flow table use-case: key = flow hash, value = pointer/index.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/hash.h"
+
+namespace ovs {
+
+class CuckooMap64 {
+ public:
+  static constexpr size_t kSlotsPerBucket = 4;
+  static constexpr uint64_t kEmpty = 0;
+
+  explicit CuckooMap64(size_t initial_capacity = 256) {
+    size_t buckets = 16;
+    while (buckets * kSlotsPerBucket < initial_capacity * 2) buckets *= 2;
+    n_slots_ = buckets * kSlotsPerBucket;
+    table_ = std::make_unique<Slot[]>(n_slots_);
+  }
+
+  // Non-copyable (atomics), non-movable while concurrent readers exist.
+  CuckooMap64(const CuckooMap64&) = delete;
+  CuckooMap64& operator=(const CuckooMap64&) = delete;
+
+  size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const noexcept { return n_slots_; }
+
+  // --- Reader side (any thread, lock-free) --------------------------------
+
+  bool find(uint64_t key, uint64_t* value_out) const noexcept {
+    if (key == kEmpty) return false;  // reserved sentinel
+    for (;;) {
+      const uint32_t v1 = version_.load(std::memory_order_acquire);
+      if (v1 & 1) continue;  // writer is displacing; spin briefly
+      if (find_once(key, value_out)) return true;
+      const uint32_t v2 = version_.load(std::memory_order_acquire);
+      if (v1 == v2) return false;  // stable miss
+      // A displacement raced us: the key may have been mid-move. Retry.
+    }
+  }
+
+  bool contains(uint64_t key) const noexcept {
+    uint64_t v;
+    return find(key, &v);
+  }
+
+  // --- Writer side (exactly one thread) ------------------------------------
+
+  // Inserts or updates. Returns false only if the table failed to grow
+  // (pathological; not expected in practice).
+  bool insert(uint64_t key, uint64_t value) {
+    if (key == kEmpty) return false;  // reserved sentinel
+    if (Slot* s = find_slot(key)) {
+      s->value.store(value, std::memory_order_release);
+      return true;
+    }
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (insert_fresh(key, value)) {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      grow();
+    }
+    return false;
+  }
+
+  bool erase(uint64_t key) noexcept {
+    if (key == kEmpty) return false;  // reserved sentinel
+    Slot* s = find_slot(key);
+    if (s == nullptr) return false;
+    // Clear the key first so readers stop matching, then the value.
+    s->key.store(kEmpty, std::memory_order_release);
+    s->value.store(0, std::memory_order_relaxed);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Writer-side iteration (not safe concurrently with the writer itself).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (size_t i = 0; i < n_slots_; ++i) {
+      const Slot& s = table_[i];
+      const uint64_t k = s.key.load(std::memory_order_relaxed);
+      if (k != kEmpty) f(k, s.value.load(std::memory_order_relaxed));
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> key{kEmpty};
+    std::atomic<uint64_t> value{0};
+  };
+
+  size_t n_buckets() const noexcept { return n_slots_ / kSlotsPerBucket; }
+  size_t bucket1(uint64_t key) const noexcept {
+    return hash_mix64(key) & (n_buckets() - 1);
+  }
+  size_t bucket2(uint64_t key) const noexcept {
+    return hash_mix64(key ^ 0x5bd1e995bd1e995ULL) & (n_buckets() - 1);
+  }
+
+  bool find_once(uint64_t key, uint64_t* value_out) const noexcept {
+    for (const size_t b : {bucket1(key), bucket2(key)}) {
+      for (size_t i = 0; i < kSlotsPerBucket; ++i) {
+        const Slot& s = table_[b * kSlotsPerBucket + i];
+        if (s.key.load(std::memory_order_acquire) != key) continue;
+        const uint64_t v = s.value.load(std::memory_order_acquire);
+        // Revalidate: the slot may have been erased/reused between loads.
+        if (s.key.load(std::memory_order_acquire) == key) {
+          *value_out = v;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  Slot* find_slot(uint64_t key) noexcept {
+    for (const size_t b : {bucket1(key), bucket2(key)}) {
+      for (size_t i = 0; i < kSlotsPerBucket; ++i) {
+        Slot& s = table_[b * kSlotsPerBucket + i];
+        if (s.key.load(std::memory_order_relaxed) == key) return &s;
+      }
+    }
+    return nullptr;
+  }
+
+  Slot* empty_slot(size_t bucket) noexcept {
+    for (size_t i = 0; i < kSlotsPerBucket; ++i) {
+      Slot& s = table_[bucket * kSlotsPerBucket + i];
+      if (s.key.load(std::memory_order_relaxed) == kEmpty) return &s;
+    }
+    return nullptr;
+  }
+
+  void place(Slot* s, uint64_t key, uint64_t value) noexcept {
+    // Value first, then key (release): a reader that sees the key sees a
+    // fully initialized value.
+    s->value.store(value, std::memory_order_relaxed);
+    s->key.store(key, std::memory_order_release);
+  }
+
+  bool insert_fresh(uint64_t key, uint64_t value) {
+    if (Slot* s = empty_slot(bucket1(key))) {
+      place(s, key, value);
+      return true;
+    }
+    if (Slot* s = empty_slot(bucket2(key))) {
+      place(s, key, value);
+      return true;
+    }
+    return kick_insert(key, value);
+  }
+
+  // Cuckoo displacement under the seqlock: evict a victim from one of the
+  // candidate buckets and relocate it, repeating up to a bounded depth.
+  bool kick_insert(uint64_t key, uint64_t value) {
+    version_.fetch_add(1, std::memory_order_acq_rel);  // odd: in flux
+    bool ok = false;
+    uint64_t cur_key = key, cur_value = value;
+    size_t bucket = bucket1(key);
+    for (int depth = 0; depth < 64; ++depth) {
+      if (Slot* s = empty_slot(bucket)) {
+        place(s, cur_key, cur_value);
+        ok = true;
+        break;
+      }
+      // Evict a pseudo-random victim from this bucket.
+      Slot& victim =
+          table_[bucket * kSlotsPerBucket +
+                 (hash_mix64(cur_key + depth) & (kSlotsPerBucket - 1))];
+      const uint64_t vk = victim.key.load(std::memory_order_relaxed);
+      const uint64_t vv = victim.value.load(std::memory_order_relaxed);
+      place(&victim, cur_key, cur_value);
+      cur_key = vk;
+      cur_value = vv;
+      // The victim goes to its *other* bucket.
+      bucket = bucket1(cur_key) == bucket ? bucket2(cur_key)
+                                          : bucket1(cur_key);
+    }
+    version_.fetch_add(1, std::memory_order_acq_rel);  // even: stable
+    if (!ok) {
+      // Kick path too long (a cuckoo cycle). The original key was placed
+      // at the start of the chain; only the final displaced straggler is
+      // homeless (it may BE the original key if the cycle wrapped). Grow
+      // and re-insert it.
+      grow();
+      return insert_fresh(cur_key, cur_value);
+    }
+    return true;
+  }
+
+  void grow() {
+    version_.fetch_add(1, std::memory_order_acq_rel);  // odd
+    const size_t old_slots = n_slots_;
+    std::unique_ptr<Slot[]> old = std::move(table_);
+    n_slots_ = old_slots * 2;
+    table_ = std::make_unique<Slot[]>(n_slots_);
+    for (size_t i = 0; i < old_slots; ++i) {
+      Slot& s = old[i];
+      const uint64_t k = s.key.load(std::memory_order_relaxed);
+      if (k == kEmpty) continue;
+      const uint64_t v = s.value.load(std::memory_order_relaxed);
+      // Place directly; the doubled table has room.
+      Slot* dst = empty_slot(bucket1(k));
+      if (dst == nullptr) dst = empty_slot(bucket2(k));
+      if (dst == nullptr) {
+        // Exceedingly unlikely double-collision: fall back to kicking
+        // (we are already under the seqlock).
+        uint64_t ck = k, cv = v;
+        size_t bucket = bucket1(ck);
+        for (int depth = 0; depth < 128; ++depth) {
+          if (Slot* s2 = empty_slot(bucket)) {
+            place(s2, ck, cv);
+            ck = kEmpty;
+            break;
+          }
+          Slot& victim = table_[bucket * kSlotsPerBucket +
+                                (hash_mix64(ck + depth) &
+                                 (kSlotsPerBucket - 1))];
+          const uint64_t vk = victim.key.load(std::memory_order_relaxed);
+          const uint64_t vv = victim.value.load(std::memory_order_relaxed);
+          place(&victim, ck, cv);
+          ck = vk;
+          cv = vv;
+          bucket = bucket1(ck) == bucket ? bucket2(ck) : bucket1(ck);
+        }
+      } else {
+        place(dst, k, v);
+      }
+    }
+    version_.fetch_add(1, std::memory_order_acq_rel);  // even
+  }
+
+  std::unique_ptr<Slot[]> table_;
+  size_t n_slots_ = 0;
+  std::atomic<uint32_t> version_{0};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace ovs

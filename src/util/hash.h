@@ -1,0 +1,51 @@
+// 64-bit hashing primitives used throughout the classifier and caches.
+//
+// The classifier needs (a) a strong word-at-a-time mixer so tuple-space hash
+// tables behave uniformly under adversarial-looking inputs (sequential IPs,
+// ports), and (b) *incremental* hashing: staged lookup (paper §5.3) computes
+// the hash of stage k by extending the hash of stage k-1 rather than
+// re-hashing from scratch ("hashes could be computed incrementally from one
+// stage to the next").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ovs {
+
+// SplitMix64 finalizer: a full-avalanche bijective mixer.
+constexpr uint64_t hash_mix64(uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Extends running hash `basis` with one 64-bit word.
+constexpr uint64_t hash_add64(uint64_t basis, uint64_t word) noexcept {
+  return hash_mix64(basis ^ (word * 0xff51afd7ed558ccdULL));
+}
+
+// Hashes `n` words starting at `words`, extending `basis`. This is the
+// incremental primitive: hash_words(w, 0, k2, b) ==
+// hash_words(w + k1, 0, k2 - k1, hash_words(w, 0, k1, b)).
+constexpr uint64_t hash_words(const uint64_t* words, size_t n,
+                              uint64_t basis = 0) noexcept {
+  uint64_t h = basis;
+  for (size_t i = 0; i < n; ++i) h = hash_add64(h, words[i]);
+  return h;
+}
+
+// Byte-string hash for identifiers and tests (FNV-1a then mixed).
+constexpr uint64_t hash_bytes(const void* data, size_t n,
+                              uint64_t basis = 0) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ basis;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return hash_mix64(h);
+}
+
+}  // namespace ovs

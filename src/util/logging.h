@@ -1,0 +1,35 @@
+// Minimal leveled logging. The library is silent by default; examples and
+// the daemon raise the level to narrate interesting events.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace ovs {
+
+enum class LogLevel : int { kNone = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Logger {
+ public:
+  static LogLevel& level() noexcept {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  template <typename... Args>
+  static void log(LogLevel lvl, const char* tag, const char* fmt,
+                  Args&&... args) {
+    if (static_cast<int>(lvl) > static_cast<int>(level())) return;
+    std::fprintf(stderr, "[%s] ", tag);
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-vararg): thin printf shim.
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::fputc('\n', stderr);
+  }
+};
+
+#define OVS_WARN(...) ::ovs::Logger::log(::ovs::LogLevel::kWarn, "warn", __VA_ARGS__)
+#define OVS_INFO(...) ::ovs::Logger::log(::ovs::LogLevel::kInfo, "info", __VA_ARGS__)
+#define OVS_DEBUG(...) ::ovs::Logger::log(::ovs::LogLevel::kDebug, "debug", __VA_ARGS__)
+
+}  // namespace ovs

@@ -1,0 +1,129 @@
+#include "util/prefix_trie.h"
+
+#include <cassert>
+
+namespace ovs {
+
+void PrefixTrie::insert(const PrefixBits& p) {
+  ++n_prefixes_;
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    root_->bits = p;
+    root_->n_rules = 1;
+    return;
+  }
+  std::unique_ptr<Node>* cur = &root_;
+  unsigned i = 0;  // bits of p consumed so far
+  for (;;) {
+    Node& n = **cur;
+    const unsigned want = p.size() - i;
+    const unsigned m = n.bits.size() < want ? n.bits.size() : want;
+    const unsigned d = n.bits.common_prefix(p, i, m);
+    if (d < n.bits.size()) {
+      // Split n after d bits: a new interior node takes the shared prefix
+      // and the old node keeps its tail as a child.
+      auto split = std::make_unique<Node>();
+      split->bits = n.bits.prefix(d);
+      std::unique_ptr<Node> old = std::move(*cur);
+      old->bits = old->bits.suffix(d);
+      split->child[old->bits.bit(0)] = std::move(old);
+      if (i + d == p.size()) {
+        // The inserted prefix ends exactly at the split point.
+        split->n_rules = 1;
+      } else {
+        auto leaf = std::make_unique<Node>();
+        leaf->bits = p.suffix(i + d);
+        leaf->n_rules = 1;
+        split->child[leaf->bits.bit(0)] = std::move(leaf);
+      }
+      *cur = std::move(split);
+      return;
+    }
+    // Fully matched this node's bits.
+    i += d;
+    if (i == p.size()) {
+      ++n.n_rules;
+      return;
+    }
+    const bool b = p.bit(i);
+    if (!n.child[b]) {
+      auto leaf = std::make_unique<Node>();
+      leaf->bits = p.suffix(i);
+      leaf->n_rules = 1;
+      n.child[b] = std::move(leaf);
+      return;
+    }
+    cur = &n.child[b];
+  }
+}
+
+void PrefixTrie::maybe_collapse(std::unique_ptr<Node>& node) {
+  Node& n = *node;
+  if (n.n_rules > 0) return;
+  if (!n.child[0] && !n.child[1]) {
+    node.reset();
+    return;
+  }
+  if (n.child[0] && n.child[1]) return;  // interior branch point: keep
+  // Exactly one child: merge it into this node.
+  std::unique_ptr<Node> child = std::move(n.child[0] ? n.child[0] : n.child[1]);
+  PrefixBits merged = n.bits;
+  merged.append(child->bits);
+  child->bits = merged;
+  node = std::move(child);
+}
+
+bool PrefixTrie::remove_rec(std::unique_ptr<Node>& node, const PrefixBits& p,
+                            unsigned i) {
+  if (!node) return false;
+  Node& n = *node;
+  const unsigned want = p.size() - i;
+  if (n.bits.size() > want) return false;
+  if (n.bits.common_prefix(p, i, n.bits.size()) != n.bits.size()) return false;
+  i += n.bits.size();
+  if (i == p.size()) {
+    if (n.n_rules == 0) return false;
+    --n.n_rules;
+    maybe_collapse(node);
+    return true;
+  }
+  if (!remove_rec(n.child[p.bit(i)], p, i)) return false;
+  maybe_collapse(node);
+  return true;
+}
+
+bool PrefixTrie::remove(const PrefixBits& p) {
+  if (!remove_rec(root_, p, 0)) return false;
+  --n_prefixes_;
+  return true;
+}
+
+PrefixTrie::LookupResult PrefixTrie::lookup(
+    const PrefixBits& value) const noexcept {
+  // Direct translation of Figure 3 TRIESEARCH, with plens indexed by prefix
+  // *length* (plens[L] corresponds to the paper's plens[L-1]).
+  LookupResult r;
+  const Node* node = root_.get();
+  const Node* prev = nullptr;
+  unsigned i = 0;
+  while (node != nullptr) {
+    for (unsigned c = 0; c < node->bits.size(); ++c, ++i) {
+      if (value.bit(i) != node->bits.bit(c)) {
+        r.nbits = i + 1;
+        return r;
+      }
+    }
+    if (node->n_rules > 0) r.plens.set(i);
+    if (i >= value.size()) {
+      r.nbits = i;
+      return r;
+    }
+    prev = node;
+    node = node->child[value.bit(i)].get();
+  }
+  if (prev != nullptr && prev->has_child()) ++i;
+  r.nbits = i;
+  return r;
+}
+
+}  // namespace ovs

@@ -1,0 +1,154 @@
+// Prefix tracking trie (paper §5.4, Figure 3).
+//
+// The classifier keeps one PrefixTrie per prefix-trackable field (IPv4/IPv6
+// source/destination address, and optionally the L4 ports). The trie holds
+// every prefix that any classifier rule matches on that field, with a count
+// of rules per prefix. A single lookup per packet returns
+//
+//   * nbits  — how many leading bits of the field the generated megaflow must
+//              match so that the set of matching prefixes is rendered unique
+//              ("the number of bits ... to render its matching node unique"),
+//   * plens  — a bit-set over prefix lengths; length L is set iff some rule
+//              with an L-bit prefix lies on the packet's trie path. Tuples
+//              whose mask uses an unset length cannot match and are skipped.
+//
+// Nodes are path-compressed: node.bits holds the whole (possibly multi-bit)
+// edge label, exactly as in the paper's pseudocode.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <memory>
+
+namespace ovs {
+
+// A big-endian bit string of up to 128 bits (bit 0 is the most significant
+// bit of the value). Wide enough for IPv6 addresses.
+class PrefixBits {
+ public:
+  static constexpr unsigned kMaxBits = 128;
+
+  constexpr PrefixBits() noexcept = default;
+  constexpr PrefixBits(uint64_t hi, uint64_t lo, unsigned len) noexcept
+      : w_{hi, lo}, len_(len) {}
+
+  static constexpr PrefixBits from_u32(uint32_t v, unsigned len = 32) noexcept {
+    return PrefixBits(static_cast<uint64_t>(v) << 32, 0, len);
+  }
+  static constexpr PrefixBits from_u16(uint16_t v, unsigned len = 16) noexcept {
+    return PrefixBits(static_cast<uint64_t>(v) << 48, 0, len);
+  }
+  static constexpr PrefixBits from_u128(uint64_t hi, uint64_t lo,
+                                        unsigned len = 128) noexcept {
+    return PrefixBits(hi, lo, len);
+  }
+
+  constexpr unsigned size() const noexcept { return len_; }
+  constexpr bool empty() const noexcept { return len_ == 0; }
+
+  constexpr bool bit(unsigned i) const noexcept {
+    return ((w_[i >> 6] >> (63 - (i & 63))) & 1) != 0;
+  }
+
+  // First `n` bits of this string.
+  PrefixBits prefix(unsigned n) const noexcept {
+    PrefixBits r = *this;
+    r.len_ = n;
+    r.clear_tail();
+    return r;
+  }
+
+  // Bits [from, size()).
+  PrefixBits suffix(unsigned from) const noexcept {
+    PrefixBits r;
+    r.len_ = len_ - from;
+    for (unsigned i = 0; i < r.len_; ++i) r.set_bit(i, bit(from + i));
+    return r;
+  }
+
+  // Appends `other` to this string.
+  void append(const PrefixBits& other) noexcept {
+    for (unsigned i = 0; i < other.len_; ++i) set_bit(len_ + i, other.bit(i));
+    len_ += other.len_;
+  }
+
+  // Length of the longest common prefix with `other` starting at our bit 0
+  // and `other`'s bit `off`, limited to `max` bits.
+  unsigned common_prefix(const PrefixBits& other, unsigned off,
+                         unsigned max) const noexcept {
+    unsigned n = 0;
+    while (n < max && bit(n) == other.bit(off + n)) ++n;
+    return n;
+  }
+
+  bool operator==(const PrefixBits& o) const noexcept {
+    return len_ == o.len_ && w_ == o.w_;
+  }
+
+  uint64_t hi() const noexcept { return w_[0]; }
+  uint64_t lo() const noexcept { return w_[1]; }
+
+ private:
+  void set_bit(unsigned i, bool v) noexcept {
+    uint64_t m = 1ULL << (63 - (i & 63));
+    if (v)
+      w_[i >> 6] |= m;
+    else
+      w_[i >> 6] &= ~m;
+  }
+  void clear_tail() noexcept {  // zero bits at positions >= len_
+    for (unsigned i = len_; i < kMaxBits; ++i) set_bit(i, false);
+  }
+
+  std::array<uint64_t, 2> w_{};
+  unsigned len_ = 0;
+};
+
+class PrefixTrie {
+ public:
+  struct LookupResult {
+    unsigned nbits = 0;  // leading bits the megaflow must match
+    std::bitset<PrefixBits::kMaxBits + 1> plens;  // plens[L]: length L viable
+  };
+
+  PrefixTrie() = default;
+
+  // Non-copyable (owns a node tree), movable.
+  PrefixTrie(const PrefixTrie&) = delete;
+  PrefixTrie& operator=(const PrefixTrie&) = delete;
+  PrefixTrie(PrefixTrie&&) = default;
+  PrefixTrie& operator=(PrefixTrie&&) = default;
+
+  bool empty() const noexcept { return n_prefixes_ == 0; }
+  size_t prefix_count() const noexcept { return n_prefixes_; }
+
+  // Adds one rule with the given prefix (duplicates are reference-counted).
+  void insert(const PrefixBits& p);
+
+  // Removes one rule with the given prefix. Returns false if absent.
+  bool remove(const PrefixBits& p);
+
+  // Figure 3 TRIESEARCH. `value` must be a full-width field value (e.g.
+  // 32 bits for IPv4). Returns how many leading bits render the match unique
+  // and which prefix lengths remain viable for this packet.
+  LookupResult lookup(const PrefixBits& value) const noexcept;
+
+ private:
+  struct Node {
+    PrefixBits bits;
+    uint32_t n_rules = 0;
+    std::unique_ptr<Node> child[2];
+
+    bool has_child() const noexcept { return child[0] || child[1]; }
+  };
+
+  static bool remove_rec(std::unique_ptr<Node>& node, const PrefixBits& p,
+                         unsigned i);
+  static void maybe_collapse(std::unique_ptr<Node>& node);
+
+  std::unique_ptr<Node> root_;
+  size_t n_prefixes_ = 0;
+};
+
+}  // namespace ovs

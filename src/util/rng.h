@@ -1,0 +1,110 @@
+// Deterministic random number generation for workloads and property tests.
+//
+// All randomness in the repository flows through these generators so that
+// every test, example, and benchmark is reproducible from a single seed.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace ovs {
+
+// xoshiro256** seeded via SplitMix64. Small, fast, and high quality; good
+// enough for synthetic traffic generation and shuffles (not cryptography).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) noexcept {
+    uint64_t x = seed;
+    for (auto& w : s_) w = hash_mix64(x++);
+  }
+
+  uint64_t next() noexcept {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 yields 0.
+  uint64_t uniform(uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Lemire's multiply-shift rejection-free approximation is fine here; the
+    // slight bias for huge bounds is irrelevant for traffic synthesis.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) noexcept {
+    return lo + uniform(hi - lo + 1);
+  }
+
+  double uniform_double() noexcept {  // [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) noexcept { return uniform_double() < p; }
+
+  // Log-normal variate: exp(N(mu, sigma)). Used by the fleet simulator for
+  // heavy-tailed per-hypervisor traffic parameters (paper §7.1).
+  double lognormal(double mu, double sigma) noexcept {
+    // Box-Muller.
+    double u1 = uniform_double();
+    double u2 = uniform_double();
+    if (u1 <= 0) u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.141592653589793 * u2);
+    return std::exp(mu + sigma * z);
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<uint64_t, 4> s_{};
+};
+
+// Zipf(s) sampler over {0, ..., n-1} using a precomputed CDF. Traffic flow
+// popularity is famously Zipfian (paper §8.4 cites Sarrar et al.), so tenant
+// workloads draw destination flows from this.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  size_t sample(Rng& rng) const noexcept {
+    double u = rng.uniform_double();
+    // Binary search for the first CDF entry >= u.
+    size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+  size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ovs

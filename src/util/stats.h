@@ -1,0 +1,82 @@
+// Small statistics helpers: percentiles and CDF extraction, used by the
+// production-fleet benchmarks (paper Figures 4-7) and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ovs {
+
+// Accumulates samples; answers percentile and CDF queries.
+class Distribution {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const noexcept { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0;
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double min() const { return percentile(0); }
+  double max() const { return percentile(100); }
+
+  // p in [0, 100]; nearest-rank with linear interpolation.
+  double percentile(double p) const {
+    if (samples_.empty()) return 0;
+    sort();
+    const double rank =
+        (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  // Fraction of samples <= x.
+  double cdf(double x) const {
+    if (samples_.empty()) return 0;
+    sort();
+    auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  // Evenly spaced CDF points (x, F(x)) suitable for printing a figure series.
+  std::vector<std::pair<double, double>> cdf_points(size_t n_points) const {
+    std::vector<std::pair<double, double>> pts;
+    if (samples_.empty() || n_points == 0) return pts;
+    sort();
+    for (size_t i = 0; i < n_points; ++i) {
+      const double q = 100.0 * static_cast<double>(i) /
+                       static_cast<double>(n_points - 1 ? n_points - 1 : 1);
+      pts.emplace_back(percentile(q), q / 100.0);
+    }
+    return pts;
+  }
+
+  const std::vector<double>& samples() const {
+    sort();
+    return samples_;
+  }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace ovs

@@ -1,0 +1,52 @@
+#include "vswitchd/config.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ovs {
+
+std::string save_switch_config(const Switch& sw) {
+  std::ostringstream os;
+  os << "# vswitch configuration\n";
+  // Const access to ports via the pipeline.
+  std::vector<uint32_t> ports =
+      const_cast<Switch&>(sw).pipeline().ports();
+  std::sort(ports.begin(), ports.end());
+  for (uint32_t p : ports) os << "port " << p << "\n";
+  for (const std::string& f : sw.dump_flows()) os << "flow " << f << "\n";
+  return os.str();
+}
+
+std::string load_switch_config(Switch& sw, const std::string& text,
+                               uint64_t now_ns) {
+  std::istringstream is(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Trim leading whitespace.
+    const size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    line = line.substr(b);
+    if (line.empty() || line[0] == '#') continue;
+
+    const auto err = [&](const std::string& msg) {
+      return "line " + std::to_string(lineno) + ": " + msg;
+    };
+    if (line.rfind("port ", 0) == 0) {
+      try {
+        sw.add_port(static_cast<uint32_t>(std::stoul(line.substr(5))));
+      } catch (...) {
+        return err("bad port '" + line + "'");
+      }
+    } else if (line.rfind("flow ", 0) == 0) {
+      const std::string e = sw.add_flow(line.substr(5), now_ns);
+      if (!e.empty()) return err(e);
+    } else {
+      return err("unknown directive '" + line + "'");
+    }
+  }
+  return "";
+}
+
+}  // namespace ovs

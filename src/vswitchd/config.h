@@ -1,0 +1,28 @@
+// Durable switch configuration: save/restore of ports and OpenFlow tables
+// as text. The paper's OVSDB (§3.3: "the configuration database contains
+// more durable state") is substituted by this minimal line format:
+//
+//   # comments and blank lines ignored
+//   port 1
+//   port 2
+//   flow table=0, priority=10, tcp, actions=output:2
+//
+// Flows use the ofproto/flow_parser.h syntax, so a saved configuration is
+// also human-editable.
+#pragma once
+
+#include <string>
+
+#include "vswitchd/switch.h"
+
+namespace ovs {
+
+// Serializes the switch's ports and flows.
+std::string save_switch_config(const Switch& sw);
+
+// Applies a saved configuration to a (typically fresh) switch. Returns ""
+// on success, or "line N: <error>" for the first bad line.
+std::string load_switch_config(Switch& sw, const std::string& text,
+                               uint64_t now_ns = 0);
+
+}  // namespace ovs

@@ -1,0 +1,282 @@
+#include "vswitchd/switch.h"
+
+#include <algorithm>
+
+#include "ofproto/flow_parser.h"
+
+namespace ovs {
+
+Switch::Switch(SwitchConfig cfg)
+    : cfg_(cfg),
+      pipeline_(cfg.n_tables, cfg.classifier),
+      dp_(cfg.datapath),
+      effective_limit_(cfg.flow_limit) {}
+
+void Switch::add_port(uint32_t port) { pipeline_.add_port(port); }
+void Switch::remove_port(uint32_t port) { pipeline_.remove_port(port); }
+
+std::string Switch::add_flow(const std::string& text, uint64_t now_ns) {
+  FlowParseResult res = parse_flow(text);
+  if (!res.ok) return res.error;
+  if (res.flow.table >= pipeline_.n_tables())
+    return "table " + std::to_string(res.flow.table) + " out of range";
+  pipeline_.table(res.flow.table)
+      .add_flow(res.flow.match, res.flow.priority, res.flow.actions,
+                res.flow.cookie, res.flow.timeouts, now_ns);
+  return "";
+}
+
+std::string Switch::del_flows(const std::string& text, size_t* n_deleted) {
+  const std::string spec =
+      text.empty() ? "actions=drop" : text + ", actions=drop";
+  FlowParseResult res = parse_flow(spec);
+  if (!res.ok) return res.error;
+  size_t n = 0;
+  if (res.flow.has_table) {
+    if (res.flow.table >= pipeline_.n_tables())
+      return "table " + std::to_string(res.flow.table) + " out of range";
+    n = pipeline_.table(res.flow.table).delete_where(res.flow.match);
+  } else {
+    for (size_t t = 0; t < pipeline_.n_tables(); ++t)
+      n += pipeline_.table(t).delete_where(res.flow.match);
+  }
+  if (n_deleted != nullptr) *n_deleted = n;
+  return "";
+}
+
+std::vector<std::string> Switch::dump_flows() const {
+  std::vector<std::string> out;
+  for (size_t t = 0; t < pipeline_.n_tables(); ++t) {
+    pipeline_.table(t).for_each([&](const OfRule* r) {
+      out.push_back(
+          format_flow(t, r->priority(), r->match(), r->actions()));
+    });
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Switch::execute_actions(const DpActions& actions, const Packet& pkt) {
+  Packet out = pkt;
+  for (const DpAction& a : actions.list) {
+    if (const auto* o = std::get_if<OutputAction>(&a)) {
+      ++counters_.tx_packets;
+      counters_.tx_bytes += out.size_bytes;
+      PortStats& ps = port_stats_[o->port];
+      ++ps.tx_packets;
+      ps.tx_bytes += out.size_bytes;
+      if (output_) output_(o->port, out);
+    } else if (const auto* sf = std::get_if<SetFieldAction>(&a)) {
+      out.key.set(sf->field, sf->value);
+    } else if (const auto* t = std::get_if<TunnelAction>(&a)) {
+      out.key.set_tun_id(t->tun_id);
+      ++counters_.tx_packets;
+      counters_.tx_bytes += out.size_bytes;
+      PortStats& ps = port_stats_[t->port];
+      ++ps.tx_packets;
+      ps.tx_bytes += out.size_bytes;
+      if (output_) output_(t->port, out);
+    } else if (std::get_if<UserspaceAction>(&a)) {
+      ++counters_.to_controller;
+    }
+  }
+}
+
+Datapath::Path Switch::inject(const Packet& pkt, uint64_t now_ns) {
+  const Datapath::RxResult rx = dp_.receive(pkt, now_ns);
+
+  // Kernel-side cycle accounting.
+  const CostModel& m = cfg_.cost;
+  double cycles = m.per_packet;
+  if (dp_.config().microflow_enabled) cycles += m.microflow_probe;
+  switch (rx.path) {
+    case Datapath::Path::kMicroflowHit:
+      break;
+    case Datapath::Path::kMegaflowHit:
+      cycles += m.per_tuple * rx.tuples_searched;
+      break;
+    case Datapath::Path::kMiss:
+      cycles += m.per_tuple * rx.tuples_searched + m.miss_kernel;
+      break;
+  }
+  cpu_.kernel_cycles += cycles;
+
+  if (rx.actions != nullptr) execute_actions(*rx.actions, pkt);
+  return rx.path;
+}
+
+void Switch::install_from_xlate(const XlateResult& xr, const Packet& pkt,
+                                uint64_t now_ns) {
+  Match match;
+  if (cfg_.megaflows_enabled) {
+    match = xr.megaflow;
+  } else {
+    // "Megaflows disabled" mode (§7.2, Table 1): cache exact-match
+    // microflow entries, one per transport connection.
+    for (size_t i = 0; i < kFlowWords; ++i) match.mask.w[i] = ~uint64_t{0};
+    match.key = pkt.key;
+  }
+  const size_t before = dp_.flow_count();
+  MegaflowEntry* e = dp_.install(match, xr.actions, now_ns);
+  e->tags = xr.tags;
+  if (dp_.flow_count() > before) {
+    ++counters_.flow_setups;
+    Attribution& at = attribution_[e];
+    at.rules = xr.matched_rules;
+    at.captured_gen = pipeline_.generation();
+  } else {
+    ++counters_.setup_dups;
+  }
+  // The miss packet is forwarded by userspace on the flow's behalf; it
+  // counts toward the flow's statistics like any other packet.
+  dp_.credit_packet(e, pkt, now_ns);
+}
+
+size_t Switch::handle_upcalls(uint64_t now_ns) {
+  const CostModel& m = cfg_.cost;
+  size_t handled = 0;
+  for (;;) {
+    const size_t batch_size = cfg_.batching ? cfg_.upcall_batch : 1;
+    std::vector<Packet> batch = dp_.take_upcalls(batch_size);
+    if (batch.empty()) break;
+    // One kernel/user crossing per batch; batching amortizes it (§4.1).
+    cpu_.user_cycles += m.upcall_syscall;
+    for (const Packet& pkt : batch) {
+      XlateResult xr = pipeline_.translate(pkt.key, now_ns);
+      cpu_.user_cycles +=
+          m.upcall_fixed + m.per_table_lookup * xr.table_lookups;
+      if (xr.error) ++counters_.xlate_errors;
+      install_from_xlate(xr, pkt, now_ns);
+      // The queued packet itself is now forwarded.
+      execute_actions(xr.actions, pkt);
+      ++handled;
+    }
+  }
+  return handled;
+}
+
+void Switch::revalidate(uint64_t now_ns) {
+  const CostModel& m = cfg_.cost;
+  ++counters_.reval_runs;
+
+  // Dynamic flow limit (§6): "the actual maximum is dynamically adjusted to
+  // ensure that total revalidation time stays under 1 second".
+  if (cfg_.dynamic_flow_limit) {
+    const double reval_capacity =
+        (static_cast<double>(cfg_.max_revalidation_ns) / 1e9) *
+        (m.ghz * 1e9) / m.reval_per_flow;
+    effective_limit_ = std::min(cfg_.flow_limit,
+                                static_cast<size_t>(reval_capacity));
+  } else {
+    effective_limit_ = cfg_.flow_limit;
+  }
+
+  const bool over_limit = dp_.flow_count() > effective_limit_;
+  // Above the maximum size, drop the idle time to force the table to
+  // shrink (§6).
+  const uint64_t idle_ns =
+      over_limit ? cfg_.overflow_idle_timeout_ns : cfg_.idle_timeout_ns;
+
+  const uint64_t gen = pipeline_.generation();
+  const bool maybe_stale = gen != pipeline_gen_at_last_reval_;
+  const uint64_t changed_tags = pipeline_.mac_learning().take_changed_tags();
+
+  std::vector<MegaflowEntry*> flows = dp_.dump();
+  for (MegaflowEntry* e : flows) {
+    ++counters_.reval_flows_examined;
+    cpu_.user_cycles += m.reval_per_flow;
+    if (now_ns - e->used_ns() > idle_ns) {
+      push_flow_stats(e, now_ns);  // final stats (validated internally)
+      attribution_.erase(e);
+      dp_.remove(e);
+      ++counters_.reval_deleted_idle;
+      continue;
+    }
+    if (!maybe_stale) {
+      push_flow_stats(e, now_ns);
+      continue;
+    }
+    if (cfg_.reval_mode == RevalidationMode::kTags &&
+        (e->tags & changed_tags) == 0) {
+      // Tag-based invalidation (historical, §6): untouched tags mean the
+      // flow cannot have changed — modulo Bloom-filter false negatives
+      // being impossible and false positives being extra work only.
+      // (No stats push: the attribution pointers were not revalidated.)
+      ++counters_.reval_skipped_by_tags;
+      continue;
+    }
+    // Re-translate the flow's key through the current tables and compare.
+    XlateResult xr =
+        pipeline_.translate(e->match().key, now_ns, /*side_effects=*/false);
+    cpu_.user_cycles += m.per_table_lookup * xr.table_lookups;
+    if (xr.actions == e->actions()) {
+      // Refresh the attribution (rule pointers may have been replaced) and
+      // push pending stats against the CURRENT rules.
+      Attribution& at = attribution_[e];
+      at.rules = std::move(xr.matched_rules);
+      at.captured_gen = pipeline_.generation();
+      push_flow_stats(e, now_ns);
+      continue;
+    }
+    if (xr.megaflow.mask == e->match().mask) {
+      dp_.update_actions(e, xr.actions);
+      Attribution& at = attribution_[e];
+      at.rules = std::move(xr.matched_rules);
+      at.captured_gen = pipeline_.generation();
+      push_flow_stats(e, now_ns);
+      ++counters_.reval_updated_actions;
+    } else {
+      attribution_.erase(e);
+      dp_.remove(e);  // shape changed: let traffic re-establish it
+      ++counters_.reval_deleted_stale;
+    }
+  }
+  pipeline_gen_at_last_reval_ = gen;
+
+  // Hard eviction if still above the limit: oldest-used first, like
+  // userspace "must be able to delete flows ... as quickly as it can
+  // install new flows" (§6).
+  if (dp_.flow_count() > effective_limit_) {
+    std::vector<MegaflowEntry*> live = dp_.dump();
+    std::sort(live.begin(), live.end(),
+              [](const MegaflowEntry* a, const MegaflowEntry* b) {
+                return a->used_ns() < b->used_ns();
+              });
+    size_t excess = dp_.flow_count() - effective_limit_;
+    for (size_t i = 0; i < excess; ++i) {
+      attribution_.erase(live[i]);
+      dp_.remove(live[i]);
+      ++counters_.evicted_flow_limit;
+    }
+  }
+
+  dp_.purge_dead();  // grace period
+}
+
+void Switch::push_flow_stats(MegaflowEntry* e, uint64_t now_ns) {
+  auto it = attribution_.find(e);
+  if (it == attribution_.end()) return;
+  Attribution& at = it->second;
+  // Rule pointers are only safe while no flow-table change happened since
+  // capture (any change bumps the pipeline generation).
+  if (at.captured_gen != pipeline_.generation()) return;
+  const uint64_t dp_pkts = e->packets();
+  const uint64_t dp_bytes = e->bytes();
+  if (dp_pkts == at.pushed_packets) return;
+  const uint64_t dpkts = dp_pkts - at.pushed_packets;
+  const uint64_t dbytes = dp_bytes - at.pushed_bytes;
+  for (const OfRule* r : at.rules) r->add_stats(dpkts, dbytes, now_ns);
+  at.pushed_packets = dp_pkts;
+  at.pushed_bytes = dp_bytes;
+}
+
+void Switch::run_maintenance(uint64_t now_ns) {
+  pipeline_.mac_learning().expire(now_ns);
+  revalidate(now_ns);
+  // OpenFlow idle/hard flow expiry uses the statistics refreshed above
+  // (§6); expirations bump the pipeline generation, so the next
+  // revalidation round converges the cache.
+  pipeline_.expire_flows(now_ns);
+}
+
+}  // namespace ovs

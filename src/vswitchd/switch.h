@@ -1,0 +1,182 @@
+// The top-level switch: the public API a downstream user programs against.
+//
+// A Switch owns a userspace pipeline (OpenFlow tables, MAC learning,
+// conntrack), a simulated kernel datapath (megaflow + microflow caches), and
+// the daemon machinery connecting them:
+//
+//   * upcall handling — datapath misses are translated through the pipeline
+//     and the resulting megaflow is installed (§3.1, §4.2);
+//   * revalidation — installed flows are periodically dumped, re-translated
+//     and compared; idle flows are evicted; the flow limit is enforced and
+//     dynamically adjusted so revalidation stays under a deadline (§6);
+//   * CPU accounting — every operation charges virtual cycles split into
+//     kernel/user pools (see sim/cost_model.h).
+//
+// Typical driving loop (see examples/quickstart.cc):
+//
+//   Switch sw(cfg);
+//   sw.add_port(1); sw.add_port(2);
+//   sw.table(0).add_flow(MatchBuilder().in_port(1), 10,
+//                        OfActions().output(2));
+//   sw.inject(pkt, clock.now());
+//   sw.handle_upcalls(clock.now());
+//   ... every second: sw.run_maintenance(clock.now());
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "datapath/datapath.h"
+#include "ofproto/pipeline.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+
+namespace ovs {
+
+enum class RevalidationMode : uint8_t {
+  kFull,  // re-examine every datapath flow (OVS >= 2.0, §6)
+  kTags,  // Bloom-filter tags: only flows whose tags changed (historical)
+};
+
+struct SwitchConfig {
+  size_t n_tables = 8;
+  ClassifierConfig classifier;  // userspace tables (Table 1 toggles these)
+  DatapathConfig datapath;
+
+  // false reproduces Table 1's "megaflows disabled" row: userspace installs
+  // exact-match (microflow) entries only.
+  bool megaflows_enabled = true;
+
+  // Upcall batching (§4.1: "batching flow setups ... improved flow setup
+  // performance about 24%"). When false every upcall pays its own
+  // kernel/user crossing.
+  bool batching = true;
+  size_t upcall_batch = 64;
+
+  // Cache invalidation parameters (§6).
+  size_t flow_limit = 200000;
+  bool dynamic_flow_limit = true;     // keep revalidation under the deadline
+  uint64_t idle_timeout_ns = 10 * kSecond;
+  uint64_t overflow_idle_timeout_ns = 100 * kMillisecond;
+  uint64_t max_revalidation_ns = 1 * kSecond;
+  RevalidationMode reval_mode = RevalidationMode::kFull;
+
+  CostModel cost;
+};
+
+class Switch {
+ public:
+  explicit Switch(SwitchConfig cfg = {});
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  // --- Configuration surface ---------------------------------------------
+
+  void add_port(uint32_t port);
+  void remove_port(uint32_t port);
+
+  Pipeline& pipeline() noexcept { return pipeline_; }
+  FlowTable& table(size_t i) { return pipeline_.table(i); }
+  Datapath& datapath() noexcept { return dp_; }
+  const SwitchConfig& config() const noexcept { return cfg_; }
+
+  // ovs-ofctl-style text interface (see ofproto/flow_parser.h). Returns an
+  // empty string on success, otherwise the parse error.
+  std::string add_flow(const std::string& text, uint64_t now_ns = 0);
+  // Loose-match deletion ("tcp, nw_dst=9.1.1.0/24"; empty = everything;
+  // include table=N to restrict). On success returns "" and stores the
+  // number deleted in *n_deleted if non-null.
+  std::string del_flows(const std::string& text = "",
+                        size_t* n_deleted = nullptr);
+  // All flows across all tables in add_flow syntax, sorted.
+  std::vector<std::string> dump_flows() const;
+
+  // Invoked for every packet transmitted on a port.
+  using OutputFn = std::function<void(uint32_t port, const Packet&)>;
+  void set_output_handler(OutputFn fn) { output_ = std::move(fn); }
+
+  // --- Packet path ---------------------------------------------------------
+
+  // Processes one received packet. Cache hits execute immediately; misses
+  // queue an upcall (drive with handle_upcalls).
+  Datapath::Path inject(const Packet& pkt, uint64_t now_ns);
+
+  // Processes queued upcalls: translate, install, forward. Returns the
+  // number handled.
+  size_t handle_upcalls(uint64_t now_ns);
+
+  // Periodic maintenance: revalidation, idle eviction, flow-limit
+  // enforcement, MAC aging. Call roughly once per second of virtual time.
+  void run_maintenance(uint64_t now_ns);
+
+  // --- Introspection -------------------------------------------------------
+
+  struct Counters {
+    uint64_t flow_setups = 0;       // megaflows installed
+    uint64_t setup_dups = 0;        // upcall raced an already-installed flow
+    uint64_t to_controller = 0;
+    uint64_t xlate_errors = 0;
+    uint64_t reval_runs = 0;
+    uint64_t reval_flows_examined = 0;
+    uint64_t reval_deleted_idle = 0;
+    uint64_t reval_deleted_stale = 0;
+    uint64_t reval_updated_actions = 0;
+    uint64_t reval_skipped_by_tags = 0;
+    uint64_t evicted_flow_limit = 0;
+    uint64_t tx_packets = 0;
+    uint64_t tx_bytes = 0;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+  struct PortStats {
+    uint64_t tx_packets = 0;
+    uint64_t tx_bytes = 0;
+  };
+  PortStats port_stats(uint32_t port) const {
+    auto it = port_stats_.find(port);
+    return it == port_stats_.end() ? PortStats{} : it->second;
+  }
+
+  CpuAccounting& cpu() noexcept { return cpu_; }
+  const CpuAccounting& cpu() const noexcept { return cpu_; }
+
+  // Current (possibly dynamically reduced) datapath flow limit.
+  size_t effective_flow_limit() const noexcept { return effective_limit_; }
+
+ private:
+  void execute_actions(const DpActions& actions, const Packet& pkt);
+  void install_from_xlate(const XlateResult& xr, const Packet& pkt,
+                          uint64_t now_ns);
+  void revalidate(uint64_t now_ns);
+
+  // Per-megaflow attribution for OpenFlow flow statistics (§6): which
+  // rules this cache entry's traffic counts against, and how much has
+  // already been pushed to them. Refreshed whenever the entry is
+  // (re-)translated; entries removed when the flow dies.
+  struct Attribution {
+    std::vector<const OfRule*> rules;
+    uint64_t pushed_packets = 0;
+    uint64_t pushed_bytes = 0;
+    // Pipeline generation when `rules` was captured; the pointers are only
+    // dereferenced while the generation is unchanged (no rule can have
+    // been deleted without bumping it).
+    uint64_t captured_gen = 0;
+  };
+  void push_flow_stats(MegaflowEntry* e, uint64_t now_ns);
+
+  SwitchConfig cfg_;
+  Pipeline pipeline_;
+  Datapath dp_;
+  std::unordered_map<const MegaflowEntry*, Attribution> attribution_;
+  OutputFn output_;
+  Counters counters_;
+  std::unordered_map<uint32_t, PortStats> port_stats_;
+  CpuAccounting cpu_;
+  size_t effective_limit_;
+  uint64_t pipeline_gen_at_last_reval_ = 0;
+};
+
+}  // namespace ovs

@@ -1,0 +1,113 @@
+#include "workload/workloads.h"
+
+namespace ovs {
+
+namespace {
+constexpr uint16_t kSyn = 0x002;
+constexpr uint16_t kAck = 0x010;
+constexpr uint16_t kPshAck = 0x018;
+constexpr uint16_t kFinAck = 0x011;
+}  // namespace
+
+TcpCrrWorkload::TcpCrrWorkload(const Config& cfg)
+    : cfg_(cfg), rng_(cfg.seed), session_next_port_(cfg.sessions) {
+  // Give each session its own ephemeral port range start so sessions do not
+  // collide (ports wrap within the dynamic range).
+  for (size_t i = 0; i < cfg_.sessions; ++i)
+    session_next_port_[i] =
+        static_cast<uint16_t>(32768 + (i * 101) % 28000);
+}
+
+Packet TcpCrrWorkload::base_packet(bool client_to_server, uint16_t eph_port,
+                                   uint16_t flags, uint32_t payload) const {
+  Packet p;
+  FlowKey& k = p.key;
+  k.set_eth_type(ethertype::kIpv4);
+  k.set_nw_proto(ipproto::kTcp);
+  k.set_tcp_flags(flags);
+  if (client_to_server) {
+    k.set_in_port(cfg_.client_port);
+    k.set_eth_src(EthAddr(0x02, 0, 0, 0, 0, 1));
+    k.set_eth_dst(EthAddr(0x02, 0, 0, 0, 0, 2));
+    k.set_nw_src(cfg_.client_ip);
+    k.set_nw_dst(cfg_.server_ip);
+    k.set_tp_src(eph_port);
+    k.set_tp_dst(cfg_.server_tcp_port);
+  } else {
+    k.set_in_port(cfg_.server_port);
+    k.set_eth_src(EthAddr(0x02, 0, 0, 0, 0, 2));
+    k.set_eth_dst(EthAddr(0x02, 0, 0, 0, 0, 1));
+    k.set_nw_src(cfg_.server_ip);
+    k.set_nw_dst(cfg_.client_ip);
+    k.set_tp_src(cfg_.server_tcp_port);
+    k.set_tp_dst(eph_port);
+  }
+  p.size_bytes = 66 + payload;
+  return p;
+}
+
+std::vector<Packet> TcpCrrWorkload::next_transaction() {
+  const size_t session = next_session_;
+  next_session_ = (next_session_ + 1) % cfg_.sessions;
+  uint16_t& port = session_next_port_[session];
+  port = static_cast<uint16_t>(port + 1);
+  if (port < 32768) port = 32768;
+  ++transactions_;
+
+  // connect / 1-byte request / 1-byte response / disconnect.
+  return {
+      base_packet(true, port, kSyn, 0),      // SYN
+      base_packet(false, port, kSyn | kAck, 0),
+      base_packet(true, port, kAck, 0),
+      base_packet(true, port, kPshAck, 1),   // request
+      base_packet(false, port, kPshAck, 1),  // response
+      base_packet(true, port, kFinAck, 0),
+      base_packet(false, port, kFinAck, 0),
+      base_packet(true, port, kAck, 0),
+  };
+}
+
+Packet PortScanWorkload::next() {
+  Packet p;
+  FlowKey& k = p.key;
+  k.set_in_port(cfg_.in_port);
+  k.set_eth_src(EthAddr(0x02, 0, 0, 0, 0, 0x66));
+  k.set_eth_dst(EthAddr(0x02, 0, 0, 0, 0, 2));
+  k.set_eth_type(ethertype::kIpv4);
+  k.set_nw_proto(ipproto::kTcp);
+  k.set_nw_src(cfg_.src_ip);
+  k.set_nw_dst(cfg_.dst_ip);
+  k.set_tp_src(44444);
+  k.set_tp_dst(next_port_++);
+  k.set_tcp_flags(0x002);
+  p.size_bytes = 66;
+  return p;
+}
+
+LongLivedFlowsWorkload::LongLivedFlowsWorkload(const Config& cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      zipf_(cfg.n_flows, cfg.zipf_s),
+      flows_(cfg.n_flows) {
+  for (size_t i = 0; i < cfg_.n_flows; ++i) {
+    Packet& p = flows_[i];
+    FlowKey& k = p.key;
+    k.set_in_port(cfg_.in_port);
+    k.set_eth_src(EthAddr(0x02, 0, 0, 1, 0, static_cast<uint8_t>(i)));
+    k.set_eth_dst(EthAddr(0x02, 0, 0, 0, 0, 2));
+    k.set_eth_type(ethertype::kIpv4);
+    k.set_nw_proto(ipproto::kUdp);
+    k.set_nw_src(Ipv4(static_cast<uint32_t>(0x0a010000 + i)));
+    k.set_nw_dst(Ipv4(9, 1, 1, 2));
+    k.set_tp_src(static_cast<uint16_t>(20000 + (i % 40000)));
+    k.set_tp_dst(5001);
+    p.size_bytes = 1500;
+  }
+}
+
+Packet LongLivedFlowsWorkload::next() {
+  return flows_[cfg_.zipf_s > 0 ? zipf_.sample(rng_)
+                                : rng_.uniform(flows_.size())];
+}
+
+}  // namespace ovs

@@ -1,0 +1,97 @@
+// Synthetic traffic generators reproducing the paper's workloads (§7).
+//
+// TcpCrrWorkload emulates Netperf's TCP_CRR test: each transaction
+// establishes a TCP connection from a fresh ephemeral port, exchanges one
+// byte each way, and tears the connection down — the worst case for flow
+// caches because every transaction is a new microflow in both directions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/packet.h"
+#include "util/rng.h"
+
+namespace ovs {
+
+// One Netperf TCP_CRR "session" (the paper ran 400 in parallel).
+class TcpCrrWorkload {
+ public:
+  struct Config {
+    uint32_t client_port = 1;   // switch port of the client side
+    uint32_t server_port = 2;   // switch port of the server side
+    Ipv4 client_ip{10, 1, 0, 1};
+    Ipv4 server_ip{9, 1, 1, 2};
+    uint16_t server_tcp_port = 9000;
+    size_t sessions = 400;      // parallel Netperf sessions
+    uint64_t seed = 1;
+  };
+
+  explicit TcpCrrWorkload(const Config& cfg);
+
+  // Packets of the next transaction, in order (SYN, SYN-ACK, ACK, request,
+  // response, FIN, FIN-ACK, ACK) across both directions. Each call uses a
+  // fresh ephemeral source port on a round-robin session.
+  std::vector<Packet> next_transaction();
+
+  // Number of packets per transaction (constant).
+  static constexpr size_t kPacketsPerTransaction = 8;
+
+  uint64_t transactions() const noexcept { return transactions_; }
+
+ private:
+  Packet base_packet(bool client_to_server, uint16_t eph_port,
+                     uint16_t flags, uint32_t payload) const;
+
+  Config cfg_;
+  Rng rng_;
+  std::vector<uint16_t> session_next_port_;
+  size_t next_session_ = 0;
+  uint64_t transactions_ = 0;
+};
+
+// A port scan: one source sweeping destination ports (§5.1's pathological
+// case for L4-matching megaflows).
+class PortScanWorkload {
+ public:
+  struct Config {
+    uint32_t in_port = 1;
+    Ipv4 src_ip{10, 1, 0, 66};
+    Ipv4 dst_ip{9, 1, 1, 2};
+    uint16_t first_port = 1;
+  };
+
+  explicit PortScanWorkload(const Config& cfg)
+      : cfg_(cfg), next_port_(cfg.first_port) {}
+
+  Packet next();
+
+ private:
+  Config cfg_;
+  uint16_t next_port_;
+};
+
+// N long-lived connections with Zipf-popularity packet arrivals (Figure 8's
+// steady-state forwarding workload).
+class LongLivedFlowsWorkload {
+ public:
+  struct Config {
+    size_t n_flows = 1000;
+    uint32_t in_port = 1;
+    double zipf_s = 1.0;  // 0 = uniform
+    uint64_t seed = 7;
+  };
+
+  explicit LongLivedFlowsWorkload(const Config& cfg);
+
+  Packet next();
+  const std::vector<Packet>& flows() const noexcept { return flows_; }
+
+ private:
+  Config cfg_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  std::vector<Packet> flows_;
+};
+
+}  // namespace ovs

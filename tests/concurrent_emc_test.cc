@@ -1,0 +1,87 @@
+// Tests for the concurrent (multi-reader) microflow cache.
+#include "datapath/concurrent_emc.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace ovs {
+namespace {
+
+TEST(ConcurrentEmcTest, InstallLookupInvalidate) {
+  ConcurrentEmc emc(64);
+  EXPECT_FALSE(emc.lookup(42).has_value());
+  emc.install(42, 4200);
+  ASSERT_TRUE(emc.lookup(42).has_value());
+  EXPECT_EQ(*emc.lookup(42), 4200u);
+  emc.invalidate(42);
+  EXPECT_FALSE(emc.lookup(42).has_value());
+}
+
+TEST(ConcurrentEmcTest, BoundedByCapacity) {
+  ConcurrentEmc emc(32);
+  for (uint64_t h = 1; h <= 1000; ++h) emc.install(h * 2, h);
+  EXPECT_LE(emc.size(), 32u);
+  // The most recent installs are present (FIFO evicts oldest).
+  EXPECT_TRUE(emc.lookup(2000).has_value());
+  EXPECT_FALSE(emc.lookup(2).has_value());
+}
+
+TEST(ConcurrentEmcTest, ReinstallUpdatesHint) {
+  ConcurrentEmc emc(32);
+  emc.install(7, 1);
+  emc.install(7, 2);
+  EXPECT_EQ(*emc.lookup(7), 2u);
+}
+
+TEST(ConcurrentEmcTest, KeyZeroIsUsable) {
+  // Flow hashes can legitimately be 0; the EMC must not lose them to the
+  // cuckoo map's empty sentinel.
+  ConcurrentEmc emc(16);
+  emc.install(0, 99);
+  ASSERT_TRUE(emc.lookup(0).has_value());
+  EXPECT_EQ(*emc.lookup(0), 99u);
+}
+
+TEST(ConcurrentEmcTest, ReadersNeverSeeTornHints) {
+  // Invariant: a hint for hash h is always hash_mix64(h). Readers race a
+  // writer that churns past capacity (constant eviction + displacement).
+  ConcurrentEmc emc(256);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::atomic<uint64_t> hits{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(900 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t h = rng.uniform(4096);
+        if (auto v = emc.lookup(h)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+          if (*v != hash_mix64(h | 1))
+            violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  Rng wrng(3);
+  for (int i = 0; i < 300000; ++i) {
+    const uint64_t h = wrng.uniform(4096);
+    emc.install(h, hash_mix64(h | 1));
+    if (wrng.chance(0.1)) emc.invalidate(wrng.uniform(4096));
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(hits.load(), 1000u);
+  EXPECT_LE(emc.size(), 256u);
+}
+
+}  // namespace
+}  // namespace ovs

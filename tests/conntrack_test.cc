@@ -1,0 +1,80 @@
+// Tests for the minimal connection tracker (§8.1).
+#include "ofproto/conntrack.h"
+
+#include <gtest/gtest.h>
+
+namespace ovs {
+namespace {
+
+FlowKey flow(Ipv4 src, Ipv4 dst, uint16_t sport, uint16_t dport,
+             uint8_t proto = ipproto::kTcp) {
+  FlowKey k;
+  k.set_eth_type(ethertype::kIpv4);
+  k.set_nw_proto(proto);
+  k.set_nw_src(src);
+  k.set_nw_dst(dst);
+  k.set_tp_src(sport);
+  k.set_tp_dst(dport);
+  return k;
+}
+
+TEST(ConnTrackerTest, NewUntilCommitted) {
+  ConnTracker ct;
+  FlowKey k = flow(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1234, 80);
+  EXPECT_EQ(ct.lookup(k), ct_state::kNew);
+  ct.commit(k);
+  EXPECT_EQ(ct.size(), 1u);
+  EXPECT_TRUE(ct.lookup(k) & ct_state::kEstablished);
+}
+
+TEST(ConnTrackerTest, ReplyDirectionIsEstablished) {
+  ConnTracker ct;
+  FlowKey fwd = flow(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1234, 80);
+  FlowKey rev = flow(Ipv4(10, 0, 0, 2), Ipv4(10, 0, 0, 1), 80, 1234);
+  ct.commit(fwd);
+  EXPECT_TRUE(ct.lookup(rev) & ct_state::kEstablished);
+  // Exactly one of the two directions carries the reply bit.
+  const bool fwd_reply = (ct.lookup(fwd) & ct_state::kReply) != 0;
+  const bool rev_reply = (ct.lookup(rev) & ct_state::kReply) != 0;
+  EXPECT_NE(fwd_reply, rev_reply);
+}
+
+TEST(ConnTrackerTest, DistinctConnectionsIndependent) {
+  ConnTracker ct;
+  FlowKey a = flow(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1234, 80);
+  FlowKey b = flow(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1235, 80);
+  ct.commit(a);
+  EXPECT_TRUE(ct.lookup(a) & ct_state::kEstablished);
+  EXPECT_EQ(ct.lookup(b), ct_state::kNew);  // different source port
+}
+
+TEST(ConnTrackerTest, ProtocolDistinguishes) {
+  ConnTracker ct;
+  FlowKey t = flow(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 53, 53, ipproto::kTcp);
+  FlowKey u = flow(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 53, 53, ipproto::kUdp);
+  ct.commit(t);
+  EXPECT_TRUE(ct.lookup(t) & ct_state::kEstablished);
+  EXPECT_EQ(ct.lookup(u), ct_state::kNew);
+}
+
+TEST(ConnTrackerTest, CommitIsIdempotent) {
+  ConnTracker ct;
+  FlowKey k = flow(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 1, 2);
+  FlowKey rev = flow(Ipv4(2, 2, 2, 2), Ipv4(1, 1, 1, 1), 2, 1);
+  ct.commit(k);
+  ct.commit(k);
+  ct.commit(rev);  // same bidirectional connection
+  EXPECT_EQ(ct.size(), 1u);
+}
+
+TEST(ConnTrackerTest, RemoveTearsDown) {
+  ConnTracker ct;
+  FlowKey k = flow(Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 1, 2);
+  ct.commit(k);
+  EXPECT_TRUE(ct.remove(k));
+  EXPECT_EQ(ct.lookup(k), ct_state::kNew);
+  EXPECT_FALSE(ct.remove(k));
+}
+
+}  // namespace
+}  // namespace ovs

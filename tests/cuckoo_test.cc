@@ -1,0 +1,176 @@
+// Tests for the optimistic concurrent cuckoo map (§4.1).
+#include "util/cuckoo.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace ovs {
+namespace {
+
+TEST(CuckooMapTest, InsertFindErase) {
+  CuckooMap64 m;
+  uint64_t v = 0;
+  EXPECT_FALSE(m.find(42, &v));
+  EXPECT_TRUE(m.insert(42, 4200));
+  EXPECT_TRUE(m.find(42, &v));
+  EXPECT_EQ(v, 4200u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.erase(42));
+  EXPECT_FALSE(m.find(42, &v));
+  EXPECT_FALSE(m.erase(42));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(CuckooMapTest, ReservedKeyZeroRejected) {
+  CuckooMap64 m;
+  uint64_t v = 0;
+  EXPECT_FALSE(m.insert(0, 1));
+  EXPECT_FALSE(m.find(0, &v));
+  EXPECT_FALSE(m.erase(0));
+  EXPECT_EQ(m.size(), 0u);
+  // Neighbouring keys are unaffected.
+  m.insert(1, 11);
+  EXPECT_FALSE(m.erase(0));
+  ASSERT_TRUE(m.find(1, &v));
+  EXPECT_EQ(v, 11u);
+}
+
+TEST(CuckooMapTest, InsertUpdatesExisting) {
+  CuckooMap64 m;
+  m.insert(7, 1);
+  m.insert(7, 2);
+  EXPECT_EQ(m.size(), 1u);
+  uint64_t v = 0;
+  ASSERT_TRUE(m.find(7, &v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(CuckooMapTest, GrowsUnderLoad) {
+  CuckooMap64 m(16);
+  const size_t n = 50000;
+  for (uint64_t k = 1; k <= n; ++k) ASSERT_TRUE(m.insert(k, k * 3));
+  EXPECT_EQ(m.size(), n);
+  for (uint64_t k = 1; k <= n; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(m.find(k, &v)) << k;
+    ASSERT_EQ(v, k * 3) << k;
+  }
+  // Keys never inserted must miss.
+  uint64_t v;
+  EXPECT_FALSE(m.find(n + 1, &v));
+  EXPECT_FALSE(m.find(~uint64_t{0}, &v));
+}
+
+TEST(CuckooMapTest, RandomizedAgainstModel) {
+  CuckooMap64 m(32);
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(17);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t k = 1 + rng.uniform(2000);
+    switch (rng.uniform(3)) {
+      case 0:
+        m.insert(k, i);
+        model[k] = static_cast<uint64_t>(i);
+        break;
+      case 1:
+        EXPECT_EQ(m.erase(k), model.erase(k) > 0);
+        break;
+      default: {
+        uint64_t v = 0;
+        auto it = model.find(k);
+        if (it == model.end()) {
+          EXPECT_FALSE(m.find(k, &v)) << k;
+        } else {
+          ASSERT_TRUE(m.find(k, &v)) << k;
+          EXPECT_EQ(v, it->second) << k;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(m.size(), model.size());
+  m.for_each([&](uint64_t k, uint64_t v) {
+    auto it = model.find(k);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(it->second, v);
+  });
+}
+
+TEST(CuckooMapTest, AdversarialCollidingKeys) {
+  // Dense sequential keys stress the displacement path.
+  CuckooMap64 m(16);
+  for (uint64_t k = 1; k <= 4096; ++k) ASSERT_TRUE(m.insert(k, ~k));
+  for (uint64_t k = 1; k <= 4096; ++k) {
+    uint64_t v;
+    ASSERT_TRUE(m.find(k, &v));
+    EXPECT_EQ(v, ~k);
+  }
+}
+
+// Concurrency: one writer churns; readers must only ever observe values
+// consistent with the invariant value == hash_mix64(key), and must always
+// find keys from the stable (never-erased) set.
+TEST(CuckooMapTest, ConcurrentReadersSeeConsistentValues) {
+  CuckooMap64 m(64);
+  constexpr uint64_t kStableKeys = 512;
+  for (uint64_t k = 1; k <= kStableKeys; ++k)
+    ASSERT_TRUE(m.insert(k, hash_mix64(k)));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::atomic<uint64_t> stable_misses{0};
+  std::atomic<uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t k = 1 + rng.uniform(kStableKeys * 4);
+        uint64_t v = 0;
+        if (m.find(k, &v)) {
+          if (v != hash_mix64(k))
+            violations.fetch_add(1, std::memory_order_relaxed);
+        } else if (k <= kStableKeys) {
+          stable_misses.fetch_add(1, std::memory_order_relaxed);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer: churn the volatile key range (forces kicks and growth) until
+  // the readers have made real progress, so scheduling jitter can't end
+  // the experiment before the race window was exercised.
+  Rng wrng(5);
+  for (int batch = 0;
+       batch < 2000 && (batch < 20 || reads.load() < 20000); ++batch) {
+    for (int i = 0; i < 10000; ++i) {
+      const uint64_t k = kStableKeys + 1 + wrng.uniform(kStableKeys * 3);
+      if (wrng.chance(0.6))
+        ASSERT_TRUE(m.insert(k, hash_mix64(k)));
+      else
+        m.erase(k);
+    }
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(violations.load(), 0u) << "torn or stale-keyed value observed";
+  EXPECT_EQ(stable_misses.load(), 0u)
+      << "a permanently-present key was missed during displacement";
+
+  // Post-conditions: all stable keys still intact.
+  for (uint64_t k = 1; k <= kStableKeys; ++k) {
+    uint64_t v;
+    ASSERT_TRUE(m.find(k, &v));
+    EXPECT_EQ(v, hash_mix64(k));
+  }
+}
+
+}  // namespace
+}  // namespace ovs

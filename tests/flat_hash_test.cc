@@ -1,0 +1,150 @@
+// Tests for the open-addressing hash containers backing the tuples.
+#include "util/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace ovs {
+namespace {
+
+TEST(HashBucketsTest, InsertFindErase) {
+  HashBuckets<int> hb;
+  EXPECT_TRUE(hb.empty());
+  hb.insert(hash_mix64(1), 100);
+  hb.insert(hash_mix64(2), 200);
+  EXPECT_EQ(hb.size(), 2u);
+
+  int* v = hb.find(hash_mix64(1), [](int x) { return x == 100; });
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 100);
+  EXPECT_EQ(hb.find(hash_mix64(3), [](int) { return true; }), nullptr);
+
+  EXPECT_TRUE(hb.erase(hash_mix64(1), [](int x) { return x == 100; }));
+  EXPECT_FALSE(hb.erase(hash_mix64(1), [](int x) { return x == 100; }));
+  EXPECT_EQ(hb.size(), 1u);
+}
+
+TEST(HashBucketsTest, DuplicateHashesCoexist) {
+  HashBuckets<int> hb;
+  const uint64_t h = hash_mix64(42);
+  hb.insert(h, 1);
+  hb.insert(h, 2);  // same hash, different value (collision or multi-entry)
+  EXPECT_NE(hb.find(h, [](int x) { return x == 1; }), nullptr);
+  EXPECT_NE(hb.find(h, [](int x) { return x == 2; }), nullptr);
+  EXPECT_TRUE(hb.erase(h, [](int x) { return x == 1; }));
+  EXPECT_NE(hb.find(h, [](int x) { return x == 2; }), nullptr);
+  EXPECT_EQ(hb.find(h, [](int x) { return x == 1; }), nullptr);
+}
+
+TEST(HashBucketsTest, ValueMutationThroughFind) {
+  HashBuckets<int> hb;
+  hb.insert(7, 10);
+  int* v = hb.find(7, [](int) { return true; });
+  ASSERT_NE(v, nullptr);
+  *v = 20;
+  EXPECT_NE(hb.find(7, [](int x) { return x == 20; }), nullptr);
+}
+
+TEST(HashBucketsTest, GrowthPreservesEntries) {
+  HashBuckets<uint64_t> hb;
+  for (uint64_t i = 0; i < 10000; ++i) hb.insert(hash_mix64(i), i);
+  EXPECT_EQ(hb.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i)
+    ASSERT_NE(hb.find(hash_mix64(i), [&](uint64_t v) { return v == i; }),
+              nullptr)
+        << i;
+}
+
+TEST(HashBucketsTest, TombstoneChurnDoesNotDegradeCorrectness) {
+  // Insert/erase cycles exercise tombstone reuse and rehash-in-place.
+  HashBuckets<uint64_t> hb;
+  Rng rng(9);
+  std::set<uint64_t> model;
+  for (int round = 0; round < 20000; ++round) {
+    uint64_t k = rng.uniform(500);
+    const uint64_t h = hash_mix64(k);
+    const bool present = model.count(k) > 0;
+    ASSERT_EQ(hb.find(h, [&](uint64_t v) { return v == k; }) != nullptr,
+              present)
+        << "round " << round;
+    if (present) {
+      hb.erase(h, [&](uint64_t v) { return v == k; });
+      model.erase(k);
+    } else {
+      hb.insert(h, k);
+      model.insert(k);
+    }
+  }
+  EXPECT_EQ(hb.size(), model.size());
+}
+
+TEST(HashBucketsTest, ForEachVisitsExactlyLiveEntries) {
+  HashBuckets<int> hb;
+  for (int i = 0; i < 100; ++i) hb.insert(hash_mix64(i), i);
+  for (int i = 0; i < 100; i += 2)
+    hb.erase(hash_mix64(i), [&](int v) { return v == i; });
+  std::set<int> seen;
+  hb.for_each([&](int v) { seen.insert(v); });
+  EXPECT_EQ(seen.size(), 50u);
+  for (int v : seen) EXPECT_EQ(v % 2, 1);
+}
+
+TEST(HashCounterTest, CountsAndMembership) {
+  HashCounter hc;
+  EXPECT_FALSE(hc.contains(5));
+  hc.add(5);
+  hc.add(5);
+  hc.add(6);
+  EXPECT_TRUE(hc.contains(5));
+  EXPECT_TRUE(hc.contains(6));
+  EXPECT_EQ(hc.distinct(), 2u);
+  hc.remove(5);
+  EXPECT_TRUE(hc.contains(5));  // still one reference
+  hc.remove(5);
+  EXPECT_FALSE(hc.contains(5));
+  EXPECT_EQ(hc.distinct(), 1u);
+}
+
+TEST(HashCounterTest, RandomizedAgainstModel) {
+  HashCounter hc;
+  std::map<uint64_t, int> model;
+  Rng rng(4242);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t k = rng.uniform(200);
+    if (model[k] > 0 && rng.chance(0.5)) {
+      hc.remove(k);
+      --model[k];
+    } else {
+      hc.add(k);
+      ++model[k];
+    }
+    if (i % 1000 == 0) {
+      for (auto& [key, cnt] : model)
+        ASSERT_EQ(hc.contains(key), cnt > 0) << key;
+    }
+  }
+}
+
+TEST(HashMixTest, AvalancheSanity) {
+  // Flipping one input bit should flip ~half the output bits on average.
+  Rng rng(1);
+  double total = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t x = rng.next();
+    int bit = static_cast<int>(rng.uniform(64));
+    uint64_t d = hash_mix64(x) ^ hash_mix64(x ^ (uint64_t{1} << bit));
+    total += __builtin_popcountll(d);
+  }
+  const double avg = total / n;
+  EXPECT_GT(avg, 28.0);
+  EXPECT_LT(avg, 36.0);
+}
+
+}  // namespace
+}  // namespace ovs

@@ -1,0 +1,91 @@
+// Sanity tests for the fleet simulator (Figures 4-7 substrate).
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace ovs {
+namespace {
+
+FleetConfig tiny_config() {
+  FleetConfig cfg;
+  cfg.n_hypervisors = 12;
+  cfg.n_intervals = 4;
+  cfg.sim_seconds_per_interval = 0.5;
+  cfg.pps_log_mean = 7.0;  // keep the test fast but cache-dominated
+  cfg.pps_log_sigma = 1.0;
+  cfg.outlier_fraction = 0;
+  return cfg;
+}
+
+TEST(FleetTest, ProducesOneSamplePerHypervisorInterval) {
+  FleetConfig cfg = tiny_config();
+  FleetResults r = run_fleet(cfg);
+  EXPECT_EQ(r.intervals.size(), cfg.n_hypervisors * cfg.n_intervals);
+  EXPECT_EQ(r.hypervisors.size(), cfg.n_hypervisors);
+}
+
+TEST(FleetTest, RatesAreConsistent) {
+  FleetResults r = run_fleet(tiny_config());
+  for (const FleetInterval& iv : r.intervals) {
+    EXPECT_GE(iv.hit_rate, 0.0);
+    EXPECT_LE(iv.hit_rate, 1.0);
+    EXPECT_GE(iv.hit_pps, 0.0);
+    EXPECT_GE(iv.miss_pps, 0.0);
+    EXPECT_GE(iv.user_cpu_pct, 0.0);
+    EXPECT_GE(iv.kernel_cpu_pct, 0.0);
+  }
+  for (const FleetHypervisor& hv : r.hypervisors) {
+    EXPECT_LE(hv.flows_min, hv.flows_mean);
+    EXPECT_LE(hv.flows_mean, hv.flows_max);
+    EXPECT_GT(hv.flows_max, 0.0);
+  }
+}
+
+TEST(FleetTest, CachingIsEffectiveAtSteadyState) {
+  // §7.1: overall cache hit rate 97.7%. Steady-state intervals (after the
+  // first) must show high hit rates.
+  FleetResults r = run_fleet(tiny_config());
+  double hits = 0, total = 0;
+  for (const FleetInterval& iv : r.intervals) {
+    if (iv.interval == 0) continue;  // warm-up
+    hits += iv.hit_pps;
+    total += iv.hit_pps + iv.miss_pps;
+  }
+  ASSERT_GT(total, 0.0);
+  EXPECT_GT(hits / total, 0.90);
+}
+
+TEST(FleetTest, OutliersBurnMoreCpu) {
+  FleetConfig cfg = tiny_config();
+  cfg.n_hypervisors = 8;
+  cfg.outlier_fraction = 1.1;  // force all outliers
+  cfg.outlier_pps_factor = 2;
+  cfg.outlier_conns_factor = 2;
+  FleetResults outliers = run_fleet(cfg);
+
+  FleetConfig cfg2 = cfg;
+  cfg2.outlier_fraction = 0;
+  FleetResults normal = run_fleet(cfg2);
+
+  Distribution cpu_out, cpu_norm;
+  for (const FleetInterval& iv : outliers.intervals)
+    if (iv.interval > 0) cpu_out.add(iv.user_cpu_pct);
+  for (const FleetInterval& iv : normal.intervals)
+    if (iv.interval > 0) cpu_norm.add(iv.user_cpu_pct);
+  EXPECT_GT(cpu_out.mean(), cpu_norm.mean());
+}
+
+TEST(FleetTest, DeterministicForFixedSeed) {
+  FleetResults a = run_fleet(tiny_config());
+  FleetResults b = run_fleet(tiny_config());
+  ASSERT_EQ(a.intervals.size(), b.intervals.size());
+  for (size_t i = 0; i < a.intervals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.intervals[i].hit_rate, b.intervals[i].hit_rate);
+    EXPECT_EQ(a.intervals[i].flows, b.intervals[i].flows);
+  }
+}
+
+}  // namespace
+}  // namespace ovs

@@ -1,0 +1,99 @@
+// Tests for the MAC learning table.
+#include "ofproto/mac_learning.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+
+namespace ovs {
+namespace {
+
+TEST(MacLearningTest, LearnAndLookup) {
+  MacLearning ml;
+  EthAddr mac(2, 2, 3, 4, 5, 6);
+  EXPECT_FALSE(ml.lookup(mac, 0, 0).has_value());
+  EXPECT_TRUE(ml.learn(mac, 0, 3, 0));
+  auto port = ml.lookup(mac, 0, 1);
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(*port, 3u);
+}
+
+TEST(MacLearningTest, VlanSeparatesBindings) {
+  MacLearning ml;
+  EthAddr mac(2, 2, 3, 4, 5, 6);
+  ml.learn(mac, 10, 1, 0);
+  ml.learn(mac, 20, 2, 0);
+  EXPECT_EQ(*ml.lookup(mac, 10, 0), 1u);
+  EXPECT_EQ(*ml.lookup(mac, 20, 0), 2u);
+  EXPECT_FALSE(ml.lookup(mac, 30, 0).has_value());
+}
+
+TEST(MacLearningTest, RelearnSamePortIsNotAChange) {
+  MacLearning ml;
+  EthAddr mac(2, 0, 0, 0, 0, 1);
+  EXPECT_TRUE(ml.learn(mac, 0, 1, 0));
+  const uint64_t gen = ml.generation();
+  EXPECT_FALSE(ml.learn(mac, 0, 1, 100));  // refresh only
+  EXPECT_EQ(ml.generation(), gen);
+}
+
+TEST(MacLearningTest, MacMoveBumpsGenerationAndTags) {
+  MacLearning ml;
+  EthAddr mac(2, 0, 0, 0, 0, 1);
+  ml.learn(mac, 0, 1, 0);
+  ml.take_changed_tags();
+  const uint64_t gen = ml.generation();
+  EXPECT_TRUE(ml.learn(mac, 0, 2, 10));  // moved ports
+  EXPECT_GT(ml.generation(), gen);
+  EXPECT_EQ(*ml.lookup(mac, 0, 10), 2u);
+  EXPECT_EQ(ml.take_changed_tags(), MacLearning::tag(mac, 0));
+  EXPECT_EQ(ml.take_changed_tags(), 0u);  // drained
+}
+
+TEST(MacLearningTest, MulticastSourceNotLearned) {
+  MacLearning ml;
+  EthAddr mcast(0xff, 0, 0, 0, 0, 1);
+  EXPECT_FALSE(ml.learn(mcast, 0, 1, 0));
+  EXPECT_EQ(ml.size(), 0u);
+}
+
+TEST(MacLearningTest, ExpiryAfterIdle) {
+  MacLearning::Config cfg;
+  cfg.idle_ns = 100;
+  MacLearning ml(cfg);
+  EthAddr mac(2, 0, 0, 0, 0, 1);
+  ml.learn(mac, 0, 1, 0);
+  EXPECT_TRUE(ml.lookup(mac, 0, 50).has_value());
+  EXPECT_FALSE(ml.lookup(mac, 0, 200).has_value());  // lazily expired
+  EXPECT_EQ(ml.expire(200), 1u);
+  EXPECT_EQ(ml.size(), 0u);
+}
+
+TEST(MacLearningTest, RefreshPreventsExpiry) {
+  MacLearning::Config cfg;
+  cfg.idle_ns = 100;
+  MacLearning ml(cfg);
+  EthAddr mac(2, 0, 0, 0, 0, 1);
+  ml.learn(mac, 0, 1, 0);
+  ml.learn(mac, 0, 1, 90);  // refresh
+  EXPECT_EQ(ml.expire(150), 0u);
+  EXPECT_TRUE(ml.lookup(mac, 0, 150).has_value());
+}
+
+TEST(MacLearningTest, TableSizeCapped) {
+  MacLearning::Config cfg;
+  cfg.max_entries = 4;
+  MacLearning ml(cfg);
+  for (uint64_t i = 1; i <= 10; ++i) ml.learn(EthAddr(i), 0, 1, 0);
+  EXPECT_EQ(ml.size(), 4u);
+}
+
+TEST(MacLearningTest, TagIsDeterministicSingleBit) {
+  const uint64_t t1 = MacLearning::tag(EthAddr(1, 2, 3, 4, 5, 6), 7);
+  const uint64_t t2 = MacLearning::tag(EthAddr(1, 2, 3, 4, 5, 6), 7);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(__builtin_popcountll(t1), 1);
+}
+
+}  // namespace
+}  // namespace ovs

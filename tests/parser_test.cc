@@ -1,0 +1,178 @@
+// Tests for byte-level frame building and parsing.
+#include "packet/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace ovs {
+namespace {
+
+TEST(ParserTest, TcpIpv4RoundTrip) {
+  TcpParams p;
+  p.eth_src = EthAddr(0, 1, 2, 3, 4, 5);
+  p.eth_dst = EthAddr(10, 11, 12, 13, 14, 15);
+  p.ip_src = Ipv4(192, 168, 1, 1);
+  p.ip_dst = Ipv4(10, 0, 0, 99);
+  p.sport = 49152;
+  p.dport = 443;
+  p.flags = 0x02;  // SYN
+  p.ttl = 63;
+  p.tos = 0x10;
+  RawFrame f = build_tcp_ipv4(p);
+
+  auto key = parse_frame(f, 7);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->in_port(), 7u);
+  EXPECT_EQ(key->eth_src(), p.eth_src);
+  EXPECT_EQ(key->eth_dst(), p.eth_dst);
+  EXPECT_EQ(key->eth_type(), ethertype::kIpv4);
+  EXPECT_EQ(key->nw_src(), p.ip_src);
+  EXPECT_EQ(key->nw_dst(), p.ip_dst);
+  EXPECT_EQ(key->nw_proto(), ipproto::kTcp);
+  EXPECT_EQ(key->nw_ttl(), 63);
+  EXPECT_EQ(key->nw_tos(), 0x10);
+  EXPECT_EQ(key->tp_src(), 49152);
+  EXPECT_EQ(key->tp_dst(), 443);
+  EXPECT_EQ(key->tcp_flags(), 0x02);
+}
+
+TEST(ParserTest, UdpIpv4RoundTrip) {
+  UdpParams p;
+  p.eth_src = EthAddr(1, 1, 1, 1, 1, 1);
+  p.eth_dst = EthAddr(2, 2, 2, 2, 2, 2);
+  p.ip_src = Ipv4(1, 2, 3, 4);
+  p.ip_dst = Ipv4(5, 6, 7, 8);
+  p.sport = 5353;
+  p.dport = 53;
+  p.payload_len = 100;
+  RawFrame f = build_udp_ipv4(p);
+  auto key = parse_frame(f, 1);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->nw_proto(), ipproto::kUdp);
+  EXPECT_EQ(key->tp_src(), 5353);
+  EXPECT_EQ(key->tp_dst(), 53);
+  EXPECT_EQ(f.size(), 14u + 20 + 8 + 100);
+}
+
+TEST(ParserTest, VlanTagged) {
+  TcpParams p;
+  p.eth_src = EthAddr(1, 0, 0, 0, 0, 1);
+  p.eth_dst = EthAddr(1, 0, 0, 0, 0, 2);
+  p.ip_src = Ipv4(1, 1, 1, 1);
+  p.ip_dst = Ipv4(2, 2, 2, 2);
+  p.sport = 1;
+  p.dport = 2;
+  p.vlan = 100;
+  RawFrame f = build_tcp_ipv4(p);
+  auto key = parse_frame(f, 3);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->vlan_tci(), 100);
+  EXPECT_EQ(key->eth_type(), ethertype::kIpv4);  // inner type after the tag
+  EXPECT_EQ(key->tp_dst(), 2);
+}
+
+TEST(ParserTest, IcmpTypeCodeLandInTpFields) {
+  IcmpParams p;
+  p.eth_src = EthAddr(1, 0, 0, 0, 0, 1);
+  p.eth_dst = EthAddr(1, 0, 0, 0, 0, 2);
+  p.ip_src = Ipv4(1, 1, 1, 1);
+  p.ip_dst = Ipv4(2, 2, 2, 2);
+  p.type = 3;  // destination unreachable
+  p.code = 4;  // fragmentation needed
+  RawFrame f = build_icmp_ipv4(p);
+  auto key = parse_frame(f, 1);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->nw_proto(), ipproto::kIcmp);
+  // As in OVS, ICMP type/code share the transport-port fields.
+  EXPECT_EQ(key->tp_src(), 3);
+  EXPECT_EQ(key->tp_dst(), 4);
+}
+
+TEST(ParserTest, ArpRoundTrip) {
+  ArpParams p;
+  p.eth_src = EthAddr(1, 0, 0, 0, 0, 1);
+  p.op = 1;
+  p.spa = Ipv4(10, 0, 0, 1);
+  p.tpa = Ipv4(10, 0, 0, 2);
+  RawFrame f = build_arp(p);
+  auto key = parse_frame(f, 2);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->eth_type(), ethertype::kArp);
+  EXPECT_EQ(key->arp_op(), 1);
+  EXPECT_EQ(key->nw_src(), p.spa);
+  EXPECT_EQ(key->nw_dst(), p.tpa);
+  EXPECT_TRUE(key->eth_dst().is_broadcast());
+}
+
+TEST(ParserTest, TcpIpv6RoundTrip) {
+  TcpV6Params p;
+  p.eth_src = EthAddr(1, 0, 0, 0, 0, 1);
+  p.eth_dst = EthAddr(1, 0, 0, 0, 0, 2);
+  p.ip_src = Ipv6(0x20010db800000001ULL, 0x1);
+  p.ip_dst = Ipv6(0x20010db800000002ULL, 0x2);
+  p.sport = 1000;
+  p.dport = 22;
+  RawFrame f = build_tcp_ipv6(p);
+  auto key = parse_frame(f, 4);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->eth_type(), ethertype::kIpv6);
+  EXPECT_EQ(key->ipv6_src(), p.ip_src);
+  EXPECT_EQ(key->ipv6_dst(), p.ip_dst);
+  EXPECT_EQ(key->nw_proto(), ipproto::kTcp);
+  EXPECT_EQ(key->tp_dst(), 22);
+}
+
+TEST(ParserTest, TruncatedFramesRejected) {
+  TcpParams p;
+  p.ip_src = Ipv4(1, 1, 1, 1);
+  p.ip_dst = Ipv4(2, 2, 2, 2);
+  RawFrame f = build_tcp_ipv4(p);
+  // Every truncation point up to the TCP header must be rejected, not
+  // misparsed (the L4 header is required once IPv4 advertises TCP).
+  for (size_t n = 0; n < 14 + 20 + 20; ++n) {
+    RawFrame cut(f.begin(), f.begin() + static_cast<long>(n));
+    EXPECT_FALSE(parse_frame(cut, 1).has_value()) << "len=" << n;
+  }
+  EXPECT_TRUE(parse_frame(f, 1).has_value());
+}
+
+TEST(ParserTest, NonIpEthertypeYieldsL2OnlyKey) {
+  RawFrame f(14, 0);
+  f[12] = 0x88;
+  f[13] = 0xcc;  // LLDP
+  auto key = parse_frame(f, 9);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->eth_type(), 0x88cc);
+  EXPECT_EQ(key->nw_proto(), 0);
+}
+
+TEST(ParserTest, FragmentHasNoL4Header) {
+  TcpParams p;
+  p.ip_src = Ipv4(1, 1, 1, 1);
+  p.ip_dst = Ipv4(2, 2, 2, 2);
+  p.sport = 1234;
+  p.dport = 80;
+  RawFrame f = build_tcp_ipv4(p);
+  // Set a nonzero fragment offset in the IPv4 header (bytes 20-21 of frame).
+  f[14 + 6] = 0x00;
+  f[14 + 7] = 0x10;  // offset 16
+  auto key = parse_frame(f, 1);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->get(FieldId::kNwFrag), 1u);
+  EXPECT_EQ(key->tp_src(), 0);  // later fragment: ports must not be parsed
+  EXPECT_EQ(key->tp_dst(), 0);
+}
+
+TEST(ParserTest, ParseToPacketRecordsWireSize) {
+  UdpParams p;
+  p.ip_src = Ipv4(1, 1, 1, 1);
+  p.ip_dst = Ipv4(2, 2, 2, 2);
+  p.payload_len = 58;
+  RawFrame f = build_udp_ipv4(p);
+  auto pkt = parse_to_packet(f, 5);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->size_bytes, f.size());
+  EXPECT_EQ(pkt->key.in_port(), 5u);
+}
+
+}  // namespace
+}  // namespace ovs

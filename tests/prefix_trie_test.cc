@@ -1,0 +1,242 @@
+// Tests for the prefix-tracking trie (paper §5.4, Figure 3).
+#include "util/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "packet/addr.h"
+#include "util/rng.h"
+
+namespace ovs {
+namespace {
+
+PrefixBits ip_prefix(uint8_t a, uint8_t b, uint8_t c, uint8_t d,
+                     unsigned len) {
+  return PrefixBits::from_u32(Ipv4(a, b, c, d).value(), len);
+}
+PrefixBits ip_value(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return ip_prefix(a, b, c, d, 32);
+}
+
+TEST(PrefixBitsTest, BitAccess) {
+  PrefixBits p = PrefixBits::from_u32(0x80000001u, 32);
+  EXPECT_EQ(p.size(), 32u);
+  EXPECT_TRUE(p.bit(0));
+  EXPECT_FALSE(p.bit(1));
+  EXPECT_FALSE(p.bit(30));
+  EXPECT_TRUE(p.bit(31));
+}
+
+TEST(PrefixBitsTest, PrefixZeroesTail) {
+  PrefixBits p = PrefixBits::from_u32(0xffffffffu, 32);
+  PrefixBits q = p.prefix(8);
+  EXPECT_EQ(q.size(), 8u);
+  // Bits beyond the length must be cleared so operator== is well-defined.
+  EXPECT_EQ(q, PrefixBits::from_u32(0xff000000u, 8));
+}
+
+TEST(PrefixBitsTest, SuffixAndAppendRoundTrip) {
+  PrefixBits p = PrefixBits::from_u32(0xdeadbeefu, 32);
+  PrefixBits head = p.prefix(13);
+  PrefixBits tail = p.suffix(13);
+  head.append(tail);
+  EXPECT_EQ(head, p);
+}
+
+TEST(PrefixBitsTest, CommonPrefix) {
+  PrefixBits a = PrefixBits::from_u32(0xff000000u, 32);
+  PrefixBits b = PrefixBits::from_u32(0xfe000000u, 32);
+  EXPECT_EQ(a.common_prefix(b, 0, 32), 7u);
+}
+
+TEST(PrefixBitsTest, U128SpansWords) {
+  PrefixBits p = PrefixBits::from_u128(0x1, ~uint64_t{0}, 128);
+  EXPECT_TRUE(p.bit(63));
+  EXPECT_FALSE(p.bit(62));
+  EXPECT_TRUE(p.bit(64));
+  EXPECT_TRUE(p.bit(127));
+}
+
+// The paper's example trie (§5.4): 20/8, 10.1/16, 10.2/16, 10.1.3/24,
+// 10.1.4.5/32. Note the figure shows a "10" node present only for its
+// children (no /8 rule on 10).
+class PaperTrieTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trie_.insert(ip_prefix(20, 0, 0, 0, 8));
+    trie_.insert(ip_prefix(10, 1, 0, 0, 16));
+    trie_.insert(ip_prefix(10, 2, 0, 0, 16));
+    trie_.insert(ip_prefix(10, 1, 3, 0, 24));
+    trie_.insert(ip_prefix(10, 1, 4, 5, 32));
+  }
+  PrefixTrie trie_;
+};
+
+TEST_F(PaperTrieTest, ReachingLeafNeedsNoMoreBits) {
+  // "10.1.3.5 would be installed as 10.1.3/24": traversal ends at the /24
+  // leaf, so only 24 bits are needed and /16 + /24 lengths are viable.
+  auto r = trie_.lookup(ip_value(10, 1, 3, 5));
+  EXPECT_EQ(r.nbits, 24u);
+  EXPECT_TRUE(r.plens.test(16));
+  EXPECT_TRUE(r.plens.test(24));
+  EXPECT_FALSE(r.plens.test(32));
+  EXPECT_FALSE(r.plens.test(8));
+}
+
+TEST_F(PaperTrieTest, ReachingShallowLeaf) {
+  // "20.0.5.1 as 20/8".
+  auto r = trie_.lookup(ip_value(20, 0, 5, 1));
+  EXPECT_EQ(r.nbits, 8u);
+  EXPECT_TRUE(r.plens.test(8));
+  EXPECT_EQ(r.plens.count(), 1u);
+}
+
+TEST_F(PaperTrieTest, MismatchNeedsBitsUpToDivergence) {
+  // "10.3.5.1 must be installed as 10.3/16": the address diverges from both
+  // the 10.1 and 10.2 children somewhere inside the second octet.
+  auto r = trie_.lookup(ip_value(10, 3, 5, 1));
+  EXPECT_LE(r.nbits, 16u);
+  EXPECT_GT(r.nbits, 8u);
+  EXPECT_EQ(r.plens.count(), 0u);  // no rule matches: "10" node has no rules
+}
+
+TEST_F(PaperTrieTest, CompletelyOffTrie) {
+  // "30.10.5.2 as 30/8" — diverges within the first octet.
+  auto r = trie_.lookup(ip_value(30, 10, 5, 2));
+  EXPECT_LE(r.nbits, 8u);
+  EXPECT_EQ(r.plens.count(), 0u);
+}
+
+TEST_F(PaperTrieTest, SkippableTuples) {
+  // §5.4: for 10.1.6.1, no flow with an IP match longer than /16 matches, so
+  // the /24 and /32 tuples can be skipped.
+  auto r = trie_.lookup(ip_value(10, 1, 6, 1));
+  EXPECT_TRUE(r.plens.test(16));
+  EXPECT_FALSE(r.plens.test(24));
+  EXPECT_FALSE(r.plens.test(32));
+}
+
+TEST(PrefixTrieTest, EmptyTrie) {
+  PrefixTrie t;
+  EXPECT_TRUE(t.empty());
+  auto r = t.lookup(ip_value(1, 2, 3, 4));
+  EXPECT_EQ(r.nbits, 0u);
+  EXPECT_EQ(r.plens.count(), 0u);
+}
+
+TEST(PrefixTrieTest, SinglePrefixExactMatch) {
+  PrefixTrie t;
+  t.insert(ip_prefix(192, 168, 0, 0, 16));
+  auto hit = t.lookup(ip_value(192, 168, 5, 5));
+  EXPECT_TRUE(hit.plens.test(16));
+  EXPECT_EQ(hit.nbits, 16u);
+  auto miss = t.lookup(ip_value(192, 169, 5, 5));
+  EXPECT_FALSE(miss.plens.test(16));
+  EXPECT_EQ(miss.nbits, 16u);  // mismatch at bit 15 -> need 16 bits
+}
+
+TEST(PrefixTrieTest, DuplicateInsertIsRefcounted) {
+  PrefixTrie t;
+  t.insert(ip_prefix(10, 0, 0, 0, 8));
+  t.insert(ip_prefix(10, 0, 0, 0, 8));
+  EXPECT_EQ(t.prefix_count(), 2u);
+  EXPECT_TRUE(t.remove(ip_prefix(10, 0, 0, 0, 8)));
+  EXPECT_TRUE(t.lookup(ip_value(10, 1, 1, 1)).plens.test(8));
+  EXPECT_TRUE(t.remove(ip_prefix(10, 0, 0, 0, 8)));
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.remove(ip_prefix(10, 0, 0, 0, 8)));
+}
+
+TEST(PrefixTrieTest, RemoveCollapsesSplitNodes) {
+  PrefixTrie t;
+  t.insert(ip_prefix(10, 1, 0, 0, 16));
+  t.insert(ip_prefix(10, 2, 0, 0, 16));
+  EXPECT_TRUE(t.remove(ip_prefix(10, 2, 0, 0, 16)));
+  // After collapse the remaining prefix must still be found.
+  EXPECT_TRUE(t.lookup(ip_value(10, 1, 9, 9)).plens.test(16));
+  EXPECT_FALSE(t.lookup(ip_value(10, 2, 9, 9)).plens.test(16));
+}
+
+TEST(PrefixTrieTest, ZeroLengthPrefixMatchesEverything) {
+  PrefixTrie t;
+  t.insert(PrefixBits::from_u32(0, 0));  // a /0 "default route"
+  auto r = t.lookup(ip_value(1, 2, 3, 4));
+  EXPECT_TRUE(r.plens.test(0));
+}
+
+TEST(PrefixTrieTest, PortWidth16) {
+  PrefixTrie t;
+  t.insert(PrefixBits::from_u16(25, 16));   // SMTP ACL (§5.4)
+  t.insert(PrefixBits::from_u16(80, 16));
+  auto r = t.lookup(PrefixBits::from_u16(54321, 16));
+  EXPECT_FALSE(r.plens.test(16));
+  EXPECT_LT(r.nbits, 16u);  // high-order bits suffice to exclude both ports
+}
+
+TEST(PrefixTrieTest, Ipv6Width128) {
+  PrefixTrie t;
+  t.insert(PrefixBits::from_u128(0x20010db8'00000000ULL, 0, 32));
+  auto hit = t.lookup(PrefixBits::from_u128(0x20010db8'deadbeefULL, 42, 128));
+  EXPECT_TRUE(hit.plens.test(32));
+  auto miss = t.lookup(PrefixBits::from_u128(0x20020db8'00000000ULL, 0, 128));
+  EXPECT_FALSE(miss.plens.test(32));
+}
+
+// Property test: plens must exactly equal brute-force prefix containment,
+// and nbits must render the result unique (flipping any bit at or beyond
+// nbits cannot change plens).
+class TrieRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrieRandomTest, MatchesBruteForceAndNbitsIsSound) {
+  Rng rng(GetParam());
+  PrefixTrie trie;
+  std::vector<std::pair<uint32_t, unsigned>> prefixes;
+  // A clustered universe so prefixes actually overlap.
+  for (int i = 0; i < 60; ++i) {
+    unsigned len = static_cast<unsigned>(rng.range(1, 32));
+    uint32_t v = static_cast<uint32_t>(rng.next()) &
+                 (rng.chance(0.7) ? 0x0f0f0f0fu : 0xffffffffu);
+    v &= ipv4_prefix_mask(len);
+    prefixes.emplace_back(v, len);
+    trie.insert(PrefixBits::from_u32(v, len));
+  }
+  for (int q = 0; q < 200; ++q) {
+    uint32_t addr = static_cast<uint32_t>(rng.next()) &
+                    (rng.chance(0.7) ? 0x0f0f0f0fu : 0xffffffffu);
+    auto r = trie.lookup(PrefixBits::from_u32(addr, 32));
+    // plens == brute force.
+    for (unsigned len = 1; len <= 32; ++len) {
+      bool expect = false;
+      for (auto& [v, l] : prefixes)
+        if (l == len && (addr & ipv4_prefix_mask(len)) == v) expect = true;
+      EXPECT_EQ(r.plens.test(len), expect)
+          << "addr=" << Ipv4(addr).to_string() << " len=" << len;
+    }
+    // nbits soundness: same leading nbits => same plens.
+    ASSERT_LE(r.nbits, 32u);
+    for (int trial = 0; trial < 8; ++trial) {
+      uint32_t mutant = addr;
+      if (r.nbits < 32) {
+        const uint32_t keep = ipv4_prefix_mask(r.nbits);
+        mutant = (addr & keep) |
+                 (static_cast<uint32_t>(rng.next()) & ~keep);
+      }
+      auto r2 = trie.lookup(PrefixBits::from_u32(mutant, 32));
+      EXPECT_EQ(r2.plens, r.plens)
+          << "addr=" << Ipv4(addr).to_string()
+          << " mutant=" << Ipv4(mutant).to_string() << " nbits=" << r.nbits;
+    }
+  }
+  // Remove everything; the trie must end empty and consistent.
+  for (auto& [v, l] : prefixes)
+    EXPECT_TRUE(trie.remove(PrefixBits::from_u32(v, l)));
+  EXPECT_TRUE(trie.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ovs

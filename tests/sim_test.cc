@@ -1,0 +1,117 @@
+// Tests for the simulation substrate: virtual clock, cost model, RNG and
+// distribution helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ovs {
+namespace {
+
+TEST(VirtualClockTest, AdvancesMonotonically) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0u);
+  c.advance(5);
+  EXPECT_EQ(c.now(), 5u);
+  c.advance_to(100);
+  EXPECT_EQ(c.now(), 100u);
+  c.advance_to(50);  // never backwards
+  EXPECT_EQ(c.now(), 100u);
+  EXPECT_EQ(kSecond, 1000u * kMillisecond);
+  EXPECT_EQ(kMillisecond, 1000u * kMicrosecond);
+}
+
+TEST(CostModelTest, SecondsAndPercentages) {
+  CostModel m;
+  m.ghz = 2.0;
+  EXPECT_DOUBLE_EQ(m.seconds(2e9), 1.0);
+  m.n_cores = 16;
+  EXPECT_DOUBLE_EQ(m.cycles_per_second_total(), 32e9);
+
+  CpuAccounting cpu;
+  cpu.user_cycles = 1e9;    // half a core-second at 2 GHz
+  cpu.kernel_cycles = 4e9;  // two core-seconds
+  EXPECT_DOUBLE_EQ(cpu.user_pct(1.0, m), 50.0);
+  EXPECT_DOUBLE_EQ(cpu.kernel_pct(1.0, m), 200.0);  // >100% = multithreaded
+  EXPECT_DOUBLE_EQ(cpu.user_pct(2.0, m), 25.0);
+  cpu.reset();
+  EXPECT_DOUBLE_EQ(cpu.user_pct(1.0, m), 0.0);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const uint64_t r = rng.range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(RngTest, LognormalRoughMoments) {
+  Rng rng(11);
+  double sum_log = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum_log += std::log(rng.lognormal(3.0, 0.8));
+  EXPECT_NEAR(sum_log / n, 3.0, 0.05);
+}
+
+TEST(ZipfTest, HeadIsHot) {
+  Rng rng(5);
+  ZipfSampler z(1000, 1.1);
+  size_t head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (z.sample(rng) < 10) ++head;
+  // With s=1.1 the top-1% of ranks draws a large share.
+  EXPECT_GT(static_cast<double>(head) / n, 0.3);
+}
+
+TEST(DistributionTest, PercentilesAndCdf) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.add(i);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 100.0);
+  EXPECT_NEAR(d.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(d.mean(), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(d.cdf(100), 1.0);
+  EXPECT_NEAR(d.cdf(50), 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(d.cdf(0), 0.0);
+  auto pts = d.cdf_points(5);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_DOUBLE_EQ(pts.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  EXPECT_LE(pts.front().first, pts.back().first);
+}
+
+TEST(DistributionTest, InterleavedAddAndQuery) {
+  Distribution d;
+  d.add(10);
+  EXPECT_DOUBLE_EQ(d.percentile(50), 10.0);
+  d.add(20);  // must re-sort transparently
+  EXPECT_DOUBLE_EQ(d.max(), 20.0);
+  EXPECT_EQ(d.count(), 2u);
+}
+
+}  // namespace
+}  // namespace ovs

@@ -1,0 +1,181 @@
+// Tests for workload and table generators.
+#include "workload/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/table_gen.h"
+
+namespace ovs {
+namespace {
+
+TEST(TcpCrrTest, TransactionShape) {
+  TcpCrrWorkload::Config cfg;
+  TcpCrrWorkload crr(cfg);
+  auto pkts = crr.next_transaction();
+  ASSERT_EQ(pkts.size(), TcpCrrWorkload::kPacketsPerTransaction);
+  // SYN first, from the client.
+  EXPECT_EQ(pkts[0].key.tcp_flags(), 0x002);
+  EXPECT_EQ(pkts[0].key.in_port(), cfg.client_port);
+  EXPECT_EQ(pkts[0].key.nw_dst(), cfg.server_ip);
+  // SYN-ACK from the server side.
+  EXPECT_EQ(pkts[1].key.in_port(), cfg.server_port);
+  EXPECT_EQ(pkts[1].key.nw_src(), cfg.server_ip);
+  // All client-side packets of one transaction share the ephemeral port.
+  const uint16_t eph = pkts[0].key.tp_src();
+  EXPECT_GE(eph, 32768);
+  EXPECT_EQ(pkts[2].key.tp_src(), eph);
+  EXPECT_EQ(pkts[1].key.tp_dst(), eph);
+}
+
+TEST(TcpCrrTest, FreshPortPerTransaction) {
+  TcpCrrWorkload::Config cfg;
+  cfg.sessions = 3;
+  TcpCrrWorkload crr(cfg);
+  std::set<uint16_t> ports;
+  for (int i = 0; i < 30; ++i) {
+    auto pkts = crr.next_transaction();
+    ports.insert(pkts[0].key.tp_src());
+  }
+  EXPECT_EQ(ports.size(), 30u) << "every transaction must be a new microflow";
+  EXPECT_EQ(crr.transactions(), 30u);
+}
+
+TEST(PortScanTest, SweepsPorts) {
+  PortScanWorkload scan(PortScanWorkload::Config{});
+  Packet a = scan.next();
+  Packet b = scan.next();
+  EXPECT_EQ(a.key.tp_dst() + 1, b.key.tp_dst());
+  EXPECT_EQ(a.key.nw_dst(), b.key.nw_dst());
+  EXPECT_EQ(a.key.tp_src(), b.key.tp_src());
+}
+
+TEST(LongLivedFlowsTest, DrawsFromFixedSet) {
+  LongLivedFlowsWorkload::Config cfg;
+  cfg.n_flows = 10;
+  LongLivedFlowsWorkload w(cfg);
+  std::set<uint32_t> srcs;
+  for (int i = 0; i < 500; ++i) srcs.insert(w.next().key.nw_src().value());
+  EXPECT_LE(srcs.size(), 10u);
+  EXPECT_GT(srcs.size(), 5u);  // Zipf still touches most of a small set
+}
+
+TEST(TableGenTest, PaperTableSemantics) {
+  Switch sw;
+  sw.add_port(1);
+  sw.add_port(2);
+  install_paper_microbench_table(sw, 2);
+  EXPECT_EQ(sw.table(0).flow_count(), 4u);
+
+  // ARP beats everything.
+  FlowKey arp;
+  arp.set_in_port(1);
+  arp.set_eth_type(ethertype::kArp);
+  auto xr = sw.pipeline().translate(arp, 0);
+  EXPECT_EQ(xr.actions.to_string(), "output:2");
+
+  // The ACL flow matches only the exact triple.
+  FlowKey acl;
+  acl.set_in_port(1);
+  acl.set_eth_type(ethertype::kIpv4);
+  acl.set_nw_proto(ipproto::kTcp);
+  acl.set_nw_dst(Ipv4(9, 1, 1, 1));
+  acl.set_tp_src(10);
+  acl.set_tp_dst(10);
+  EXPECT_FALSE(sw.pipeline().translate(acl, 0).actions.drops());
+}
+
+class NvpPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_.n_tenants = 2;
+    cfg_.vms_per_tenant = 2;
+    cfg_.acl_tenant_fraction = 0.5;  // tenant 1 has ACLs, tenant 2 not
+    cfg_.acls_per_tenant = 2;
+    topo_ = install_nvp_pipeline(sw_, cfg_);
+  }
+  Switch sw_;
+  NvpConfig cfg_;
+  NvpTopology topo_;
+};
+
+TEST_F(NvpPipelineTest, IntraTenantForwarding) {
+  auto t1 = topo_.tenant_vms(1);
+  ASSERT_EQ(t1.size(), 2u);
+  Packet p = nvp_packet(*t1[0], *t1[1], 50000, 80);
+  auto xr = sw_.pipeline().translate(p.key, 0);
+  EXPECT_EQ(xr.actions.to_string(),
+            "set(metadata=1),set(reg1=" + std::to_string(t1[1]->port) +
+                "),output:" + std::to_string(t1[1]->port));
+  EXPECT_EQ(xr.table_lookups, 4u);
+}
+
+TEST_F(NvpPipelineTest, TenantsAreIsolated) {
+  auto t1 = topo_.tenant_vms(1);
+  auto t2 = topo_.tenant_vms(2);
+  // Cross-tenant packet: the L2 table has no binding for the dst MAC in
+  // tenant 1's logical datapath -> dropped.
+  Packet p = nvp_packet(*t1[0], *t2[0], 50000, 80);
+  auto xr = sw_.pipeline().translate(p.key, 0);
+  EXPECT_TRUE(xr.actions.drops());
+}
+
+TEST_F(NvpPipelineTest, AclBlocksConfiguredPorts) {
+  auto t1 = topo_.tenant_vms(1);  // the ACL tenant
+  ASSERT_FALSE(topo_.blocked_ports.empty());
+  Packet blocked =
+      nvp_packet(*t1[0], *t1[1], 50000, topo_.blocked_ports[0]);
+  EXPECT_TRUE(sw_.pipeline().translate(blocked.key, 0).actions.drops());
+}
+
+TEST_F(NvpPipelineTest, NonAclTenantMegaflowsIgnoreL4) {
+  // §5.3: "megaflows for traffic on logical datapaths without L4 ACLs
+  // [should] avoid matching on L4 port".
+  auto t2 = topo_.tenant_vms(2);  // no ACLs
+  Packet p = nvp_packet(*t2[0], *t2[1], 50000, 80);
+  auto xr = sw_.pipeline().translate(p.key, 0);
+  EXPECT_FALSE(xr.actions.drops());
+  EXPECT_FALSE(xr.megaflow.mask.has_field(FieldId::kTpDst));
+  EXPECT_FALSE(xr.megaflow.mask.has_field(FieldId::kTpSrc));
+}
+
+TEST_F(NvpPipelineTest, AclTenantMegaflowsMatchL4) {
+  auto t1 = topo_.tenant_vms(1);
+  Packet p = nvp_packet(*t1[0], *t1[1], 50000, 80);
+  auto xr = sw_.pipeline().translate(p.key, 0);
+  EXPECT_FALSE(xr.actions.drops());
+  EXPECT_TRUE(xr.megaflow.mask.has_field(FieldId::kTpDst));
+}
+
+TEST_F(NvpPipelineTest, TunnelIngressClassified) {
+  auto t2 = topo_.tenant_vms(2);
+  Packet p = nvp_packet(*t2[0], *t2[1], 50000, 80);
+  p.key.set_in_port(cfg_.tunnel_port);
+  p.key.set_tun_id(2);  // tenant 2's tunnel key
+  auto xr = sw_.pipeline().translate(p.key, 0);
+  EXPECT_FALSE(xr.actions.drops());
+  // Tunnel megaflows must match the tunnel id (ingress classification).
+  EXPECT_TRUE(xr.megaflow.mask.is_exact(FieldId::kTunId));
+}
+
+TEST(RandomClassifierTest, BuildsRequestedShape) {
+  Rng rng(5);
+  Classifier cls;
+  auto rules = build_random_classifier(cls, 5000, 10, rng);
+  EXPECT_EQ(cls.rule_count(), rules.size());
+  EXPECT_GE(rules.size(), 4900u);
+  EXPECT_LE(cls.tuple_count(), 10u);
+  EXPECT_GE(cls.tuple_count(), 8u);
+  // Lookups return rules that actually match.
+  for (int i = 0; i < 200; ++i) {
+    FlowKey pkt = random_classifier_packet(rng);
+    const Rule* r = cls.lookup(pkt);
+    if (r != nullptr) {
+      EXPECT_TRUE(r->match().matches(pkt));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ovs
