@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bridge_compare.dir/bench/bench_bridge_compare.cc.o"
+  "CMakeFiles/bench_bridge_compare.dir/bench/bench_bridge_compare.cc.o.d"
+  "CMakeFiles/bench_bridge_compare.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_bridge_compare.dir/bench/bench_common.cc.o.d"
+  "bench/bench_bridge_compare"
+  "bench/bench_bridge_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bridge_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

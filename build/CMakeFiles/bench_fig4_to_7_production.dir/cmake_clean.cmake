@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_to_7_production.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_fig4_to_7_production.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig4_to_7_production.dir/bench/bench_fig4_to_7_production.cc.o"
+  "CMakeFiles/bench_fig4_to_7_production.dir/bench/bench_fig4_to_7_production.cc.o.d"
+  "bench/bench_fig4_to_7_production"
+  "bench/bench_fig4_to_7_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_to_7_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

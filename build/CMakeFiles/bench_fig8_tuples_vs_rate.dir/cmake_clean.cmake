@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tuples_vs_rate.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_fig8_tuples_vs_rate.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig8_tuples_vs_rate.dir/bench/bench_fig8_tuples_vs_rate.cc.o"
+  "CMakeFiles/bench_fig8_tuples_vs_rate.dir/bench/bench_fig8_tuples_vs_rate.cc.o.d"
+  "bench/bench_fig8_tuples_vs_rate"
+  "bench/bench_fig8_tuples_vs_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tuples_vs_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_raw_lookup.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_raw_lookup.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_raw_lookup.dir/bench/bench_raw_lookup.cc.o"
+  "CMakeFiles/bench_raw_lookup.dir/bench/bench_raw_lookup.cc.o.d"
+  "bench/bench_raw_lookup"
+  "bench/bench_raw_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_raw_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_classifier_opts.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_table1_classifier_opts.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_table1_classifier_opts.dir/bench/bench_table1_classifier_opts.cc.o"
+  "CMakeFiles/bench_table1_classifier_opts.dir/bench/bench_table1_classifier_opts.cc.o.d"
+  "bench/bench_table1_classifier_opts"
+  "bench/bench_table1_classifier_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_classifier_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_microflow.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_table2_microflow.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_table2_microflow.dir/bench/bench_table2_microflow.cc.o"
+  "CMakeFiles/bench_table2_microflow.dir/bench/bench_table2_microflow.cc.o.d"
+  "bench/bench_table2_microflow"
+  "bench/bench_table2_microflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_microflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_datacenter_fabric.dir/datacenter_fabric.cc.o"
+  "CMakeFiles/example_datacenter_fabric.dir/datacenter_fabric.cc.o.d"
+  "example_datacenter_fabric"
+  "example_datacenter_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_datacenter_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mac_learning_switch.dir/mac_learning_switch.cc.o"
+  "CMakeFiles/example_mac_learning_switch.dir/mac_learning_switch.cc.o.d"
+  "example_mac_learning_switch"
+  "example_mac_learning_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mac_learning_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

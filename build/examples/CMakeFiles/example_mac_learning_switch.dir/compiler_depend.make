@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_mac_learning_switch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_network_virtualization.dir/network_virtualization.cc.o"
+  "CMakeFiles/example_network_virtualization.dir/network_virtualization.cc.o.d"
+  "example_network_virtualization"
+  "example_network_virtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_network_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

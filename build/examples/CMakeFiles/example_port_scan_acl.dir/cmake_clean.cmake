@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_port_scan_acl.dir/port_scan_acl.cc.o"
+  "CMakeFiles/example_port_scan_acl.dir/port_scan_acl.cc.o.d"
+  "example_port_scan_acl"
+  "example_port_scan_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_port_scan_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stateful_firewall.dir/stateful_firewall.cc.o"
+  "CMakeFiles/example_stateful_firewall.dir/stateful_firewall.cc.o.d"
+  "example_stateful_firewall"
+  "example_stateful_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stateful_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vswitch_cli.dir/vswitch_cli.cc.o"
+  "CMakeFiles/example_vswitch_cli.dir/vswitch_cli.cc.o.d"
+  "example_vswitch_cli"
+  "example_vswitch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vswitch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/linux_bridge.cc" "src/CMakeFiles/vswitch.dir/baseline/linux_bridge.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/baseline/linux_bridge.cc.o.d"
+  "/root/repo/src/classifier/classifier.cc" "src/CMakeFiles/vswitch.dir/classifier/classifier.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/classifier/classifier.cc.o.d"
+  "/root/repo/src/datapath/datapath.cc" "src/CMakeFiles/vswitch.dir/datapath/datapath.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/datapath/datapath.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/vswitch.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/net/fabric.cc.o.d"
+  "/root/repo/src/ofproto/flow_parser.cc" "src/CMakeFiles/vswitch.dir/ofproto/flow_parser.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/ofproto/flow_parser.cc.o.d"
+  "/root/repo/src/ofproto/flow_table.cc" "src/CMakeFiles/vswitch.dir/ofproto/flow_table.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/ofproto/flow_table.cc.o.d"
+  "/root/repo/src/ofproto/mac_learning.cc" "src/CMakeFiles/vswitch.dir/ofproto/mac_learning.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/ofproto/mac_learning.cc.o.d"
+  "/root/repo/src/ofproto/pipeline.cc" "src/CMakeFiles/vswitch.dir/ofproto/pipeline.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/ofproto/pipeline.cc.o.d"
+  "/root/repo/src/packet/flow_key.cc" "src/CMakeFiles/vswitch.dir/packet/flow_key.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/packet/flow_key.cc.o.d"
+  "/root/repo/src/packet/parser.cc" "src/CMakeFiles/vswitch.dir/packet/parser.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/packet/parser.cc.o.d"
+  "/root/repo/src/sim/fleet.cc" "src/CMakeFiles/vswitch.dir/sim/fleet.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/sim/fleet.cc.o.d"
+  "/root/repo/src/util/prefix_trie.cc" "src/CMakeFiles/vswitch.dir/util/prefix_trie.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/util/prefix_trie.cc.o.d"
+  "/root/repo/src/vswitchd/config.cc" "src/CMakeFiles/vswitch.dir/vswitchd/config.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/vswitchd/config.cc.o.d"
+  "/root/repo/src/vswitchd/switch.cc" "src/CMakeFiles/vswitch.dir/vswitchd/switch.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/vswitchd/switch.cc.o.d"
+  "/root/repo/src/workload/table_gen.cc" "src/CMakeFiles/vswitch.dir/workload/table_gen.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/workload/table_gen.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/vswitch.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/vswitch.dir/workload/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

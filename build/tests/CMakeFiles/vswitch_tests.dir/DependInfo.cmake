@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bridge_test.cc" "tests/CMakeFiles/vswitch_tests.dir/bridge_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/bridge_test.cc.o.d"
+  "/root/repo/tests/classifier_property_test.cc" "tests/CMakeFiles/vswitch_tests.dir/classifier_property_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/classifier_property_test.cc.o.d"
+  "/root/repo/tests/classifier_test.cc" "tests/CMakeFiles/vswitch_tests.dir/classifier_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/classifier_test.cc.o.d"
+  "/root/repo/tests/concurrent_emc_test.cc" "tests/CMakeFiles/vswitch_tests.dir/concurrent_emc_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/concurrent_emc_test.cc.o.d"
+  "/root/repo/tests/config_test.cc" "tests/CMakeFiles/vswitch_tests.dir/config_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/config_test.cc.o.d"
+  "/root/repo/tests/conntrack_test.cc" "tests/CMakeFiles/vswitch_tests.dir/conntrack_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/conntrack_test.cc.o.d"
+  "/root/repo/tests/cuckoo_test.cc" "tests/CMakeFiles/vswitch_tests.dir/cuckoo_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/cuckoo_test.cc.o.d"
+  "/root/repo/tests/datapath_test.cc" "tests/CMakeFiles/vswitch_tests.dir/datapath_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/datapath_test.cc.o.d"
+  "/root/repo/tests/fabric_test.cc" "tests/CMakeFiles/vswitch_tests.dir/fabric_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/fabric_test.cc.o.d"
+  "/root/repo/tests/field_zoo_test.cc" "tests/CMakeFiles/vswitch_tests.dir/field_zoo_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/field_zoo_test.cc.o.d"
+  "/root/repo/tests/flat_hash_test.cc" "tests/CMakeFiles/vswitch_tests.dir/flat_hash_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/flat_hash_test.cc.o.d"
+  "/root/repo/tests/fleet_test.cc" "tests/CMakeFiles/vswitch_tests.dir/fleet_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/fleet_test.cc.o.d"
+  "/root/repo/tests/flow_key_test.cc" "tests/CMakeFiles/vswitch_tests.dir/flow_key_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/flow_key_test.cc.o.d"
+  "/root/repo/tests/flow_parser_test.cc" "tests/CMakeFiles/vswitch_tests.dir/flow_parser_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/flow_parser_test.cc.o.d"
+  "/root/repo/tests/flow_stats_test.cc" "tests/CMakeFiles/vswitch_tests.dir/flow_stats_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/flow_stats_test.cc.o.d"
+  "/root/repo/tests/mac_learning_test.cc" "tests/CMakeFiles/vswitch_tests.dir/mac_learning_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/mac_learning_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/vswitch_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/vswitch_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/prefix_trie_test.cc" "tests/CMakeFiles/vswitch_tests.dir/prefix_trie_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/prefix_trie_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/vswitch_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/vswitch_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/switch_test.cc" "tests/CMakeFiles/vswitch_tests.dir/switch_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/switch_test.cc.o.d"
+  "/root/repo/tests/wildcards_test.cc" "tests/CMakeFiles/vswitch_tests.dir/wildcards_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/wildcards_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/vswitch_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/vswitch_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vswitch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
