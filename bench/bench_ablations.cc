@@ -34,7 +34,7 @@ Packet conn_packet(uint16_t sport, uint16_t dport = 9000) {
   return p;
 }
 
-void ablation_batching() {
+void ablation_batching(BenchReport& report) {
   std::printf("\nA. Upcall batching (burst of concurrent misses)\n");
   print_rule();
   std::printf("%-12s %22s %14s\n", "mode", "user cycles per setup",
@@ -60,6 +60,10 @@ void ablation_batching() {
       setups += sw.handle_upcalls(0);
     }
     per_setup[idx] = sw.cpu().user_cycles / static_cast<double>(setups);
+    report.add("user_cycles_per_setup", per_setup[idx],
+               {{"ablation", "upcall_batching"},
+                {"mode", batching ? "batched" : "unbatched"}},
+               setups);
     std::printf("%-12s %22.0f %13.1f%%\n",
                 batching ? "batched" : "unbatched", per_setup[idx],
                 idx == 0 ? 0.0
@@ -68,9 +72,12 @@ void ablation_batching() {
     ++idx;
   }
   std::printf("(paper: batching improved flow setup by about 24%%)\n");
+  report.add("improvement_pct",
+             100.0 * (per_setup[0] - per_setup[1]) / per_setup[0],
+             {{"ablation", "upcall_batching"}});
 }
 
-void ablation_revalidation() {
+void ablation_revalidation(BenchReport& report) {
   std::printf("\nB. Tag-based vs. full revalidation (NORMAL flows, one MAC "
               "moves)\n");
   print_rule();
@@ -131,6 +138,10 @@ void ablation_revalidation() {
                   sw.datapath().flow_count(), moves,
                   static_cast<unsigned long long>(retranslated),
                   sw.cpu().user_cycles - user0);
+      report.add("retranslations", static_cast<double>(retranslated),
+                 {{"ablation", "revalidation"},
+                  {"mode", mode == RevalidationMode::kTags ? "tags" : "full"},
+                  {"mac_moves", std::to_string(moves)}});
     }
   }
   std::printf("(§6: tags win when changes are rare; Bloom false positives\n"
@@ -138,7 +149,7 @@ void ablation_revalidation() {
               " tags for always-full revalidation)\n");
 }
 
-void ablation_emc_sizing() {
+void ablation_emc_sizing(BenchReport& report) {
   std::printf("\nC. Microflow cache sizing (hit rate vs. active "
               "connections)\n");
   print_rule();
@@ -163,13 +174,18 @@ void ablation_emc_sizing() {
       const double hit = static_cast<double>(s.microflow_hits) /
                          static_cast<double>(s.packets);
       std::printf(" %9.1f%%", 100 * hit);
+      report.add("emc_hit_rate_pct", 100 * hit,
+                 {{"ablation", "emc_sizing"},
+                  {"connections", std::to_string(conns)},
+                  {"emc_slots", std::to_string(slots)}},
+                 conns * 8);
     }
     std::printf("\n");
   }
   std::printf("(the EMC only needs to cover the active working set; §4.2)\n");
 }
 
-void ablation_icmp_bug() {
+void ablation_icmp_bug(BenchReport& report) {
   std::printf("\nD. The 7.1 ICMP/port-trie bug: megaflows per 1000 "
               "connections\n");
   print_rule();
@@ -195,6 +211,10 @@ void ablation_icmp_bug() {
     }
     std::printf("  %-18s %6zu megaflows\n", bug ? "bug injected:" : "fixed:",
                 sw.datapath().flow_count());
+    report.add("megaflows_per_1k_conns",
+               static_cast<double>(sw.datapath().flow_count()),
+               {{"ablation", "icmp_port_trie_bug"},
+                {"bug", bug ? "injected" : "fixed"}});
   }
   std::printf("(with the bug, every TCP connection needs its own megaflow —\n"
               " the source of the >100%% CPU outliers in Figure 7)\n");
@@ -203,12 +223,13 @@ void ablation_icmp_bug() {
 }  // namespace
 
 int main(int, char**) {
+  BenchReport report("ablations");
   std::printf("Ablation benches for design choices called out in the "
               "paper\n");
   print_rule('=');
-  ablation_batching();
-  ablation_revalidation();
-  ablation_emc_sizing();
-  ablation_icmp_bug();
+  ablation_batching(report);
+  ablation_revalidation(report);
+  ablation_emc_sizing(report);
+  ablation_icmp_bug(report);
   return 0;
 }

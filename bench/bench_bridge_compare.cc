@@ -105,6 +105,7 @@ Result run_ovs(bool with_rule) {
 }  // namespace
 
 int main(int, char**) {
+  BenchReport report("bridge_compare");
   std::printf("7.2 comparison: Open vSwitch vs. Linux bridge "
               "(learning-switch L2 traffic)\n");
   print_rule('=');
@@ -132,5 +133,23 @@ int main(int, char**) {
   std::printf(
       "OVS CPU change with 1 rule:           %.2fx  (paper: unchanged)\n",
       ovs1.cpu_pct / ovs0.cpu_pct);
+  const struct {
+    const char* sw;
+    const char* rules;
+    const Result& r;
+  } rows[] = {{"linux_bridge", "none", br0},
+              {"linux_bridge", "one", br1},
+              {"ovs", "none", ovs0},
+              {"ovs", "one", ovs1}};
+  for (const auto& row : rows) {
+    const std::map<std::string, std::string> params = {
+        {"switch", row.sw}, {"rules", row.rules}};
+    report.add("mpps", row.r.mpps, params, kPackets);
+    report.add("cpu_pct_at_1mpps", row.r.cpu_pct, params, kPackets);
+  }
+  report.add("bridge_cpu_amplification", br1.cpu_pct / br0.cpu_pct,
+             {{"switch", "linux_bridge"}});
+  report.add("ovs_cpu_amplification", ovs1.cpu_pct / ovs0.cpu_pct,
+             {{"switch", "ovs"}});
   return 0;
 }

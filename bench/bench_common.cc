@@ -1,11 +1,74 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "sim/clock.h"
 #include "workload/table_gen.h"
 
 namespace ovs::benchutil {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+BenchReport::~BenchReport() { write(); }
+
+void BenchReport::add(const std::string& metric, double value,
+                      const std::map<std::string, std::string>& params,
+                      uint64_t repeats) {
+  rows_.push_back(Row{metric, value, repeats, params});
+}
+
+void BenchReport::write() {
+  if (written_) return;
+  written_ = true;
+  std::string dir = ".";
+  if (const char* env = std::getenv("BENCH_OUT")) dir = env;
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "BenchReport: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"rows\": [\n",
+               json_escape(name_).c_str());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    std::fprintf(f,
+                 "    {\"metric\": \"%s\", \"value\": %.17g, "
+                 "\"repeats\": %llu, \"params\": {",
+                 json_escape(r.metric).c_str(), r.value,
+                 static_cast<unsigned long long>(r.repeats));
+    size_t j = 0;
+    for (const auto& [k, v] : r.params)
+      std::fprintf(f, "%s\"%s\": \"%s\"", j++ ? ", " : "",
+                   json_escape(k).c_str(), json_escape(v).c_str());
+    std::fprintf(f, "}}%s\n", i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -33,6 +96,12 @@ bool Flags::boolean(const std::string& name, bool def) const {
   auto it = kv_.find(name);
   if (it == kv_.end()) return def;
   return it->second != "0" && it->second != "false";
+}
+
+std::string Flags::str(const std::string& name,
+                       const std::string& def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : it->second;
 }
 
 double model_tps(double user_cycles_per_txn, double kernel_cycles_per_txn,
@@ -97,32 +166,64 @@ CrrResult run_crr_experiment(const SwitchConfig& cfg, size_t warmup,
   };
 
   const size_t total = warmup + txns;
-  for (size_t t = 0; t < total; ++t) {
-    if ((t & 255) == 0) inject_background();
-    if (t == warmup) {
+  // With cfg.rx_batch > 1, `burst` of the 400 parallel CRR sessions are
+  // interleaved onto the wire: packet k of each in-flight transaction rides
+  // in one receive burst through Switch::inject_batch. Each session is still
+  // a serial request-response loop (packet k+1 never precedes packet k, and
+  // upcalls drain between bursts), so flow-setup semantics are unchanged.
+  const size_t burst = std::max<size_t>(1, cfg.rx_batch);
+  std::vector<std::vector<Packet>> group;
+  std::vector<Packet> wire;
+  size_t next_background = 0;
+  size_t t = 0;
+  while (t < total) {
+    if (t >= next_background) {
+      inject_background();
+      next_background += 256;
+    }
+    if (t == warmup || (t < warmup && t + burst > warmup)) {
       measured_start_misses = sw.datapath().stats().misses;
       measured_start_user = sw.cpu().user_cycles;
       measured_start_kernel = sw.cpu().kernel_cycles;
       measured_start_packets = sw.datapath().stats().packets;
       measured_start_tuples = sw.datapath().stats().tuples_searched;
     }
-    // Netperf CRR is a serial request-response loop: each packet is only
-    // sent once the previous one was delivered, so a pending flow setup
-    // completes before the next packet of the same connection arrives.
-    for (const Packet& pkt : crr.next_transaction()) {
-      sw.inject(pkt, clock.now());
-      sw.handle_upcalls(clock.now());
+    const size_t b = std::min(burst, total - t);
+    if (b == 1) {
+      // Netperf CRR is a serial request-response loop: each packet is only
+      // sent once the previous one was delivered, so a pending flow setup
+      // completes before the next packet of the same connection arrives.
+      for (const Packet& pkt : crr.next_transaction()) {
+        sw.inject(pkt, clock.now());
+        sw.handle_upcalls(clock.now());
+      }
+    } else {
+      group.clear();
+      size_t maxlen = 0;
+      for (size_t j = 0; j < b; ++j) {
+        group.push_back(crr.next_transaction());
+        maxlen = std::max(maxlen, group.back().size());
+      }
+      for (size_t k = 0; k < maxlen; ++k) {
+        wire.clear();
+        for (const auto& txn : group)
+          if (k < txn.size()) wire.push_back(txn[k]);
+        sw.inject_batch(wire, clock.now());
+        sw.handle_upcalls(clock.now());
+      }
     }
 
     // Advance virtual time at the currently-estimated transaction rate so
     // idle timeouts and revalidation behave as they would at that rate.
-    clock.advance(static_cast<uint64_t>(1e9 / tps_est));
+    clock.advance(static_cast<uint64_t>(
+        static_cast<double>(b) * 1e9 / tps_est));
     while (clock.now() >= next_maintenance) {
       sw.run_maintenance(clock.now());
       next_maintenance += kSecond;
     }
-    if ((t & 1023) == 1023 && t >= warmup) {
-      const double txns_done = static_cast<double>(t - warmup + 1);
+    const size_t t2 = t + b;
+    if (t2 > warmup && t2 / 1024 != t / 1024) {
+      const double txns_done = static_cast<double>(t2 - warmup);
       const double user_cpt =
           (sw.cpu().user_cycles - measured_start_user) / txns_done;
       const double kern_cpt =
@@ -133,6 +234,7 @@ CrrResult run_crr_experiment(const SwitchConfig& cfg, size_t warmup,
           txns_done;
       tps_est = model_tps(user_cpt, kern_cpt, mpt, cfg.cost, model);
     }
+    t = t2;
   }
 
   const double txns_done = static_cast<double>(txns);

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "vswitchd/switch.h"
 #include "workload/workloads.h"
@@ -21,9 +22,44 @@ class Flags {
   uint64_t u64(const std::string& name, uint64_t def) const;
   double f64(const std::string& name, double def) const;
   bool boolean(const std::string& name, bool def) const;
+  std::string str(const std::string& name, const std::string& def) const;
 
  private:
   std::map<std::string, std::string> kv_;
+};
+
+// Machine-readable results: every bench writes BENCH_<name>.json next to
+// its stdout tables so sweeps can be consumed without scraping. Schema:
+//
+//   { "name": "<bench>",
+//     "rows": [ { "metric": "...", "value": <number>, "repeats": <n>,
+//                 "params": { "<key>": "<value>", ... } }, ... ] }
+//
+// The file is written by write() or, failing that, the destructor. Set the
+// BENCH_OUT environment variable to redirect the output directory.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+  ~BenchReport();
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void add(const std::string& metric, double value,
+           const std::map<std::string, std::string>& params = {},
+           uint64_t repeats = 1);
+  void write();
+
+ private:
+  struct Row {
+    std::string metric;
+    double value;
+    uint64_t repeats;
+    std::map<std::string, std::string> params;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+  bool written_ = false;
 };
 
 // The paper's Netperf testbed parameters (§7.2): 400 parallel CRR sessions

@@ -79,29 +79,78 @@ double run_series(bool microflow, size_t k, size_t packets,
   return 2 * m.ghz * 1e9 / cycles_per_pkt / 1e6;  // Mpps on 2 cores
 }
 
+// The PMD-style series: same workload through Datapath::process_batch with
+// the amortized burst cost model (intra-burst dedup means repeated
+// microflows cost one probe per burst, not one per packet).
+double run_series_batched(size_t k, size_t packets, size_t batch) {
+  DatapathConfig cfg;
+  Datapath dp(cfg);
+  auto pkts = fill_megaflows(dp, k);
+
+  Rng rng(k * 7919 + 2);
+  std::vector<Packet> burst(batch);
+  std::vector<Datapath::RxResult> results(batch);
+  for (size_t i = 0; i < 4096 / batch; ++i) {
+    for (auto& p : burst) p = pkts[rng.uniform(pkts.size())];
+    dp.process_batch(burst, i, results.data());
+  }
+  dp.reset_stats();
+
+  CostModel m;
+  double cycles = 0;
+  size_t done = 0;
+  while (done < packets) {
+    for (auto& p : burst) p = pkts[rng.uniform(pkts.size())];
+    Datapath::BatchSummary sum;
+    dp.process_batch(burst, 10000 + done, results.data(), &sum);
+    cycles += m.batch_fixed + m.per_packet_batched * sum.packets +
+              m.microflow_probe * sum.emc_probes +
+              m.per_tuple * sum.tuples_searched + m.miss_kernel * sum.misses;
+    done += batch;
+  }
+  const double cycles_per_pkt = cycles / static_cast<double>(done);
+  return 2 * m.ghz * 1e9 / cycles_per_pkt / 1e6;  // Mpps on 2 cores
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t packets = flags.u64("packets", 200000);
   const size_t max_masks = flags.u64("max_masks", 24);
+  const size_t batch = flags.u64("batch", 32);
+  BenchReport report("fig8_tuples_vs_rate");
 
   std::printf("Figure 8: forwarding rate vs. average megaflow tuples "
               "searched\n");
   print_rule('=');
-  std::printf("%7s %16s %18s | %18s\n", "masks", "avg tuples/pkt",
-              "Mpps (EMC off)", "Mpps (EMC on)");
+  std::printf("%7s %16s %18s | %18s | %14s\n", "masks", "avg tuples/pkt",
+              "Mpps (EMC off)", "Mpps (EMC on)", "Mpps (batched)");
   print_rule();
   for (size_t k = 1; k <= max_masks; k += (k < 8 ? 1 : 4)) {
     double tuples_off = 0, tuples_on = 0;
     const double off = run_series(false, k, packets, &tuples_off);
     const double on = run_series(true, k, packets, &tuples_on);
-    std::printf("%7zu %16.2f %18.2f | %18.2f\n", k, tuples_off, off, on);
+    const double batched = run_series_batched(k, packets, batch);
+    std::printf("%7zu %16.2f %18.2f | %18.2f | %14.2f\n", k, tuples_off, off,
+                on, batched);
+    const std::string masks = std::to_string(k);
+    report.add("mpps", off, {{"series", "emc_off"}, {"masks", masks}},
+               packets);
+    report.add("mpps", on, {{"series", "emc_on"}, {"masks", masks}}, packets);
+    report.add("mpps", batched,
+               {{"series", "batched"},
+                {"masks", masks},
+                {"batch", std::to_string(batch)}},
+               packets);
+    report.add("tuples_per_pkt", tuples_off,
+               {{"series", "emc_off"}, {"masks", masks}}, packets);
   }
   print_rule();
   std::printf(
       "Shape checks: the EMC-off series decays hyperbolically with the\n"
       "number of tuples searched; the EMC-on series stays flat (paper:\n"
-      "~10.6 Mpps regardless of kernel classifier size).\n");
+      "~10.6 Mpps regardless of kernel classifier size); the batched\n"
+      "series sits above the EMC-on line at every table size.\n");
   return 0;
 }

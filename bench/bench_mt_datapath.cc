@@ -1,0 +1,221 @@
+// Sharded multi-worker datapath bench: Mpps as a function of worker count
+// and receive-burst size on a long-lived-flows workload (steady state: every
+// packet resolved by the per-worker microflow shard or the shared megaflow
+// classifier; no flow setups in the measured window).
+//
+// Two modes:
+//   model (default) — each worker's stream is processed sequentially on this
+//     core; per-worker virtual cycles come from the CostModel applied to the
+//     BatchSummary of its bursts (per-packet formula for batch=1, amortized
+//     burst formula for batch>1, mirroring Switch::inject vs inject_batch).
+//     The rate uses the makespan (max over workers), i.e. what an N-core
+//     PMD deployment would sustain. Deterministic and host-independent, so
+//     it is the primary metric — CI hosts may have a single core.
+//   --mode=real — additionally drives the worker thread pool and reports
+//     wall-clock Mpps (meaningful only on multi-core hosts).
+//
+// Flags: --pkts_per_worker=N --microflows_per_worker=N --megaflows=N
+//        --mode=model|real --repeats=N
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "datapath/mt_datapath.h"
+#include "packet/match.h"
+
+namespace ovs {
+namespace {
+
+using benchutil::BenchReport;
+using benchutil::Flags;
+
+Packet tcp_pkt(Ipv4 dst, uint16_t sport, uint16_t dport) {
+  Packet p;
+  p.key.set_eth_type(ethertype::kIpv4);
+  p.key.set_nw_proto(ipproto::kTcp);
+  p.key.set_nw_src(Ipv4(2, 2, 2, 2));
+  p.key.set_nw_dst(dst);
+  p.key.set_tp_src(sport);
+  p.key.set_tp_dst(dport);
+  p.size_bytes = 128;
+  return p;
+}
+
+struct Workload {
+  // One pre-built packet stream per worker; microflows are distinct across
+  // workers (each worker owns a private EMC shard) but share the megaflows.
+  std::vector<std::vector<Packet>> streams;
+  size_t total_pkts = 0;
+};
+
+Workload build_workload(size_t workers, size_t pkts_per_worker,
+                        size_t microflows, size_t megaflows) {
+  Workload w;
+  w.streams.resize(workers);
+  for (size_t wk = 0; wk < workers; ++wk) {
+    auto& s = w.streams[wk];
+    s.reserve(pkts_per_worker);
+    for (size_t i = 0; i < pkts_per_worker; ++i) {
+      const size_t mf = i % microflows;
+      const auto oct = static_cast<uint8_t>(10 + mf % megaflows);
+      const auto sport = static_cast<uint16_t>(1024 + wk * 4096 + mf);
+      s.push_back(tcp_pkt(Ipv4(oct, 0, 0, 1), sport, 80));
+    }
+    w.total_pkts += pkts_per_worker;
+  }
+  return w;
+}
+
+void install_megaflows(ShardedDatapath& dp, size_t megaflows) {
+  for (size_t i = 0; i < megaflows; ++i)
+    dp.install(MatchBuilder().ip().nw_dst_prefix(
+                   Ipv4(static_cast<uint8_t>(10 + i), 0, 0, 0), 8),
+               DpActions().output(static_cast<uint32_t>(i + 1)), 0);
+}
+
+// Kernel fast-path cycles for one burst. batch=1 is charged the classic
+// per-packet cost; batch>1 the amortized PMD cost (CostModel §"batched").
+double burst_cycles(const CostModel& m, const Datapath::BatchSummary& s,
+                    bool batched) {
+  const double per_pkt = batched ? m.per_packet_batched : m.per_packet;
+  const double fixed = batched ? m.batch_fixed : 0.0;
+  return fixed + per_pkt * s.packets + m.microflow_probe * s.emc_probes +
+         m.per_tuple * s.tuples_searched + m.miss_kernel * s.misses;
+}
+
+struct RunResult {
+  double mpps_model = 0;
+  double mpps_wall = 0;  // 0 unless mode=real
+};
+
+RunResult run_once(size_t workers, size_t batch, const Workload& wl,
+                   const CostModel& cost, bool real_mode) {
+  ShardedDatapathConfig cfg;
+  cfg.n_workers = workers;
+  ShardedDatapath dp(cfg);
+  install_megaflows(dp, 16);
+
+  std::vector<Datapath::RxResult> results(ShardedDatapath::kMaxBatch);
+  const auto drive = [&](size_t wk, double* cycles) {
+    const auto& s = wl.streams[wk];
+    Datapath::BatchSummary total{};
+    for (size_t off = 0; off < s.size(); off += batch) {
+      const size_t n = std::min(batch, s.size() - off);
+      Datapath::BatchSummary sum;
+      dp.process_batch(wk, std::span<const Packet>(s.data() + off, n),
+                       /*now_ns=*/1000, results.data(), &sum);
+      if (cycles) *cycles += burst_cycles(cost, sum, batch > 1);
+      total += sum;
+    }
+    return total;
+  };
+
+  // Warmup pass populates every worker's EMC shard; measured pass is pure
+  // steady state (no misses, no upcalls).
+  for (size_t wk = 0; wk < workers; ++wk) drive(wk, nullptr);
+  dp.take_upcalls(wl.total_pkts);
+
+  RunResult out;
+  double makespan = 0;
+  for (size_t wk = 0; wk < workers; ++wk) {
+    double cycles = 0;
+    drive(wk, &cycles);
+    makespan = std::max(makespan, cycles);
+  }
+  out.mpps_model =
+      static_cast<double>(wl.total_pkts) / cost.seconds(makespan) / 1e6;
+
+  if (real_mode) {
+    dp.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t wk = 0; wk < workers; ++wk) {
+      const auto& s = wl.streams[wk];
+      for (size_t off = 0; off < s.size(); off += batch) {
+        const size_t n = std::min(batch, s.size() - off);
+        dp.submit(wk, std::vector<Packet>(s.begin() + off,
+                                          s.begin() + off + n),
+                  1000);
+      }
+    }
+    dp.drain();
+    const auto t1 = std::chrono::steady_clock::now();
+    dp.stop();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    out.mpps_wall = static_cast<double>(wl.total_pkts) / secs / 1e6;
+  }
+  return out;
+}
+
+int bench_main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const size_t pkts_per_worker =
+      std::max<uint64_t>(1, flags.u64("pkts_per_worker", 1 << 17));
+  const size_t microflows =
+      std::max<uint64_t>(1, flags.u64("microflows_per_worker", 64));
+  // Megaflows cap at 200: dsts are /8 prefixes rooted at octet 10.
+  const size_t megaflows =
+      std::clamp<uint64_t>(flags.u64("megaflows", 16), 1, 200);
+  const size_t repeats = std::max<uint64_t>(1, flags.u64("repeats", 3));
+  const bool real_mode = flags.str("mode", "model") == "real";
+  const CostModel cost;
+
+  static constexpr size_t kWorkers[] = {1, 2, 4, 8};
+  static constexpr size_t kBatches[] = {1, 8, 32, 128};
+
+  BenchReport report("mt_datapath");
+  std::printf("%-8s %-8s %12s %12s\n", "workers", "batch", "Mpps(model)",
+              real_mode ? "Mpps(wall)" : "-");
+  benchutil::print_rule();
+
+  // mpps[workers][batch] medians, for the derived ratios below.
+  std::map<std::pair<size_t, size_t>, double> mpps;
+  for (size_t workers : kWorkers) {
+    const Workload wl =
+        build_workload(workers, pkts_per_worker, microflows, megaflows);
+    for (size_t batch : kBatches) {
+      std::vector<double> model, wall;
+      for (size_t r = 0; r < repeats; ++r) {
+        const RunResult rr = run_once(workers, batch, wl, cost, real_mode);
+        model.push_back(rr.mpps_model);
+        wall.push_back(rr.mpps_wall);
+      }
+      std::sort(model.begin(), model.end());
+      std::sort(wall.begin(), wall.end());
+      const double med = model[model.size() / 2];
+      mpps[{workers, batch}] = med;
+      const std::map<std::string, std::string> params = {
+          {"workers", std::to_string(workers)},
+          {"batch", std::to_string(batch)},
+          {"microflows_per_worker", std::to_string(microflows)},
+          {"megaflows", std::to_string(megaflows)},
+          {"pkts_per_worker", std::to_string(pkts_per_worker)}};
+      report.add("mpps_model", med, params, repeats);
+      if (real_mode)
+        report.add("mpps_wall", wall[wall.size() / 2], params, repeats);
+      std::printf("%-8zu %-8zu %12.2f", workers, batch, med);
+      if (real_mode) std::printf(" %12.2f", wall[wall.size() / 2]);
+      std::printf("\n");
+    }
+  }
+
+  // Acceptance ratios: batching gain on one worker, scaling 1 -> 4 workers.
+  const double batch_speedup = mpps[{1, 32}] / mpps[{1, 1}];
+  const double scaling_1_to_4 = mpps[{4, 32}] / mpps[{1, 32}];
+  benchutil::print_rule();
+  std::printf("batch=32 vs per-packet (1 worker): %.2fx\n", batch_speedup);
+  std::printf("scaling 1 -> 4 workers (batch=32): %.2fx\n", scaling_1_to_4);
+  report.add("batch_speedup_vs_per_packet", batch_speedup,
+             {{"workers", "1"}, {"batch", "32"}}, repeats);
+  report.add("scaling_1_to_4", scaling_1_to_4, {{"batch", "32"}}, repeats);
+  report.write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ovs
+
+int main(int argc, char** argv) { return ovs::bench_main(argc, argv); }

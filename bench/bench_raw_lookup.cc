@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "classifier/classifier.h"
@@ -253,4 +254,25 @@ BENCHMARK(BM_PipelineTranslate);
 }  // namespace
 }  // namespace ovs
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default machine-readable sidecar: unless the
+// caller passed --benchmark_out explicitly, results also land in
+// BENCH_raw_lookup.json (google-benchmark's native JSON schema).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_raw_lookup.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+      has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const size_t warmup = flags.u64("warmup", 4000);
   const size_t txns = flags.u64("txns", 20000);
+  const size_t rx_batch = flags.u64("rx_batch", 1);
+  BenchReport report("table2_microflow");
 
   struct Row {
     const char* micro;
@@ -51,10 +53,19 @@ int main(int argc, char** argv) {
     cfg.datapath.microflow_enabled = row.micro_on;
     cfg.flow_limit = 2000000;
     cfg.dynamic_flow_limit = false;
+    cfg.rx_batch = rx_batch;
     CrrResult r = run_crr_experiment(cfg, warmup, txns);
     std::printf("%-11s %-14s %7.0f %11.2f %6.0f/%-5.0f\n", row.micro,
                 row.opts, r.ktps, r.tuples_per_pkt, r.user_cpu_pct,
                 r.kernel_cpu_pct);
+    const std::map<std::string, std::string> params = {
+        {"microflows", row.micro},
+        {"optimizations", row.opts},
+        {"rx_batch", std::to_string(rx_batch)}};
+    report.add("ktps", r.ktps, params, txns);
+    report.add("tuples_per_pkt", r.tuples_per_pkt, params, txns);
+    report.add("user_cpu_pct", r.user_cpu_pct, params, txns);
+    report.add("kernel_cpu_pct", r.kernel_cpu_pct, params, txns);
   }
   print_rule();
   std::printf(

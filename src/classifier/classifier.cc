@@ -207,6 +207,15 @@ Tuple* Classifier::get_tuple(const FlowMask& mask) {
   return t;
 }
 
+void Classifier::sort_tuples_if_dirty() noexcept {
+  if (!sort_dirty_) return;
+  std::stable_sort(sorted_.begin(), sorted_.end(),
+                   [](const Tuple* a, const Tuple* b) {
+                     return a->pri_max() > b->pri_max();
+                   });
+  sort_dirty_ = false;
+}
+
 void Classifier::trie_update(const Rule& rule, bool add) {
   for (size_t i = 0; i < kNumTrieFields; ++i) {
     const int plen = rule.match().mask.prefix_len(kTrieFields[i]);
@@ -234,6 +243,7 @@ void Classifier::insert(Rule* rule) {
   if (t->pri_max() != old_pri_max || t->size() == 1) sort_dirty_ = true;
   trie_update(*rule, /*add=*/true);
   ++n_rules_;
+  sort_tuples_if_dirty();
 }
 
 void Classifier::remove(Rule* rule) noexcept {
@@ -253,6 +263,7 @@ void Classifier::remove(Rule* rule) noexcept {
   } else if (t->pri_max() != old_pri_max) {
     sort_dirty_ = true;
   }
+  sort_tuples_if_dirty();
 }
 
 Rule* Classifier::find_exact(const Match& match,
@@ -268,15 +279,6 @@ Rule* Classifier::find_exact(const Match& match,
   for (Rule* r = *head; r != nullptr; r = r->next_same_key_)
     if (r->priority() == priority) return r;
   return nullptr;
-}
-
-void Classifier::sort_tuples_if_dirty() const noexcept {
-  if (!sort_dirty_) return;
-  std::stable_sort(sorted_.begin(), sorted_.end(),
-                   [](const Tuple* a, const Tuple* b) {
-                     return a->pri_max() > b->pri_max();
-                   });
-  sort_dirty_ = false;
 }
 
 bool Classifier::check_tries(const Tuple& tuple, const FlowKey& pkt,
@@ -306,10 +308,12 @@ bool Classifier::check_tries(const Tuple& tuple, const FlowKey& pkt,
   return false;
 }
 
-const Rule* Classifier::lookup(const FlowKey& pkt,
-                               FlowWildcards* wc) const noexcept {
-  ++stats_.lookups;
-  sort_tuples_if_dirty();
+const Rule* Classifier::lookup(const FlowKey& pkt, FlowWildcards* wc,
+                               uint32_t* n_searched) const noexcept {
+  // Per-call counters, flushed once into the shared atomics at the end so
+  // concurrent readers pay one relaxed RMW per counter instead of one per
+  // tuple.
+  uint32_t searched = 0, skipped = 0, stage_terms = 0;
   TrieCtx ctx;
   const Rule* best = nullptr;
   for (Tuple* t : sorted_) {
@@ -320,16 +324,16 @@ const Rule* Classifier::lookup(const FlowKey& pkt,
         !t->partition_contains(pkt.metadata())) {
       // The skip decision consulted (all of) the metadata field.
       if (wc != nullptr) wc->set_exact(FieldId::kMetadata);
-      ++stats_.tuples_skipped;
+      ++skipped;
       continue;
     }
     if (check_tries(*t, pkt, ctx, wc)) {
-      ++stats_.tuples_skipped;
+      ++skipped;
       continue;
     }
     size_t stage_searched = 0;
     const Rule* r = t->lookup(pkt, cfg_.staged_lookup, &stage_searched);
-    ++stats_.tuples_searched;
+    ++searched;
     if (wc != nullptr) {
       if (stage_searched + 1 < t->n_stages()) {
         // Early stage miss: only the fields of stages [0, stage_searched]
@@ -340,12 +344,21 @@ const Rule* Classifier::lookup(const FlowKey& pkt,
         wc->unite(t->mask());
       }
     }
-    if (stage_searched + 1 < t->n_stages()) ++stats_.stage_terminations;
+    if (stage_searched + 1 < t->n_stages()) ++stage_terms;
     if (r != nullptr && (best == nullptr || r->priority() > best->priority())) {
       best = r;
       if (cfg_.first_match_only) break;
     }
   }
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  if (searched != 0)
+    stats_.tuples_searched.fetch_add(searched, std::memory_order_relaxed);
+  if (skipped != 0)
+    stats_.tuples_skipped.fetch_add(skipped, std::memory_order_relaxed);
+  if (stage_terms != 0)
+    stats_.stage_terminations.fetch_add(stage_terms,
+                                        std::memory_order_relaxed);
+  if (n_searched != nullptr) *n_searched = searched;
   return best;
 }
 

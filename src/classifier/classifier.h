@@ -25,6 +25,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -162,21 +163,43 @@ class Classifier {
   // Returns the highest-priority matching rule (or the first match found in
   // first_match_only mode), or nullptr. If `wc` is non-null, all consulted
   // key bits are OR-ed into it — the caching-aware classification algorithm.
-  const Rule* lookup(const FlowKey& pkt,
-                     FlowWildcards* wc = nullptr) const noexcept;
+  // If `n_searched` is non-null it receives the number of tuples whose hash
+  // tables were probed by THIS call (a thread-safe alternative to diffing
+  // the cumulative stats).
+  //
+  // The lookup path is const and data-race-free: it mutates nothing but the
+  // atomic statistics counters, so any number of reader threads may call it
+  // concurrently as long as no thread is mutating the classifier (RCU-style
+  // single-writer publication; see datapath/mt_datapath.h).
+  const Rule* lookup(const FlowKey& pkt, FlowWildcards* wc = nullptr,
+                     uint32_t* n_searched = nullptr) const noexcept;
 
   size_t rule_count() const noexcept { return n_rules_; }
   size_t tuple_count() const noexcept { return tuples_.size(); }  // "masks"
 
-  // Cumulative lookup statistics (reset with reset_stats).
+  // Cumulative lookup statistics (reset with reset_stats). Returned by
+  // value: the internal counters are atomics shared by concurrent readers.
   struct Stats {
     uint64_t lookups = 0;
     uint64_t tuples_searched = 0;   // tuples whose hash tables were probed
     uint64_t tuples_skipped = 0;    // skipped via tries or partitions
     uint64_t stage_terminations = 0;  // staged-lookup early misses
   };
-  const Stats& stats() const noexcept { return stats_; }
-  void reset_stats() const noexcept { stats_ = Stats{}; }
+  Stats stats() const noexcept {
+    Stats s;
+    s.lookups = stats_.lookups.load(std::memory_order_relaxed);
+    s.tuples_searched = stats_.tuples_searched.load(std::memory_order_relaxed);
+    s.tuples_skipped = stats_.tuples_skipped.load(std::memory_order_relaxed);
+    s.stage_terminations =
+        stats_.stage_terminations.load(std::memory_order_relaxed);
+    return s;
+  }
+  void reset_stats() const noexcept {
+    stats_.lookups.store(0, std::memory_order_relaxed);
+    stats_.tuples_searched.store(0, std::memory_order_relaxed);
+    stats_.tuples_skipped.store(0, std::memory_order_relaxed);
+    stats_.stage_terminations.store(0, std::memory_order_relaxed);
+  }
 
   // Visits every rule (dump order is unspecified).
   template <typename F>
@@ -201,19 +224,28 @@ class Classifier {
   bool check_tries(const Tuple& tuple, const FlowKey& pkt, TrieCtx& ctx,
                    FlowWildcards* wc) const noexcept;
 
-  void sort_tuples_if_dirty() const noexcept;
+  // Re-sorts `sorted_` by pri_max. Called from the mutators (insert/remove)
+  // so that lookup never writes anything but its atomic counters.
+  void sort_tuples_if_dirty() noexcept;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> tuples_searched{0};
+    std::atomic<uint64_t> tuples_skipped{0};
+    std::atomic<uint64_t> stage_terminations{0};
+  };
 
   ClassifierConfig cfg_;
   std::vector<std::unique_ptr<Tuple>> tuples_;       // owned
-  mutable std::vector<Tuple*> sorted_;               // by pri_max desc
-  mutable bool sort_dirty_ = false;
+  std::vector<Tuple*> sorted_;                       // by pri_max desc
+  bool sort_dirty_ = false;
   HashBuckets<Tuple*> tuples_by_mask_;
   size_t n_rules_ = 0;
 
   std::array<PrefixTrie, kNumTrieFields> tries_;
   std::array<size_t, kNumTrieFields> trie_icmp_rules_{};  // bug-mode poison
 
-  mutable Stats stats_;
+  mutable AtomicStats stats_;
 };
 
 }  // namespace ovs

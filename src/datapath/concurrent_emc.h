@@ -55,6 +55,21 @@ class ConcurrentEmc {
     map_.erase(nonzero(flow_hash));
   }
 
+  // Drops every hint whose value satisfies pred (writer thread only). The
+  // grace-period sweep: before a retired megaflow is freed, all hints that
+  // still point at it must go, mirroring Datapath::purge_dead()'s sweep of
+  // the inline EMC slots.
+  template <typename Pred>
+  void erase_if(Pred&& pred) {
+    // Collect first: erase mutates the table for_each walks.
+    std::vector<uint64_t> doomed;
+    map_.for_each([&](uint64_t k, uint64_t v) {
+      if (pred(v)) doomed.push_back(k);
+    });
+    for (uint64_t k : doomed) map_.erase(k);
+    // Their ring slots become stale dups, which pop_evict treats as no-ops.
+  }
+
   size_t size() const noexcept { return map_.size(); }
   size_t capacity() const noexcept { return capacity_; }
 

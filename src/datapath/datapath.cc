@@ -22,19 +22,34 @@ Datapath::Datapath(DatapathConfig cfg)
     : cfg_(cfg),
       mega_(kernel_classifier_config()),
       micro_(cfg.microflow_sets * cfg.microflow_ways),
-      rng_(cfg.seed) {}
+      rng_(cfg.seed) {
+  if (cfg_.use_concurrent_emc)
+    cemc_ = std::make_unique<ConcurrentEmc>(cfg_.microflow_sets *
+                                            cfg_.microflow_ways);
+}
 
 Datapath::~Datapath() = default;
 
 MegaflowEntry* Datapath::microflow_lookup(const FlowKey& key,
                                           uint64_t hash) noexcept {
+  if (cemc_ != nullptr) {
+    const std::optional<uint64_t> v = cemc_->lookup(hash);
+    if (!v.has_value()) return nullptr;
+    auto* e = reinterpret_cast<MegaflowEntry*>(*v);
+    // "A stale microflow cache entry is detected and corrected the first
+    // time a packet matches it" (§6): validate against the megaflow.
+    if (e->dead() || !e->match().matches(key)) {
+      cemc_->invalidate(hash);
+      ++stats_.stale_microflow_hits;
+      return nullptr;
+    }
+    return e;
+  }
   const size_t set = (hash >> 32) & (cfg_.microflow_sets - 1);
   for (size_t w = 0; w < cfg_.microflow_ways; ++w) {
     MicroSlot& slot = micro_[set * cfg_.microflow_ways + w];
     if (slot.entry == nullptr || slot.hash != hash) continue;
     MegaflowEntry* e = slot.entry;
-    // "A stale microflow cache entry is detected and corrected the first
-    // time a packet matches it" (§6): validate against the megaflow.
     if (e->dead() || !e->match().matches(key)) {
       slot.entry = nullptr;
       ++stats_.stale_microflow_hits;
@@ -46,6 +61,10 @@ MegaflowEntry* Datapath::microflow_lookup(const FlowKey& key,
 }
 
 void Datapath::microflow_insert(uint64_t hash, MegaflowEntry* entry) noexcept {
+  if (cemc_ != nullptr) {
+    cemc_->install(hash, reinterpret_cast<uint64_t>(entry));
+    return;
+  }
   const size_t set = (hash >> 32) & (cfg_.microflow_sets - 1);
   // Prefer an empty or same-hash way; otherwise pseudo-random replacement
   // ("we use a pseudo-random replacement policy, for simplicity", §6).
@@ -58,6 +77,14 @@ void Datapath::microflow_insert(uint64_t hash, MegaflowEntry* entry) noexcept {
   }
   const size_t w = rng_.uniform(cfg_.microflow_ways);
   micro_[set * cfg_.microflow_ways + w] = {hash, entry};
+}
+
+void Datapath::enqueue_upcall(const Packet& pkt) {
+  if (upcalls_.size() >= cfg_.max_upcall_queue) {
+    ++stats_.upcall_drops;
+  } else {
+    upcalls_.push_back(pkt);
+  }
 }
 
 Datapath::RxResult Datapath::receive(const Packet& pkt, uint64_t now_ns) {
@@ -78,10 +105,8 @@ Datapath::RxResult Datapath::receive(const Packet& pkt, uint64_t now_ns) {
     }
   }
 
-  const auto before = mega_.stats().tuples_searched;
-  const Rule* r = mega_.lookup(pkt.key);
-  const auto searched =
-      static_cast<uint32_t>(mega_.stats().tuples_searched - before);
+  uint32_t searched = 0;
+  const Rule* r = mega_.lookup(pkt.key, nullptr, &searched);
   stats_.tuples_searched += searched;
   if (r != nullptr) {
     auto* e = const_cast<MegaflowEntry*>(static_cast<const MegaflowEntry*>(r));
@@ -95,13 +120,146 @@ Datapath::RxResult Datapath::receive(const Packet& pkt, uint64_t now_ns) {
   }
 
   ++stats_.misses;
-  if (upcalls_.size() >= cfg_.max_upcall_queue) {
-    ++stats_.upcall_drops;
-  } else {
-    upcalls_.push_back(pkt);
-  }
+  enqueue_upcall(pkt);
   res = {Path::kMiss, nullptr, searched};
   return res;
+}
+
+// One chunk (n <= kMaxBatch) of the batched fast path. The dance, in order:
+//
+//   1. hash every flow key once;
+//   2. group packets by microflow (same hash + same key) — only the first
+//      packet of each group (the "leader") probes the caches;
+//   3. leaders walk EMC -> megaflow -> miss exactly like receive();
+//   4. followers inherit their leader's outcome: a hit leader makes every
+//      follower a microflow hit (sequentially, the leader's EMC insert would
+//      have been hit by each follower), a missing leader makes each follower
+//      its own upcall (nothing was installed in between);
+//   5. per-megaflow statistics are bumped once per matched entry with the
+//      group's packet/byte totals.
+void Datapath::process_chunk(const Packet* pkts, size_t n, uint64_t now_ns,
+                             RxResult* results, BatchSummary& summary) {
+  uint64_t hashes[kMaxBatch];
+  uint16_t leader[kMaxBatch];         // index of the packet's group leader
+  MegaflowEntry* entry[kMaxBatch];    // leader slots: matched megaflow
+  uint16_t leaders[kMaxBatch];        // indices of unique microflow leaders
+  size_t n_leaders = 0;
+
+  stats_.packets += n;
+  summary.packets += static_cast<uint32_t>(n);
+
+  for (size_t i = 0; i < n; ++i) hashes[i] = pkts[i].key.hash();
+
+  // Microflow grouping. Bursts are small (<= 256) and the leader list is
+  // typically much smaller, so a linear scan with a hash prefilter beats a
+  // hash table here.
+  for (size_t i = 0; i < n; ++i) {
+    leader[i] = static_cast<uint16_t>(i);
+    for (size_t l = 0; l < n_leaders; ++l) {
+      const size_t j = leaders[l];
+      if (hashes[j] == hashes[i] && pkts[j].key == pkts[i].key) {
+        leader[i] = static_cast<uint16_t>(j);
+        break;
+      }
+    }
+    if (leader[i] == i) leaders[n_leaders++] = static_cast<uint16_t>(i);
+  }
+
+  // Leaders probe the caches; followers resolve against their leader (whose
+  // index is always smaller, so a single in-order pass suffices).
+  for (size_t i = 0; i < n; ++i) {
+    if (leader[i] != i) {
+      const RxResult& lr = results[leader[i]];
+      if (entry[leader[i]] != nullptr) {
+        if (cfg_.microflow_enabled) {
+          // Sequentially this packet would have hit the EMC entry the
+          // leader installed (or re-used); no table is physically probed.
+          ++stats_.microflow_hits;
+          results[i] = {Path::kMicroflowHit, lr.actions, 0};
+        } else {
+          // No EMC: sequentially this would have been its own (identical)
+          // classifier search. Dedup skips the probe but keeps the class.
+          ++stats_.megaflow_hits;
+          results[i] = {Path::kMegaflowHit, lr.actions, 0};
+        }
+      } else {
+        ++stats_.misses;
+        ++summary.misses;
+        enqueue_upcall(pkts[i]);
+        results[i] = {Path::kMiss, nullptr, 0};
+      }
+      continue;
+    }
+
+    entry[i] = nullptr;
+    if (cfg_.microflow_enabled) {
+      ++summary.emc_probes;
+      if (MegaflowEntry* e = microflow_lookup(pkts[i].key, hashes[i])) {
+        ++stats_.microflow_hits;
+        stats_.tuples_searched += 1;
+        summary.tuples_searched += 1;
+        entry[i] = e;
+        results[i] = {Path::kMicroflowHit, &e->actions(), 1};
+        continue;
+      }
+    }
+
+    uint32_t searched = 0;
+    const Rule* r = mega_.lookup(pkts[i].key, nullptr, &searched);
+    ++summary.megaflow_lookups;
+    stats_.tuples_searched += searched;
+    summary.tuples_searched += searched;
+    if (r != nullptr) {
+      auto* e =
+          const_cast<MegaflowEntry*>(static_cast<const MegaflowEntry*>(r));
+      ++stats_.megaflow_hits;
+      if (cfg_.microflow_enabled) microflow_insert(hashes[i], e);
+      entry[i] = e;
+      results[i] = {Path::kMegaflowHit, &e->actions(), searched};
+    } else {
+      ++stats_.misses;
+      ++summary.misses;
+      enqueue_upcall(pkts[i]);
+      results[i] = {Path::kMiss, nullptr, searched};
+    }
+  }
+
+  // Group statistics: one packets/bytes/used update per matched megaflow.
+  // Distinct microflows may share a megaflow, so accumulate over leaders
+  // first (the leader list is small; quadratic dedup over it is cheap).
+  for (size_t l = 0; l < n_leaders; ++l) {
+    MegaflowEntry* e = entry[leaders[l]];
+    if (e == nullptr) continue;
+    bool first = true;
+    for (size_t m = 0; m < l; ++m) {
+      if (entry[leaders[m]] == e) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    ++summary.groups;
+    uint64_t pkt_count = 0, byte_count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (entry[leader[i]] == e) {
+        ++pkt_count;
+        byte_count += pkts[i].size_bytes;
+      }
+    }
+    e->packets_ += pkt_count;
+    e->bytes_ += byte_count;
+    e->used_ns_ = now_ns;  // matches receive(): last write wins
+  }
+}
+
+void Datapath::process_batch(std::span<const Packet> pkts, uint64_t now_ns,
+                             RxResult* results, BatchSummary* summary) {
+  BatchSummary local;
+  for (size_t off = 0; off < pkts.size(); off += kMaxBatch) {
+    const size_t n = std::min(kMaxBatch, pkts.size() - off);
+    process_chunk(pkts.data() + off, n, now_ns, results + off, local);
+  }
+  if (summary != nullptr) *summary += local;
 }
 
 MegaflowEntry* Datapath::install(const Match& match, DpActions actions,
@@ -140,6 +298,11 @@ void Datapath::purge_dead() {
   if (graveyard_.empty()) return;
   // Grace period: clear any microflow slots that still point at dead
   // entries, then free them.
+  if (cemc_ != nullptr) {
+    cemc_->erase_if([](uint64_t v) {
+      return reinterpret_cast<const MegaflowEntry*>(v)->dead();
+    });
+  }
   for (MicroSlot& slot : micro_)
     if (slot.entry != nullptr && slot.entry->dead()) slot.entry = nullptr;
   graveyard_.clear();

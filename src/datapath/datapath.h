@@ -18,9 +18,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "classifier/classifier.h"
+#include "datapath/concurrent_emc.h"
 #include "datapath/dp_actions.h"
 #include "packet/packet.h"
 #include "util/rng.h"
@@ -62,6 +64,11 @@ class MegaflowEntry : public Rule {
 
 struct DatapathConfig {
   bool microflow_enabled = true;      // first-level exact-match cache (§4.2)
+  // Use the lock-free ConcurrentEmc (cuckoo-backed, FIFO eviction) as the
+  // microflow cache instead of the inline set-associative table. Same
+  // single-threaded semantics, different replacement policy; this is the
+  // cache the multi-worker datapath shards per thread (§4.1).
+  bool use_concurrent_emc = false;
   size_t microflow_ways = 2;          // associativity
   size_t microflow_sets = 4096;       // total slots = ways * sets
   size_t max_upcall_queue = 4096;     // miss queue to userspace
@@ -87,6 +94,46 @@ class Datapath {
   // Processes one received packet at (virtual) time now_ns. On a miss the
   // packet is queued for userspace (or dropped if the queue is full).
   RxResult receive(const Packet& pkt, uint64_t now_ns);
+
+  // --- Batched fast path (PMD-style, §4.1) --------------------------------
+
+  static constexpr size_t kDefaultBatch = 32;
+  static constexpr size_t kMaxBatch = 256;  // internal chunking granularity
+
+  // Aggregate description of what one burst actually cost, for callers that
+  // model CPU cycles (sim/cost_model.h): probes are counted after
+  // deduplication, so emc_probes <= packets and megaflow_lookups counts
+  // only the burst's unique microflows that missed the EMC.
+  struct BatchSummary {
+    uint32_t packets = 0;
+    uint32_t emc_probes = 0;        // EMC probes after intra-burst dedup
+    uint32_t megaflow_lookups = 0;  // classifier searches (dedup leaders)
+    uint32_t tuples_searched = 0;   // megaflow hash tables probed
+    uint32_t groups = 0;            // distinct megaflows matched
+    uint32_t misses = 0;            // packets upcalled (or dropped)
+
+    void operator+=(const BatchSummary& o) noexcept {
+      packets += o.packets;
+      emc_probes += o.emc_probes;
+      megaflow_lookups += o.megaflow_lookups;
+      tuples_searched += o.tuples_searched;
+      groups += o.groups;
+      misses += o.misses;
+    }
+  };
+
+  // Processes a burst of packets sharing one (virtual) timestamp. Per-packet
+  // outcomes land in results[0..pkts.size()). Compared to calling receive()
+  // per packet this computes each flow-key hash once, probes the EMC once
+  // per unique microflow in the burst, searches the megaflow classifier
+  // once per unique microflow that missed the EMC, bumps megaflow statistics
+  // once per matched megaflow, and appends all misses to the upcall queue in
+  // arrival order. Per-packet actions, upcalls, and flow statistics are
+  // identical to the sequential path (asserted by batch_equivalence_test);
+  // only the cumulative tuples_searched counter differs because deduplicated
+  // packets never physically probe a table.
+  void process_batch(std::span<const Packet> pkts, uint64_t now_ns,
+                     RxResult* results, BatchSummary* summary = nullptr);
 
   // --- Userspace-facing flow table API (the netlink equivalent) -----------
 
@@ -150,12 +197,16 @@ class Datapath {
 
   MegaflowEntry* microflow_lookup(const FlowKey& key, uint64_t hash) noexcept;
   void microflow_insert(uint64_t hash, MegaflowEntry* entry) noexcept;
+  void process_chunk(const Packet* pkts, size_t n, uint64_t now_ns,
+                     RxResult* results, BatchSummary& summary);
+  void enqueue_upcall(const Packet& pkt);
 
   DatapathConfig cfg_;
   Classifier mega_;  // first_match_only, no priorities — the kernel TSS
   std::vector<std::unique_ptr<MegaflowEntry>> entries_;
   std::vector<std::unique_ptr<MegaflowEntry>> graveyard_;
-  std::vector<MicroSlot> micro_;
+  std::vector<MicroSlot> micro_;                // inline EMC
+  std::unique_ptr<ConcurrentEmc> cemc_;         // cfg.use_concurrent_emc
   std::deque<Packet> upcalls_;
   Rng rng_;
   Stats stats_;

@@ -1,0 +1,495 @@
+#include "datapath/mt_datapath.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ovs {
+
+namespace {
+
+// CuckooMap64 reserves key 0 as the empty marker.
+uint64_t table_key(uint64_t hash) noexcept { return hash | 1; }
+
+}  // namespace
+
+// --- MtTuple -----------------------------------------------------------------
+
+ShardedDatapath::MtTuple::MtTuple(const FlowMask& m, size_t capacity)
+    : mask(m), table(capacity) {
+  for (size_t w = 0; w < kFlowWords; ++w)
+    if (mask.w[w] != 0) active_words_.push_back(static_cast<uint8_t>(w));
+}
+
+const MtMegaflow* ShardedDatapath::MtTuple::find(
+    const FlowKey& pkt) const noexcept {
+  uint64_t v = 0;
+  if (!table.find(table_key(hash_key(pkt)), &v)) return nullptr;
+  // Walk the (short) same-hash chain; entries are skipped once dead so a
+  // reader never resolves to a flow the control thread already removed.
+  for (auto* e = reinterpret_cast<const MtMegaflow*>(v); e != nullptr;
+       e = e->hash_next_.load(std::memory_order_acquire)) {
+    if (!e->dead() && masked_equal(pkt, e->match().key)) return e;
+  }
+  return nullptr;
+}
+
+// --- Construction ------------------------------------------------------------
+
+ShardedDatapath::ShardedDatapath(ShardedDatapathConfig cfg)
+    : cfg_(cfg), dir_(cfg.max_tuples) {
+  assert(cfg_.n_workers >= 1);
+  slots_.reserve(cfg_.n_workers);
+  for (size_t i = 0; i < cfg_.n_workers; ++i) {
+    auto s = std::make_unique<WorkerSlot>();
+    if (cfg_.emc_enabled)
+      s->emc = std::make_unique<ConcurrentEmc>(cfg_.emc_capacity_per_shard);
+    slots_.push_back(std::move(s));
+  }
+}
+
+ShardedDatapath::~ShardedDatapath() { stop(); }
+
+// --- Worker fast path --------------------------------------------------------
+
+const MtMegaflow* ShardedDatapath::classify(const FlowKey& key, uint32_t skip,
+                                            uint32_t* searched) const noexcept {
+  const uint32_t n = n_tuples_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i == skip) continue;
+    const MtTuple* t = dir_[i].load(std::memory_order_acquire);
+    if (t == nullptr || t->n_rules.load(std::memory_order_acquire) == 0)
+      continue;
+    ++*searched;
+    if (const MtMegaflow* e = t->find(key)) return e;
+  }
+  return nullptr;
+}
+
+void ShardedDatapath::process_chunk(WorkerSlot& slot, const Packet* pkts,
+                                    size_t n, uint64_t now_ns,
+                                    RxResult* results, BatchSummary& sum,
+                                    std::vector<Packet>& missed) {
+  uint64_t hashes[kMaxBatch];
+  uint16_t leader[kMaxBatch];
+  const MtMegaflow* entry[kMaxBatch];  // leader slots: matched megaflow
+  uint16_t leaders[kMaxBatch];
+  size_t n_leaders = 0;
+
+  // Local tallies, flushed to the shared atomics once per chunk.
+  uint64_t micro_hits = 0, mega_hits = 0, misses = 0, stale = 0, searched = 0;
+
+  sum.packets += static_cast<uint32_t>(n);
+
+  for (size_t i = 0; i < n; ++i) hashes[i] = pkts[i].key.hash();
+
+  // Intra-burst microflow dedup (same scheme as Datapath::process_chunk).
+  for (size_t i = 0; i < n; ++i) {
+    leader[i] = static_cast<uint16_t>(i);
+    for (size_t l = 0; l < n_leaders; ++l) {
+      const size_t j = leaders[l];
+      if (hashes[j] == hashes[i] && pkts[j].key == pkts[i].key) {
+        leader[i] = static_cast<uint16_t>(j);
+        break;
+      }
+    }
+    if (leader[i] == i) leaders[n_leaders++] = static_cast<uint16_t>(i);
+  }
+
+  const uint32_t n_tuples = n_tuples_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (leader[i] != i) {
+      const RxResult& lr = results[leader[i]];
+      if (entry[leader[i]] != nullptr) {
+        if (slot.emc != nullptr) {
+          ++micro_hits;
+          results[i] = {Path::kMicroflowHit, lr.actions, 0};
+        } else {
+          ++mega_hits;
+          results[i] = {Path::kMegaflowHit, lr.actions, 0};
+        }
+      } else {
+        ++misses;
+        ++sum.misses;
+        missed.push_back(pkts[i]);
+        results[i] = {Path::kMiss, nullptr, 0};
+      }
+      continue;
+    }
+
+    entry[i] = nullptr;
+    uint32_t skip = UINT32_MAX;  // tuple already probed via the EMC hint
+    uint32_t probed = 0;
+    if (slot.emc != nullptr) {
+      ++sum.emc_probes;
+      if (const std::optional<uint64_t> hint = slot.emc->lookup(hashes[i]);
+          hint.has_value() && *hint < n_tuples) {
+        const uint32_t idx = static_cast<uint32_t>(*hint);
+        const MtTuple* t = dir_[idx].load(std::memory_order_acquire);
+        ++probed;
+        if (const MtMegaflow* e = (t != nullptr) ? t->find(pkts[i].key)
+                                                 : nullptr) {
+          ++micro_hits;
+          searched += probed;
+          sum.tuples_searched += probed;
+          entry[i] = e;
+          results[i] = {Path::kMicroflowHit, e->actions(), probed};
+          continue;
+        }
+        // The hinted table no longer holds this microflow's megaflow:
+        // "a stale microflow cache entry is detected and corrected the
+        // first time a packet matches it" (§6).
+        ++stale;
+        slot.emc->invalidate(hashes[i]);
+        skip = idx;
+      }
+    }
+
+    const MtMegaflow* e = classify(pkts[i].key, skip, &probed);
+    ++sum.megaflow_lookups;
+    searched += probed;
+    sum.tuples_searched += probed;
+    if (e != nullptr) {
+      ++mega_hits;
+      if (slot.emc != nullptr) slot.emc->install(hashes[i], e->tuple_idx_);
+      entry[i] = e;
+      results[i] = {Path::kMegaflowHit, e->actions(), probed};
+    } else {
+      ++misses;
+      ++sum.misses;
+      missed.push_back(pkts[i]);
+      results[i] = {Path::kMiss, nullptr, probed};
+    }
+  }
+
+  // One statistics bump per matched megaflow.
+  for (size_t l = 0; l < n_leaders; ++l) {
+    const MtMegaflow* e = entry[leaders[l]];
+    if (e == nullptr) continue;
+    bool first = true;
+    for (size_t m = 0; m < l; ++m) {
+      if (entry[leaders[m]] == e) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    ++sum.groups;
+    uint64_t pkt_count = 0, byte_count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (entry[leader[i]] == e) {
+        ++pkt_count;
+        byte_count += pkts[i].size_bytes;
+      }
+    }
+    const_cast<MtMegaflow*>(e)->bump(pkt_count, byte_count, now_ns);
+  }
+
+  slot.packets.fetch_add(n, std::memory_order_relaxed);
+  slot.microflow_hits.fetch_add(micro_hits, std::memory_order_relaxed);
+  slot.megaflow_hits.fetch_add(mega_hits, std::memory_order_relaxed);
+  slot.misses.fetch_add(misses, std::memory_order_relaxed);
+  slot.stale_hints.fetch_add(stale, std::memory_order_relaxed);
+  slot.tuples_searched.fetch_add(searched, std::memory_order_relaxed);
+}
+
+void ShardedDatapath::flush_upcalls(std::vector<Packet>& missed) {
+  uint64_t drops = 0;
+  {
+    std::lock_guard<std::mutex> lk(upcall_mu_);
+    for (Packet& p : missed) {
+      if (upcalls_.size() >= cfg_.max_upcall_queue) {
+        ++drops;
+      } else {
+        upcalls_.push_back(std::move(p));
+      }
+    }
+  }
+  if (drops != 0) upcall_drops_.fetch_add(drops, std::memory_order_relaxed);
+  missed.clear();
+}
+
+void ShardedDatapath::process_batch(size_t worker, std::span<const Packet> pkts,
+                                    uint64_t now_ns, RxResult* results,
+                                    BatchSummary* summary) {
+  assert(worker < slots_.size());
+  WorkerSlot& slot = *slots_[worker];
+
+  // Enter the read-side critical section: epoch odd. The RMW orders every
+  // subsequent table load after the flip, so the control thread can free
+  // nothing this batch can still see once it observes us quiescent.
+  slot.epoch.fetch_add(1, std::memory_order_acq_rel);
+  process_batch_in_epoch(slot, pkts, now_ns, results, summary);
+  // Leave: epoch even again (release: all our reads happen-before the
+  // control thread seeing us quiescent).
+  slot.epoch.fetch_add(1, std::memory_order_release);
+}
+
+void ShardedDatapath::process_batch_in_epoch(WorkerSlot& slot,
+                                             std::span<const Packet> pkts,
+                                             uint64_t now_ns,
+                                             RxResult* results,
+                                             BatchSummary* summary) {
+  BatchSummary local;
+  std::vector<Packet> missed;
+  for (size_t off = 0; off < pkts.size(); off += kMaxBatch) {
+    const size_t n = std::min(kMaxBatch, pkts.size() - off);
+    process_chunk(slot, pkts.data() + off, n, now_ns, results + off, local,
+                  missed);
+  }
+  if (!missed.empty()) flush_upcalls(missed);
+  if (summary != nullptr) *summary += local;
+}
+
+// --- Control path ------------------------------------------------------------
+
+ShardedDatapath::MtTuple* ShardedDatapath::writer_find_tuple(
+    const FlowMask& mask, bool create) {
+  const uint32_t n = n_tuples_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < n; ++i) {
+    MtTuple* t = dir_[i].load(std::memory_order_relaxed);
+    if (t->mask == mask) return t;
+  }
+  if (!create || n >= cfg_.max_tuples) return nullptr;
+  auto owned = std::make_unique<MtTuple>(mask, cfg_.tuple_capacity);
+  owned->dir_idx = n;
+  MtTuple* t = owned.get();
+  tuples_.push_back(std::move(owned));
+  // Publish the tuple, then the count (release pairs with readers' acquire
+  // of n_tuples_: a visible index always dereferences to a built tuple).
+  dir_[n].store(t, std::memory_order_release);
+  n_tuples_.store(n + 1, std::memory_order_release);
+  return t;
+}
+
+MtMegaflow* ShardedDatapath::install(const Match& match, DpActions actions,
+                                     uint64_t now_ns) {
+  Match m = match;
+  m.normalize();
+  MtTuple* t = writer_find_tuple(m.mask, /*create=*/true);
+  if (t == nullptr) return nullptr;  // tuple directory full
+
+  const uint64_t key = table_key(t->hash_key(m.key));
+  MtMegaflow* head = nullptr;
+  uint64_t v = 0;
+  if (t->table.find(key, &v)) head = reinterpret_cast<MtMegaflow*>(v);
+  for (MtMegaflow* e = head; e != nullptr;
+       e = e->hash_next_.load(std::memory_order_relaxed)) {
+    if (!e->dead() && t->masked_equal(m.key, e->match().key)) return e;
+  }
+
+  auto owned = std::unique_ptr<MtMegaflow>(new MtMegaflow(m));
+  MtMegaflow* e = owned.get();
+  e->actions_.store(new DpActions(std::move(actions)),
+                    std::memory_order_relaxed);
+  e->created_ns_ = now_ns;
+  e->used_ns_.store(now_ns, std::memory_order_relaxed);
+  e->hash_ = key;
+  e->tuple_idx_ = t->dir_idx;
+  e->hash_next_.store(head, std::memory_order_relaxed);
+  e->index_ = entries_.size();
+  entries_.push_back(std::move(owned));
+
+  // Single release-ordered publication point: the cuckoo insert. A reader
+  // that sees the new head sees a fully built entry (seqlock release/acquire
+  // pairing inside CuckooMap64).
+  t->table.insert(key, reinterpret_cast<uint64_t>(e));
+  t->n_rules.fetch_add(1, std::memory_order_release);
+  n_flows_.fetch_add(1, std::memory_order_relaxed);
+  return e;
+}
+
+void ShardedDatapath::remove(MtMegaflow* entry) {
+  assert(!entry->dead());
+  // Dead first: readers that still reach the entry (via a chain they are
+  // mid-walk on, or a retired cuckoo snapshot) skip it from here on.
+  entry->dead_.store(true, std::memory_order_release);
+
+  MtTuple* t = dir_[entry->tuple_idx_].load(std::memory_order_relaxed);
+  uint64_t v = 0;
+  if (t->table.find(entry->hash_, &v)) {
+    auto* head = reinterpret_cast<MtMegaflow*>(v);
+    MtMegaflow* next = entry->hash_next_.load(std::memory_order_relaxed);
+    if (head == entry) {
+      if (next != nullptr) {
+        t->table.insert(entry->hash_, reinterpret_cast<uint64_t>(next));
+      } else {
+        t->table.erase(entry->hash_);
+      }
+    } else {
+      for (MtMegaflow* p = head; p != nullptr;
+           p = p->hash_next_.load(std::memory_order_relaxed)) {
+        if (p->hash_next_.load(std::memory_order_relaxed) == entry) {
+          // entry->hash_next_ is never cleared, so a reader paused on the
+          // unlinked entry still walks out to the chain's live tail.
+          p->hash_next_.store(next, std::memory_order_release);
+          break;
+        }
+      }
+    }
+  }
+  t->n_rules.fetch_sub(1, std::memory_order_release);
+  n_flows_.fetch_sub(1, std::memory_order_relaxed);
+
+  const size_t i = entry->index_;
+  assert(i < entries_.size() && entries_[i].get() == entry);
+  graveyard_.push_back(std::move(entries_[i]));
+  if (i + 1 != entries_.size()) {
+    entries_[i] = std::move(entries_.back());
+    entries_[i]->index_ = i;
+  }
+  entries_.pop_back();
+}
+
+void ShardedDatapath::update_actions(MtMegaflow* entry, DpActions actions) {
+  const auto* fresh = new DpActions(std::move(actions));
+  const DpActions* old =
+      entry->actions_.exchange(fresh, std::memory_order_acq_rel);
+  // A worker mid-batch may still be executing `old`; retire it until the
+  // next grace period.
+  retired_actions_.emplace_back(old);
+}
+
+void ShardedDatapath::synchronize() {
+  for (const auto& sp : slots_) {
+    const uint64_t e0 = sp->epoch.load(std::memory_order_acquire);
+    if ((e0 & 1) == 0) continue;  // quiescent right now
+    while (sp->epoch.load(std::memory_order_acquire) == e0)
+      std::this_thread::yield();
+  }
+}
+
+void ShardedDatapath::purge_dead() {
+  if (graveyard_.empty() && retired_actions_.empty()) {
+    // Still reclaim cuckoo arrays retired by growth.
+    bool any = false;
+    for (const auto& t : tuples_)
+      if (t->table.retired_tables() != 0) any = true;
+    if (!any) return;
+  }
+  synchronize();
+  graveyard_.clear();
+  retired_actions_.clear();
+  for (const auto& t : tuples_) t->table.free_retired();
+}
+
+std::vector<MtMegaflow*> ShardedDatapath::dump() const {
+  std::vector<MtMegaflow*> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.get());
+  return out;
+}
+
+size_t ShardedDatapath::mask_count() const noexcept {
+  const uint32_t n = n_tuples_.load(std::memory_order_acquire);
+  size_t live = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const MtTuple* t = dir_[i].load(std::memory_order_acquire);
+    if (t != nullptr && t->n_rules.load(std::memory_order_relaxed) != 0)
+      ++live;
+  }
+  return live;
+}
+
+std::vector<Packet> ShardedDatapath::take_upcalls(size_t max_batch) {
+  std::vector<Packet> out;
+  std::lock_guard<std::mutex> lk(upcall_mu_);
+  const size_t n = std::min(max_batch, upcalls_.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(upcalls_.front()));
+    upcalls_.pop_front();
+  }
+  return out;
+}
+
+size_t ShardedDatapath::upcall_queue_depth() const {
+  std::lock_guard<std::mutex> lk(upcall_mu_);
+  return upcalls_.size();
+}
+
+ShardedDatapath::Stats ShardedDatapath::stats() const {
+  Stats s;
+  for (const auto& sp : slots_) {
+    s.packets += sp->packets.load(std::memory_order_relaxed);
+    s.microflow_hits += sp->microflow_hits.load(std::memory_order_relaxed);
+    s.megaflow_hits += sp->megaflow_hits.load(std::memory_order_relaxed);
+    s.misses += sp->misses.load(std::memory_order_relaxed);
+    s.stale_hints += sp->stale_hints.load(std::memory_order_relaxed);
+    s.tuples_searched += sp->tuples_searched.load(std::memory_order_relaxed);
+  }
+  s.upcall_drops = upcall_drops_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- Worker pool -------------------------------------------------------------
+
+void ShardedDatapath::start() {
+  if (started_) return;
+  threads_.clear();
+  for (size_t w = 0; w < cfg_.n_workers; ++w)
+    threads_.push_back(std::make_unique<WorkerThread>());
+  started_ = true;
+  for (size_t w = 0; w < cfg_.n_workers; ++w)
+    threads_[w]->th = std::thread([this, w] { worker_loop(w); });
+}
+
+void ShardedDatapath::stop() {
+  if (!started_) return;
+  for (const auto& t : threads_) {
+    {
+      std::lock_guard<std::mutex> lk(t->mu);
+      t->stopping = true;
+    }
+    t->cv.notify_all();
+  }
+  for (const auto& t : threads_)
+    if (t->th.joinable()) t->th.join();
+  threads_.clear();
+  started_ = false;
+}
+
+void ShardedDatapath::submit(size_t worker, std::vector<Packet> burst,
+                             uint64_t now_ns) {
+  assert(started_ && worker < threads_.size());
+  WorkerThread& t = *threads_[worker];
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(t.mu);
+    t.q.emplace_back(std::move(burst), now_ns);
+  }
+  t.cv.notify_one();
+}
+
+void ShardedDatapath::drain() {
+  while (in_flight_.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+}
+
+void ShardedDatapath::worker_loop(size_t w) {
+  WorkerThread& t = *threads_[w];
+  std::vector<RxResult> results;
+  for (;;) {
+    std::pair<std::vector<Packet>, uint64_t> job;
+    {
+      std::unique_lock<std::mutex> lk(t.mu);
+      t.cv.wait(lk, [&] { return t.stopping || !t.q.empty(); });
+      if (t.q.empty()) return;  // stopping, queue drained
+      job = std::move(t.q.front());
+      t.q.pop_front();
+    }
+    results.resize(job.first.size());
+    // The callback runs INSIDE the worker's epoch: it reads the RxResult
+    // actions pointers, which purge_dead() on the control thread may free
+    // as soon as it observes this worker quiescent.
+    WorkerSlot& slot = *slots_[w];
+    slot.epoch.fetch_add(1, std::memory_order_acq_rel);
+    process_batch_in_epoch(slot, job.first, job.second, results.data(),
+                           nullptr);
+    if (callback_)
+      callback_(w, std::span<const RxResult>(results.data(), results.size()));
+    slot.epoch.fetch_add(1, std::memory_order_release);
+    in_flight_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+}  // namespace ovs

@@ -1,0 +1,290 @@
+// Multi-worker (PMD-style) datapath: N forwarding workers over one shared
+// megaflow table (paper §4.1: "nonblocking multiple-reader, single-writer
+// flow tables" + RCU).
+//
+// Threading model, mirroring OVS userspace/DPDK forwarding:
+//
+//   * N *workers* call process_batch() concurrently, each passing its own
+//     worker id. A worker owns one ConcurrentEmc shard (its microflow
+//     cache), so EMC installs stay single-writer per shard.
+//   * One *control* thread (the upcall handler / revalidator) calls
+//     install / remove / update_actions / purge_dead / dump. Publication is
+//     RCU-style: entries become visible with a single release-ordered hash
+//     table insert; removal marks the entry dead, unlinks it, and parks it
+//     in a graveyard until synchronize() observes every worker outside its
+//     read-side critical section (QSBR via per-worker epoch counters that
+//     are odd while a batch is in flight).
+//
+// The shared megaflow table is a priority-less tuple space (§4.2): a fixed
+// directory of per-mask tuples, each an optimistic-concurrent cuckoo map
+// from masked-key hash to a chain of entries. The EMC hint is the *index of
+// the tuple to search first* ("a hint to the first hash table to search",
+// §6) — never a pointer, so a stale hint can misdirect but never dangle.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "datapath/concurrent_emc.h"
+#include "datapath/datapath.h"
+#include "packet/match.h"
+#include "packet/packet.h"
+#include "util/cuckoo.h"
+
+namespace ovs {
+
+class ShardedDatapath;
+
+// A megaflow entry in the concurrent table. Match is immutable after
+// construction; actions are swapped atomically (RCU: the old list is
+// retired, not freed); statistics are relaxed atomics bumped by workers.
+class MtMegaflow {
+ public:
+  const Match& match() const noexcept { return match_; }
+  const DpActions* actions() const noexcept {
+    return actions_.load(std::memory_order_acquire);
+  }
+  bool dead() const noexcept { return dead_.load(std::memory_order_acquire); }
+
+  uint64_t packets() const noexcept {
+    return packets_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t used_ns() const noexcept {
+    return used_ns_.load(std::memory_order_relaxed);
+  }
+  uint64_t created_ns() const noexcept { return created_ns_; }
+
+  // Control-thread annotation (tag-based invalidation ablation, §6).
+  uint64_t tags = 0;
+
+  ~MtMegaflow() { delete actions_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class ShardedDatapath;
+
+  explicit MtMegaflow(Match m) : match_(std::move(m)) {}
+
+  void bump(uint64_t pkts, uint64_t byts, uint64_t now_ns) noexcept {
+    packets_.fetch_add(pkts, std::memory_order_relaxed);
+    bytes_.fetch_add(byts, std::memory_order_relaxed);
+    // Monotone max: concurrent workers may carry different virtual clocks.
+    uint64_t cur = used_ns_.load(std::memory_order_relaxed);
+    while (cur < now_ns && !used_ns_.compare_exchange_weak(
+                               cur, now_ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  const Match match_;
+  std::atomic<const DpActions*> actions_{nullptr};
+  std::atomic<MtMegaflow*> hash_next_{nullptr};  // same-tuple hash collision
+  std::atomic<uint64_t> packets_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> used_ns_{0};
+  std::atomic<bool> dead_{false};
+  uint64_t created_ns_ = 0;
+  uint64_t hash_ = 0;       // full masked-key hash (writer bookkeeping)
+  uint32_t tuple_idx_ = 0;  // directory slot of the owning tuple
+  size_t index_ = 0;        // position in entries_ (swap-remove)
+};
+
+struct ShardedDatapathConfig {
+  size_t n_workers = 4;
+  bool emc_enabled = true;           // per-worker microflow shards (§4.2)
+  size_t emc_capacity_per_shard = 8192;
+  size_t max_tuples = 1024;          // tuple directory capacity (masks)
+  size_t tuple_capacity = 4096;      // initial cuckoo size per tuple
+  size_t max_upcall_queue = 4096;    // shared miss queue to the control path
+};
+
+class ShardedDatapath {
+ public:
+  using Path = Datapath::Path;
+  using RxResult = Datapath::RxResult;
+  using BatchSummary = Datapath::BatchSummary;
+
+  static constexpr size_t kMaxBatch = Datapath::kMaxBatch;
+
+  explicit ShardedDatapath(ShardedDatapathConfig cfg = {});
+  ~ShardedDatapath();
+
+  ShardedDatapath(const ShardedDatapath&) = delete;
+  ShardedDatapath& operator=(const ShardedDatapath&) = delete;
+
+  // --- Worker fast path (thread `worker`, lock-free except upcall append) --
+  //
+  // Same burst semantics as Datapath::process_batch: one hash per key,
+  // one EMC probe per unique microflow, one classifier search per unique
+  // microflow that missed the EMC, one statistics bump per matched megaflow.
+  // The whole call is one read-side critical section; RxResult::actions
+  // pointers stay valid until the control thread's next purge_dead().
+  void process_batch(size_t worker, std::span<const Packet> pkts,
+                     uint64_t now_ns, RxResult* results,
+                     BatchSummary* summary = nullptr);
+
+  // --- Control path (one thread) -------------------------------------------
+
+  // Installs a flow; returns the existing entry on a duplicate masked key
+  // (userspace keeps megaflows disjoint, §4.2) and nullptr if the tuple
+  // directory is full.
+  MtMegaflow* install(const Match& match, DpActions actions, uint64_t now_ns);
+
+  // Marks dead, unlinks, and parks the entry; freed by purge_dead().
+  void remove(MtMegaflow* entry);
+
+  // RCU actions swap: readers mid-batch keep executing the old list, which
+  // is retired until the next grace period.
+  void update_actions(MtMegaflow* entry, DpActions actions);
+
+  // QSBR grace period: returns once every worker observed outside a batch
+  // (epoch even or advanced past the snapshot).
+  void synchronize();
+
+  // synchronize(), then free dead entries, retired action lists, and
+  // retired cuckoo slot arrays.
+  void purge_dead();
+
+  std::vector<MtMegaflow*> dump() const;  // control thread only
+
+  size_t flow_count() const noexcept {
+    return n_flows_.load(std::memory_order_relaxed);
+  }
+  size_t mask_count() const noexcept;  // tuples with live rules
+
+  std::vector<Packet> take_upcalls(size_t max_batch);
+  size_t upcall_queue_depth() const;
+
+  struct Stats {
+    uint64_t packets = 0;
+    uint64_t microflow_hits = 0;   // EMC-hinted tuple resolved the packet
+    uint64_t megaflow_hits = 0;    // full tuple-space search resolved it
+    uint64_t misses = 0;
+    uint64_t stale_hints = 0;      // hint probed, flow not there (§6)
+    uint64_t tuples_searched = 0;
+    uint64_t upcall_drops = 0;
+  };
+  Stats stats() const;  // aggregated over workers; any thread
+
+  const ShardedDatapathConfig& config() const noexcept { return cfg_; }
+
+  // --- Optional built-in worker pool (for benches and stress tests) --------
+  //
+  // start() spawns cfg.n_workers threads; submit() hands worker `w` a burst;
+  // drain() blocks until every queued burst has been processed. Results are
+  // delivered to the callback (from the worker thread, inside its read-side
+  // critical section) or dropped if none is set.
+  using BatchCallback =
+      std::function<void(size_t worker, std::span<const RxResult>)>;
+  void set_batch_callback(BatchCallback cb) { callback_ = std::move(cb); }
+  void start();
+  void stop();
+  void submit(size_t worker, std::vector<Packet> burst, uint64_t now_ns);
+  void drain();
+
+ private:
+  // One hash table per mask. The directory only ever appends (empty tuples
+  // are reused for a matching new mask, never deleted), so a tuple index is
+  // forever safe to dereference — the property the EMC hint relies on.
+  struct MtTuple {
+    explicit MtTuple(const FlowMask& mask, size_t capacity);
+
+    uint64_t hash_key(const FlowWords& key) const noexcept {
+      uint64_t h = 0;
+      for (uint8_t w : active_words_) h = hash_add64(h, key.w[w] & mask.w[w]);
+      return h;
+    }
+    bool masked_equal(const FlowKey& pkt, const FlowKey& stored)
+        const noexcept {
+      for (uint8_t w : active_words_)
+        if ((pkt.w[w] & mask.w[w]) != stored.w[w]) return false;
+      return true;
+    }
+
+    // Reader-side search of this tuple's hash table.
+    const MtMegaflow* find(const FlowKey& pkt) const noexcept;
+
+    FlowMask mask;
+    std::vector<uint8_t> active_words_;
+    CuckooMap64 table;                  // masked hash -> MtMegaflow chain
+    std::atomic<size_t> n_rules{0};
+    uint32_t dir_idx = 0;               // this tuple's directory slot
+  };
+
+  struct alignas(64) WorkerSlot {
+    // Odd while the worker is inside process_batch (its read-side critical
+    // section); even when quiescent.
+    std::atomic<uint64_t> epoch{0};
+    std::unique_ptr<ConcurrentEmc> emc;
+    // Owner-written relaxed counters, aggregated by stats().
+    std::atomic<uint64_t> packets{0};
+    std::atomic<uint64_t> microflow_hits{0};
+    std::atomic<uint64_t> megaflow_hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> stale_hints{0};
+    std::atomic<uint64_t> tuples_searched{0};
+  };
+
+  struct WorkerThread {
+    std::thread th;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<std::vector<Packet>, uint64_t>> q;
+    bool stopping = false;
+  };
+
+  // Full tuple-space search (first match wins; §4.2). `skip` is a tuple
+  // already probed via the EMC hint. Counts probed tuples into *searched.
+  const MtMegaflow* classify(const FlowKey& key, uint32_t skip,
+                             uint32_t* searched) const noexcept;
+
+  // Body of process_batch, for callers that already hold the epoch open
+  // (worker_loop keeps it open across the batch callback too).
+  void process_batch_in_epoch(WorkerSlot& slot, std::span<const Packet> pkts,
+                              uint64_t now_ns, RxResult* results,
+                              BatchSummary* summary);
+  void process_chunk(WorkerSlot& slot, const Packet* pkts, size_t n,
+                     uint64_t now_ns, RxResult* results, BatchSummary& sum,
+                     std::vector<Packet>& missed);
+  void flush_upcalls(std::vector<Packet>& missed);
+
+  MtTuple* writer_find_tuple(const FlowMask& mask, bool create);
+  void worker_loop(size_t w);
+
+  ShardedDatapathConfig cfg_;
+
+  // Tuple directory: append-only array of atomic pointers + atomic count.
+  std::vector<std::atomic<MtTuple*>> dir_;
+  std::atomic<uint32_t> n_tuples_{0};
+  std::vector<std::unique_ptr<MtTuple>> tuples_;  // ownership (control)
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+
+  // Control-side bookkeeping.
+  std::vector<std::unique_ptr<MtMegaflow>> entries_;
+  std::vector<std::unique_ptr<MtMegaflow>> graveyard_;
+  std::vector<std::unique_ptr<const DpActions>> retired_actions_;
+  std::atomic<size_t> n_flows_{0};
+
+  // Shared upcall queue (one lock per burst flush).
+  mutable std::mutex upcall_mu_;
+  std::deque<Packet> upcalls_;
+  std::atomic<uint64_t> upcall_drops_{0};
+
+  // Worker pool.
+  std::vector<std::unique_ptr<WorkerThread>> threads_;
+  std::atomic<size_t> in_flight_{0};
+  bool started_ = false;
+  BatchCallback callback_;
+};
+
+}  // namespace ovs

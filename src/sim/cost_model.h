@@ -35,6 +35,13 @@ struct CostModel {
   double per_tuple = 65;         // one megaflow hash-table search
   double miss_kernel = 1200;     // enqueue upcall, context mgmt
 
+  // Batched (PMD-style) receive path. A burst pays one fixed cost plus a
+  // reduced per-packet cost (amortized rx/prefetch/icache, as in OVS-DPDK);
+  // cache probes are then charged per *deduplicated* probe from the
+  // Datapath::BatchSummary, which is where batching actually wins.
+  double batch_fixed = 300;          // per-burst poll/dispatch overhead
+  double per_packet_batched = 150;   // rx+execute amortized within a burst
+
   // Userspace costs, in cycles.
   double upcall_fixed = 9000;      // per-miss handling + flow install
   double upcall_syscall = 4000;    // kernel/user crossing; *batching* (§4.1)

@@ -26,6 +26,7 @@ class HypervisorSim {
       : fleet_(fleet), rng_(master.next()), outlier_(outlier) {
     SwitchConfig cfg;
     cfg.classifier.icmp_port_trie_bug = outlier;
+    cfg.rx_batch = fleet.rx_batch;
     sw_ = std::make_unique<Switch>(cfg);
 
     NvpConfig nvp;
@@ -75,11 +76,29 @@ class HypervisorSim {
           std::min(1.0, seconds - static_cast<double>(s));
       churn_connections(frac);
       const auto npkts = static_cast<size_t>(pps * frac);
-      for (size_t i = 0; i < npkts; ++i) {
-        sw_->inject(pick_packet(), clock_.now());
-        clock_.advance(static_cast<uint64_t>(1e9 * frac /
-                                             std::max<size_t>(npkts, 1)));
-        if ((i & 63) == 63) sw_->handle_upcalls(clock_.now());
+      const uint64_t step_ns = static_cast<uint64_t>(
+          1e9 * frac / std::max<size_t>(npkts, 1));
+      if (fleet_.rx_batch > 1) {
+        // PMD-style: gather traffic into bursts and run the batched fast
+        // path; upcalls are handled at burst boundaries.
+        std::vector<Packet> burst;
+        burst.reserve(fleet_.rx_batch);
+        for (size_t i = 0; i < npkts; ++i) {
+          burst.push_back(pick_packet());
+          clock_.advance(step_ns);
+          if (burst.size() == fleet_.rx_batch) {
+            sw_->inject_batch(burst, clock_.now());
+            burst.clear();
+            sw_->handle_upcalls(clock_.now());
+          }
+        }
+        if (!burst.empty()) sw_->inject_batch(burst, clock_.now());
+      } else {
+        for (size_t i = 0; i < npkts; ++i) {
+          sw_->inject(pick_packet(), clock_.now());
+          clock_.advance(step_ns);
+          if ((i & 63) == 63) sw_->handle_upcalls(clock_.now());
+        }
       }
       sw_->handle_upcalls(clock_.now());
       sw_->run_maintenance(clock_.now());

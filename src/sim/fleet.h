@@ -28,6 +28,11 @@ struct FleetConfig {
   uint64_t seed = 42;
 
   // Heavy-tailed per-hypervisor load (log-normal parameters).
+  // Receive burst size per hypervisor switch. 1 = per-packet injection;
+  // >1 gathers traffic into bursts and drives Switch::inject_batch (the
+  // PMD-style fast path with the amortized cost model).
+  size_t rx_batch = 1;
+
   double pps_log_mean = 7.6;      // exp(7.6) ~ 2000 pps median
   double pps_log_sigma = 1.6;     // 99th pct ~ 80 kpps (Figure 6)
   double conns_log_mean = 4.8;    // exp(4.8) ~ 120 active connections

@@ -10,7 +10,12 @@
 //   * displacement ("kicking") and rehashing run under a seqlock version —
 //     readers that race a displacement retry, so a key that is present
 //     can never be missed because it was mid-flight between its two
-//     candidate buckets.
+//     candidate buckets;
+//   * growth publishes a brand-new slot array RCU-style: the old array is
+//     *retired*, not freed, so a reader still probing it sees a frozen
+//     pre-grow snapshot (its find linearizes at the table-pointer load).
+//     The writer reclaims retired arrays with free_retired() once a grace
+//     period has passed (or at destruction).
 //
 // Keys and values are 64-bit words; key 0 is reserved as the empty marker
 // (store hash(key) if your key space includes 0). This mirrors the kernel
@@ -20,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "util/hash.h"
 
@@ -33,9 +39,11 @@ class CuckooMap64 {
   explicit CuckooMap64(size_t initial_capacity = 256) {
     size_t buckets = 16;
     while (buckets * kSlotsPerBucket < initial_capacity * 2) buckets *= 2;
-    n_slots_ = buckets * kSlotsPerBucket;
-    table_ = std::make_unique<Slot[]>(n_slots_);
+    table_.store(new Table(buckets * kSlotsPerBucket),
+                 std::memory_order_relaxed);
   }
+
+  ~CuckooMap64() { delete table_.load(std::memory_order_relaxed); }
 
   // Non-copyable (atomics), non-movable while concurrent readers exist.
   CuckooMap64(const CuckooMap64&) = delete;
@@ -44,7 +52,9 @@ class CuckooMap64 {
   size_t size() const noexcept {
     return size_.load(std::memory_order_relaxed);
   }
-  size_t capacity() const noexcept { return n_slots_; }
+  size_t capacity() const noexcept {
+    return table_.load(std::memory_order_acquire)->n_slots;
+  }
 
   // --- Reader side (any thread, lock-free) --------------------------------
 
@@ -53,10 +63,15 @@ class CuckooMap64 {
     for (;;) {
       const uint32_t v1 = version_.load(std::memory_order_acquire);
       if (v1 & 1) continue;  // writer is displacing; spin briefly
-      if (find_once(key, value_out)) return true;
+      // One consistent (slots, n_slots) snapshot; a grow that races us swaps
+      // the pointer but never frees or mutates the array we hold.
+      const Table* t = table_.load(std::memory_order_acquire);
+      const bool hit = find_once(*t, key, value_out);
       const uint32_t v2 = version_.load(std::memory_order_acquire);
-      if (v1 == v2) return false;  // stable miss
-      // A displacement raced us: the key may have been mid-move. Retry.
+      if (v1 == v2) return hit;  // no displacement raced the probe
+      // A displacement raced us. A hit may have torn: place() overwrites a
+      // kick victim value-first, so a slot transiently pairs the victim's
+      // key with the incoming value. A miss may be a key mid-move. Retry.
     }
   }
 
@@ -71,7 +86,7 @@ class CuckooMap64 {
   // (pathological; not expected in practice).
   bool insert(uint64_t key, uint64_t value) {
     if (key == kEmpty) return false;  // reserved sentinel
-    if (Slot* s = find_slot(key)) {
+    if (Slot* s = find_slot(writer_table(), key)) {
       s->value.store(value, std::memory_order_release);
       return true;
     }
@@ -87,7 +102,7 @@ class CuckooMap64 {
 
   bool erase(uint64_t key) noexcept {
     if (key == kEmpty) return false;  // reserved sentinel
-    Slot* s = find_slot(key);
+    Slot* s = find_slot(writer_table(), key);
     if (s == nullptr) return false;
     // Clear the key first so readers stop matching, then the value.
     s->key.store(kEmpty, std::memory_order_release);
@@ -99,12 +114,18 @@ class CuckooMap64 {
   // Writer-side iteration (not safe concurrently with the writer itself).
   template <typename F>
   void for_each(F&& f) const {
-    for (size_t i = 0; i < n_slots_; ++i) {
-      const Slot& s = table_[i];
+    const Table& t = *table_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < t.n_slots; ++i) {
+      const Slot& s = t.slots[i];
       const uint64_t k = s.key.load(std::memory_order_relaxed);
       if (k != kEmpty) f(k, s.value.load(std::memory_order_relaxed));
     }
   }
+
+  // Frees slot arrays retired by grow(). Writer thread only, and only after
+  // a grace period: no reader may still hold a pre-grow table pointer.
+  void free_retired() noexcept { retired_.clear(); }
+  size_t retired_tables() const noexcept { return retired_.size(); }
 
  private:
   struct Slot {
@@ -112,18 +133,33 @@ class CuckooMap64 {
     std::atomic<uint64_t> value{0};
   };
 
-  size_t n_buckets() const noexcept { return n_slots_ / kSlotsPerBucket; }
-  size_t bucket1(uint64_t key) const noexcept {
-    return hash_mix64(key) & (n_buckets() - 1);
-  }
-  size_t bucket2(uint64_t key) const noexcept {
-    return hash_mix64(key ^ 0x5bd1e995bd1e995ULL) & (n_buckets() - 1);
+  // A slot array plus its (immutable) size: readers grab both with a single
+  // pointer load, so a racing grow can never hand them a mismatched pair.
+  struct Table {
+    explicit Table(size_t n) : slots(std::make_unique<Slot[]>(n)), n_slots(n) {}
+    std::unique_ptr<Slot[]> slots;
+    size_t n_slots;
+  };
+
+  Table& writer_table() noexcept {
+    return *table_.load(std::memory_order_relaxed);
   }
 
-  bool find_once(uint64_t key, uint64_t* value_out) const noexcept {
-    for (const size_t b : {bucket1(key), bucket2(key)}) {
+  static size_t n_buckets(const Table& t) noexcept {
+    return t.n_slots / kSlotsPerBucket;
+  }
+  static size_t bucket1(const Table& t, uint64_t key) noexcept {
+    return hash_mix64(key) & (n_buckets(t) - 1);
+  }
+  static size_t bucket2(const Table& t, uint64_t key) noexcept {
+    return hash_mix64(key ^ 0x5bd1e995bd1e995ULL) & (n_buckets(t) - 1);
+  }
+
+  static bool find_once(const Table& t, uint64_t key,
+                        uint64_t* value_out) noexcept {
+    for (const size_t b : {bucket1(t, key), bucket2(t, key)}) {
       for (size_t i = 0; i < kSlotsPerBucket; ++i) {
-        const Slot& s = table_[b * kSlotsPerBucket + i];
+        const Slot& s = t.slots[b * kSlotsPerBucket + i];
         if (s.key.load(std::memory_order_acquire) != key) continue;
         const uint64_t v = s.value.load(std::memory_order_acquire);
         // Revalidate: the slot may have been erased/reused between loads.
@@ -136,19 +172,19 @@ class CuckooMap64 {
     return false;
   }
 
-  Slot* find_slot(uint64_t key) noexcept {
-    for (const size_t b : {bucket1(key), bucket2(key)}) {
+  static Slot* find_slot(Table& t, uint64_t key) noexcept {
+    for (const size_t b : {bucket1(t, key), bucket2(t, key)}) {
       for (size_t i = 0; i < kSlotsPerBucket; ++i) {
-        Slot& s = table_[b * kSlotsPerBucket + i];
+        Slot& s = t.slots[b * kSlotsPerBucket + i];
         if (s.key.load(std::memory_order_relaxed) == key) return &s;
       }
     }
     return nullptr;
   }
 
-  Slot* empty_slot(size_t bucket) noexcept {
+  static Slot* empty_slot(Table& t, size_t bucket) noexcept {
     for (size_t i = 0; i < kSlotsPerBucket; ++i) {
-      Slot& s = table_[bucket * kSlotsPerBucket + i];
+      Slot& s = t.slots[bucket * kSlotsPerBucket + i];
       if (s.key.load(std::memory_order_relaxed) == kEmpty) return &s;
     }
     return nullptr;
@@ -162,11 +198,12 @@ class CuckooMap64 {
   }
 
   bool insert_fresh(uint64_t key, uint64_t value) {
-    if (Slot* s = empty_slot(bucket1(key))) {
+    Table& t = writer_table();
+    if (Slot* s = empty_slot(t, bucket1(t, key))) {
       place(s, key, value);
       return true;
     }
-    if (Slot* s = empty_slot(bucket2(key))) {
+    if (Slot* s = empty_slot(t, bucket2(t, key))) {
       place(s, key, value);
       return true;
     }
@@ -176,28 +213,29 @@ class CuckooMap64 {
   // Cuckoo displacement under the seqlock: evict a victim from one of the
   // candidate buckets and relocate it, repeating up to a bounded depth.
   bool kick_insert(uint64_t key, uint64_t value) {
+    Table& t = writer_table();
     version_.fetch_add(1, std::memory_order_acq_rel);  // odd: in flux
     bool ok = false;
     uint64_t cur_key = key, cur_value = value;
-    size_t bucket = bucket1(key);
+    size_t bucket = bucket1(t, key);
     for (int depth = 0; depth < 64; ++depth) {
-      if (Slot* s = empty_slot(bucket)) {
+      if (Slot* s = empty_slot(t, bucket)) {
         place(s, cur_key, cur_value);
         ok = true;
         break;
       }
       // Evict a pseudo-random victim from this bucket.
       Slot& victim =
-          table_[bucket * kSlotsPerBucket +
-                 (hash_mix64(cur_key + depth) & (kSlotsPerBucket - 1))];
+          t.slots[bucket * kSlotsPerBucket +
+                  (hash_mix64(cur_key + depth) & (kSlotsPerBucket - 1))];
       const uint64_t vk = victim.key.load(std::memory_order_relaxed);
       const uint64_t vv = victim.value.load(std::memory_order_relaxed);
       place(&victim, cur_key, cur_value);
       cur_key = vk;
       cur_value = vv;
       // The victim goes to its *other* bucket.
-      bucket = bucket1(cur_key) == bucket ? bucket2(cur_key)
-                                          : bucket1(cur_key);
+      bucket = bucket1(t, cur_key) == bucket ? bucket2(t, cur_key)
+                                             : bucket1(t, cur_key);
     }
     version_.fetch_add(1, std::memory_order_acq_rel);  // even: stable
     if (!ok) {
@@ -212,49 +250,52 @@ class CuckooMap64 {
   }
 
   void grow() {
+    Table* old = table_.load(std::memory_order_relaxed);
+    Table* nt = new Table(old->n_slots * 2);
     version_.fetch_add(1, std::memory_order_acq_rel);  // odd
-    const size_t old_slots = n_slots_;
-    std::unique_ptr<Slot[]> old = std::move(table_);
-    n_slots_ = old_slots * 2;
-    table_ = std::make_unique<Slot[]>(n_slots_);
-    for (size_t i = 0; i < old_slots; ++i) {
-      Slot& s = old[i];
+    for (size_t i = 0; i < old->n_slots; ++i) {
+      Slot& s = old->slots[i];
       const uint64_t k = s.key.load(std::memory_order_relaxed);
       if (k == kEmpty) continue;
       const uint64_t v = s.value.load(std::memory_order_relaxed);
       // Place directly; the doubled table has room.
-      Slot* dst = empty_slot(bucket1(k));
-      if (dst == nullptr) dst = empty_slot(bucket2(k));
+      Slot* dst = empty_slot(*nt, bucket1(*nt, k));
+      if (dst == nullptr) dst = empty_slot(*nt, bucket2(*nt, k));
       if (dst == nullptr) {
         // Exceedingly unlikely double-collision: fall back to kicking
-        // (we are already under the seqlock).
+        // (the new table is not yet published, so this is private).
         uint64_t ck = k, cv = v;
-        size_t bucket = bucket1(ck);
+        size_t bucket = bucket1(*nt, ck);
         for (int depth = 0; depth < 128; ++depth) {
-          if (Slot* s2 = empty_slot(bucket)) {
+          if (Slot* s2 = empty_slot(*nt, bucket)) {
             place(s2, ck, cv);
             ck = kEmpty;
             break;
           }
-          Slot& victim = table_[bucket * kSlotsPerBucket +
-                                (hash_mix64(ck + depth) &
-                                 (kSlotsPerBucket - 1))];
+          Slot& victim = nt->slots[bucket * kSlotsPerBucket +
+                                   (hash_mix64(ck + depth) &
+                                    (kSlotsPerBucket - 1))];
           const uint64_t vk = victim.key.load(std::memory_order_relaxed);
           const uint64_t vv = victim.value.load(std::memory_order_relaxed);
           place(&victim, ck, cv);
           ck = vk;
           cv = vv;
-          bucket = bucket1(ck) == bucket ? bucket2(ck) : bucket1(ck);
+          bucket = bucket1(*nt, ck) == bucket ? bucket2(*nt, ck)
+                                              : bucket1(*nt, ck);
         }
       } else {
         place(dst, k, v);
       }
     }
+    // RCU publication: swap the live table, retire (don't free) the old one
+    // — a reader that loaded it before the swap may still be probing it.
+    table_.store(nt, std::memory_order_release);
+    retired_.emplace_back(old);
     version_.fetch_add(1, std::memory_order_acq_rel);  // even
   }
 
-  std::unique_ptr<Slot[]> table_;
-  size_t n_slots_ = 0;
+  std::atomic<Table*> table_{nullptr};
+  std::vector<std::unique_ptr<Table>> retired_;  // writer-side, grace-gated
   std::atomic<uint32_t> version_{0};
   std::atomic<size_t> size_{0};
 };

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +55,11 @@ struct SwitchConfig {
   // kernel/user crossing.
   bool batching = true;
   size_t upcall_batch = 64;
+
+  // Receive-side burst size (PMD-style batching). 1 = per-packet receive
+  // (the historical path); >1 makes the fleet/experiment drivers gather
+  // packets into bursts of this size and charge the batched cost model.
+  size_t rx_batch = 1;
 
   // Cache invalidation parameters (§6).
   size_t flow_limit = 200000;
@@ -104,6 +110,13 @@ class Switch {
   // queue an upcall (drive with handle_upcalls).
   Datapath::Path inject(const Packet& pkt, uint64_t now_ns);
 
+  // Processes a burst sharing one timestamp through the batched datapath
+  // fast path: one flow-key hash per packet, deduplicated cache probes,
+  // grouped action execution, and the amortized burst cost model
+  // (cost.batch_fixed + per_packet_batched instead of per_packet). Returns
+  // the number of packets that missed (queued as upcalls).
+  size_t inject_batch(std::span<const Packet> pkts, uint64_t now_ns);
+
   // Processes queued upcalls: translate, install, forward. Returns the
   // number handled.
   size_t handle_upcalls(uint64_t now_ns);
@@ -148,6 +161,8 @@ class Switch {
 
  private:
   void execute_actions(const DpActions& actions, const Packet& pkt);
+  void execute_actions_batch(std::span<const Packet> pkts,
+                             const Datapath::RxResult* rx);
   void install_from_xlate(const XlateResult& xr, const Packet& pkt,
                           uint64_t now_ns);
   void revalidate(uint64_t now_ns);
@@ -175,6 +190,7 @@ class Switch {
   Counters counters_;
   std::unordered_map<uint32_t, PortStats> port_stats_;
   CpuAccounting cpu_;
+  std::vector<Datapath::RxResult> results_;  // inject_batch scratch
   size_t effective_limit_;
   uint64_t pipeline_gen_at_last_reval_ = 0;
 };

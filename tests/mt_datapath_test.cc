@@ -1,0 +1,263 @@
+// Tests for the multi-worker (PMD-style) datapath: shared concurrent
+// megaflow table, per-worker EMC shards, QSBR grace periods (§4.1).
+#include "datapath/mt_datapath.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "packet/match.h"
+#include "util/rng.h"
+
+namespace ovs {
+namespace {
+
+using Path = ShardedDatapath::Path;
+
+Packet tcp_pkt(Ipv4 dst, uint16_t sport, uint16_t dport) {
+  Packet p;
+  p.key.set_eth_type(ethertype::kIpv4);
+  p.key.set_nw_proto(ipproto::kTcp);
+  p.key.set_nw_src(Ipv4(1, 1, 1, 1));
+  p.key.set_nw_dst(dst);
+  p.key.set_tp_src(sport);
+  p.key.set_tp_dst(dport);
+  p.size_bytes = 100;
+  return p;
+}
+
+std::vector<ShardedDatapath::RxResult> run_batch(ShardedDatapath& dp,
+                                                 size_t worker,
+                                                 const std::vector<Packet>& b,
+                                                 uint64_t now) {
+  std::vector<ShardedDatapath::RxResult> res(b.size());
+  dp.process_batch(worker, b, now, res.data());
+  return res;
+}
+
+TEST(MtDatapathTest, MissQueuesUpcall) {
+  ShardedDatapath dp;
+  auto res = run_batch(dp, 0, {tcp_pkt(Ipv4(9, 9, 9, 9), 1, 2)}, 0);
+  EXPECT_EQ(res[0].path, Path::kMiss);
+  EXPECT_EQ(res[0].actions, nullptr);
+  EXPECT_EQ(dp.upcall_queue_depth(), 1u);
+  auto up = dp.take_upcalls(10);
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].key.nw_dst(), Ipv4(9, 9, 9, 9));
+  EXPECT_EQ(dp.stats().misses, 1u);
+}
+
+TEST(MtDatapathTest, MegaflowThenHintHit) {
+  ShardedDatapath dp;
+  Match m = MatchBuilder().ip().nw_dst_prefix(Ipv4(9, 0, 0, 0), 8);
+  MtMegaflow* e = dp.install(m, DpActions().output(2), 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(dp.flow_count(), 1u);
+  EXPECT_EQ(dp.mask_count(), 1u);
+
+  auto r1 = run_batch(dp, 0, {tcp_pkt(Ipv4(9, 1, 2, 3), 5, 6)}, 10);
+  EXPECT_EQ(r1[0].path, Path::kMegaflowHit);
+  ASSERT_NE(r1[0].actions, nullptr);
+  EXPECT_EQ(r1[0].actions->to_string(), "output:2");
+
+  // Same microflow again: the EMC hint points at the right tuple.
+  auto r2 = run_batch(dp, 0, {tcp_pkt(Ipv4(9, 1, 2, 3), 5, 6)}, 20);
+  EXPECT_EQ(r2[0].path, Path::kMicroflowHit);
+
+  EXPECT_EQ(dp.stats().microflow_hits, 1u);
+  EXPECT_EQ(dp.stats().megaflow_hits, 1u);
+  EXPECT_EQ(e->packets(), 2u);
+  EXPECT_EQ(e->bytes(), 200u);
+  EXPECT_EQ(e->used_ns(), 20u);
+}
+
+TEST(MtDatapathTest, DuplicateInstallReturnsExisting) {
+  ShardedDatapath dp;
+  Match m = MatchBuilder().ip().nw_dst_prefix(Ipv4(9, 0, 0, 0), 8);
+  MtMegaflow* a = dp.install(m, DpActions().output(2), 0);
+  MtMegaflow* b = dp.install(m, DpActions().output(3), 0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dp.flow_count(), 1u);
+}
+
+TEST(MtDatapathTest, BurstDedupGroupsStats) {
+  ShardedDatapath dp;
+  Match m = MatchBuilder().ip().nw_dst_prefix(Ipv4(9, 0, 0, 0), 8);
+  MtMegaflow* e = dp.install(m, DpActions().output(2), 0);
+
+  // 32 copies of one microflow: the leader does the single classifier
+  // search, every follower is a microflow hit, stats bump once.
+  std::vector<Packet> burst(32, tcp_pkt(Ipv4(9, 1, 2, 3), 5, 6));
+  std::vector<ShardedDatapath::RxResult> res(burst.size());
+  ShardedDatapath::BatchSummary sum;
+  dp.process_batch(0, burst, 50, res.data(), &sum);
+
+  EXPECT_EQ(res[0].path, Path::kMegaflowHit);
+  for (size_t i = 1; i < res.size(); ++i) {
+    EXPECT_EQ(res[i].path, Path::kMicroflowHit);
+    EXPECT_EQ(res[i].actions, res[0].actions);
+  }
+  EXPECT_EQ(sum.packets, 32u);
+  EXPECT_EQ(sum.emc_probes, 1u);
+  EXPECT_EQ(sum.megaflow_lookups, 1u);
+  EXPECT_EQ(sum.groups, 1u);
+  EXPECT_EQ(e->packets(), 32u);
+  EXPECT_EQ(e->bytes(), 3200u);
+}
+
+TEST(MtDatapathTest, RemoveIsDeferredAndStaleHintCorrected) {
+  ShardedDatapath dp;
+  Match m = MatchBuilder().ip().nw_dst_prefix(Ipv4(9, 0, 0, 0), 8);
+  MtMegaflow* e = dp.install(m, DpActions().output(2), 0);
+
+  run_batch(dp, 0, {tcp_pkt(Ipv4(9, 1, 2, 3), 5, 6)}, 10);  // install hint
+  dp.remove(e);
+  EXPECT_EQ(dp.flow_count(), 0u);
+  EXPECT_EQ(dp.mask_count(), 0u);
+
+  // The hint now misdirects: corrected on first use, packet misses.
+  auto r = run_batch(dp, 0, {tcp_pkt(Ipv4(9, 1, 2, 3), 5, 6)}, 20);
+  EXPECT_EQ(r[0].path, Path::kMiss);
+  EXPECT_EQ(dp.stats().stale_hints, 1u);
+
+  dp.purge_dead();  // must not crash; entry freed after the grace period
+  auto r2 = run_batch(dp, 0, {tcp_pkt(Ipv4(9, 1, 2, 3), 5, 6)}, 30);
+  EXPECT_EQ(r2[0].path, Path::kMiss);
+}
+
+TEST(MtDatapathTest, UpdateActionsSwapsRcuStyle) {
+  ShardedDatapath dp;
+  Match m = MatchBuilder().ip().nw_dst_prefix(Ipv4(9, 0, 0, 0), 8);
+  MtMegaflow* e = dp.install(m, DpActions().output(2), 0);
+
+  auto r1 = run_batch(dp, 0, {tcp_pkt(Ipv4(9, 1, 2, 3), 5, 6)}, 10);
+  EXPECT_EQ(r1[0].actions->to_string(), "output:2");
+
+  dp.update_actions(e, DpActions().output(7));
+  auto r2 = run_batch(dp, 0, {tcp_pkt(Ipv4(9, 1, 2, 3), 5, 6)}, 20);
+  EXPECT_EQ(r2[0].actions->to_string(), "output:7");
+  dp.purge_dead();  // frees the retired "output:2" list
+}
+
+TEST(MtDatapathTest, TupleDirectoryCapacity) {
+  ShardedDatapathConfig cfg;
+  cfg.max_tuples = 1;
+  ShardedDatapath dp(cfg);
+  EXPECT_NE(dp.install(MatchBuilder().ip().nw_dst_prefix(Ipv4(9, 0, 0, 0), 8),
+                       DpActions().output(1), 0),
+            nullptr);
+  // Same mask reuses the tuple; a second mask does not fit.
+  EXPECT_NE(dp.install(MatchBuilder().ip().nw_dst_prefix(Ipv4(10, 0, 0, 0), 8),
+                       DpActions().output(2), 0),
+            nullptr);
+  EXPECT_EQ(dp.install(MatchBuilder().ip().nw_dst_prefix(Ipv4(11, 0, 0, 0), 16),
+                       DpActions().output(3), 0),
+            nullptr);
+}
+
+TEST(MtDatapathTest, WorkersSeeSharedTable) {
+  ShardedDatapathConfig cfg;
+  cfg.n_workers = 2;
+  ShardedDatapath dp(cfg);
+  dp.install(MatchBuilder().ip().nw_dst_prefix(Ipv4(9, 0, 0, 0), 8),
+             DpActions().output(2), 0);
+  auto r0 = run_batch(dp, 0, {tcp_pkt(Ipv4(9, 1, 1, 1), 1, 1)}, 10);
+  auto r1 = run_batch(dp, 1, {tcp_pkt(Ipv4(9, 2, 2, 2), 2, 2)}, 10);
+  EXPECT_EQ(r0[0].path, Path::kMegaflowHit);
+  EXPECT_EQ(r1[0].path, Path::kMegaflowHit);
+  // EMC shards are private: worker 0 resolved 9.1.1.1, but worker 1's shard
+  // has no hint for it, so worker 1 does a full search...
+  auto r2 = run_batch(dp, 1, {tcp_pkt(Ipv4(9, 1, 1, 1), 1, 1)}, 20);
+  EXPECT_EQ(r2[0].path, Path::kMegaflowHit);
+  // ...which installed worker 1's own hint.
+  auto r3 = run_batch(dp, 1, {tcp_pkt(Ipv4(9, 1, 1, 1), 1, 1)}, 30);
+  EXPECT_EQ(r3[0].path, Path::kMicroflowHit);
+}
+
+// The concurrency smoke test the TSan CI job runs: four workers pump
+// bursts through the pool while the control thread churns install /
+// update_actions / remove / purge_dead over an overlapping rule set.
+TEST(MtDatapathTest, ConcurrentChurnStress) {
+  ShardedDatapathConfig cfg;
+  cfg.n_workers = 4;
+  cfg.emc_capacity_per_shard = 512;
+  ShardedDatapath dp(cfg);
+
+  constexpr int kPrefixes = 16;
+  std::vector<MtMegaflow*> live(kPrefixes, nullptr);
+  for (int i = 0; i < kPrefixes; ++i) {
+    live[i] = dp.install(
+        MatchBuilder().ip().nw_dst_prefix(Ipv4(uint8_t(10 + i), 0, 0, 0), 8),
+        DpActions().output(uint32_t(i + 1)), 0);
+    ASSERT_NE(live[i], nullptr);
+  }
+
+  std::atomic<uint64_t> delivered{0};
+  dp.set_batch_callback(
+      [&](size_t, std::span<const ShardedDatapath::RxResult> res) {
+        // Touch every result: actions pointers must stay valid for the
+        // whole read-side critical section even while the control thread
+        // removes and retires entries.
+        uint64_t n = 0;
+        for (const auto& r : res)
+          if (r.actions != nullptr && !r.actions->drops()) ++n;
+        delivered.fetch_add(n, std::memory_order_relaxed);
+      });
+  dp.start();
+
+  constexpr int kBursts = 200;
+  constexpr size_t kBurstLen = 32;
+  std::atomic<bool> stop_ctl{false};
+  std::thread control([&] {
+    Rng rng(0xC0117);
+    uint64_t now = 0;
+    while (!stop_ctl.load(std::memory_order_relaxed)) {
+      const int i = static_cast<int>(rng.uniform(kPrefixes));
+      if (live[i] != nullptr) {
+        if (rng.uniform(2) == 0) {
+          dp.update_actions(live[i], DpActions().output(rng.uniform(64) + 1));
+        } else {
+          dp.remove(live[i]);
+          live[i] = nullptr;
+        }
+      } else {
+        live[i] = dp.install(
+            MatchBuilder().ip().nw_dst_prefix(
+                Ipv4(uint8_t(10 + i), 0, 0, 0), 8),
+            DpActions().output(uint32_t(i + 1)), now);
+      }
+      if (rng.uniform(4) == 0) dp.purge_dead();
+      now += 1000;
+    }
+  });
+
+  Rng rng(0xFEED);
+  for (int b = 0; b < kBursts; ++b) {
+    const size_t w = b % cfg.n_workers;
+    std::vector<Packet> burst;
+    burst.reserve(kBurstLen);
+    for (size_t i = 0; i < kBurstLen; ++i) {
+      burst.push_back(tcp_pkt(
+          Ipv4(uint8_t(10 + rng.uniform(kPrefixes + 2)),  // some always-miss
+               uint8_t(rng.uniform(4)), 1, 1),
+          uint16_t(rng.uniform(8)), 80));
+    }
+    dp.submit(w, std::move(burst), uint64_t(b) * 1000);
+    dp.take_upcalls(64);  // drain so the shared queue never stays full
+  }
+  dp.drain();
+  stop_ctl.store(true, std::memory_order_relaxed);
+  control.join();
+  dp.stop();
+  dp.purge_dead();
+
+  const auto s = dp.stats();
+  EXPECT_EQ(s.packets, uint64_t(kBursts) * kBurstLen);
+  EXPECT_EQ(s.microflow_hits + s.megaflow_hits + s.misses, s.packets);
+  EXPECT_GT(delivered.load(), 0u);
+}
+
+}  // namespace
+}  // namespace ovs
