@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/fault.h"
+
 namespace ovs {
 
 namespace {
@@ -61,6 +63,16 @@ MegaflowEntry* Datapath::microflow_lookup(const FlowKey& key,
 }
 
 void Datapath::microflow_insert(uint64_t hash, MegaflowEntry* entry) noexcept {
+  // Probabilistic insertion (§7.3's churn mitigation, OVS
+  // emc-insert-inv-prob): under microflow churn most EMC entries are used
+  // exactly once, so inserting 1-in-N keeps the hot working set resident
+  // instead of letting one-shot flows evict it.
+  if (cfg_.emc_insert_inv_prob > 1 &&
+      rng_.uniform(cfg_.emc_insert_inv_prob) != 0) {
+    ++stats_.emc_insert_skips;
+    return;
+  }
+  ++stats_.emc_inserts;
   if (cemc_ != nullptr) {
     cemc_->install(hash, reinterpret_cast<uint64_t>(entry));
     return;
@@ -79,12 +91,43 @@ void Datapath::microflow_insert(uint64_t hash, MegaflowEntry* entry) noexcept {
   micro_[set * cfg_.microflow_ways + w] = {hash, entry};
 }
 
-void Datapath::enqueue_upcall(const Packet& pkt) {
+void Datapath::deliver_upcall(Packet&& pkt) {
+  if (sink_) {
+    if (!sink_(std::move(pkt))) ++stats_.upcall_drops;
+    return;
+  }
   if (upcalls_.size() >= cfg_.max_upcall_queue) {
     ++stats_.upcall_drops;
   } else {
-    upcalls_.push_back(pkt);
+    upcalls_.push_back(std::move(pkt));
   }
+}
+
+void Datapath::enqueue_upcall(const Packet& pkt) {
+  if (fault_ != nullptr) {
+    if (fault_->should_fire(FaultPoint::kUpcallDrop)) {
+      ++stats_.upcall_drops;
+      return;
+    }
+    if (fault_->should_fire(FaultPoint::kUpcallDelay)) {
+      ++stats_.upcalls_delayed;
+      delayed_.push_back(pkt);
+      return;
+    }
+    if (fault_->should_fire(FaultPoint::kUpcallDuplicate)) {
+      ++stats_.upcall_dup_enqueues;
+      deliver_upcall(Packet(pkt));
+    }
+  }
+  deliver_upcall(Packet(pkt));
+}
+
+size_t Datapath::flush_delayed_upcalls() {
+  const size_t n = delayed_.size();
+  std::vector<Packet> parked;
+  parked.swap(delayed_);
+  for (Packet& p : parked) deliver_upcall(std::move(p));
+  return n;
 }
 
 Datapath::RxResult Datapath::receive(const Packet& pkt, uint64_t now_ns) {
@@ -266,6 +309,20 @@ MegaflowEntry* Datapath::install(const Match& match, DpActions actions,
                                  uint64_t now_ns) {
   if (Rule* existing = mega_.find_exact(match, 0))
     return static_cast<MegaflowEntry*>(existing);
+  if (fault_ != nullptr) {
+    if (fault_->should_fire(FaultPoint::kInstallTableFull)) {
+      ++stats_.install_fail_full;
+      return nullptr;
+    }
+    if (fault_->should_fire(FaultPoint::kInstallTransient)) {
+      ++stats_.install_fail_transient;
+      return nullptr;
+    }
+  }
+  if (cfg_.max_flows != 0 && flow_count() >= cfg_.max_flows) {
+    ++stats_.install_fail_full;
+    return nullptr;
+  }
   auto owned = std::make_unique<MegaflowEntry>(match, std::move(actions));
   MegaflowEntry* e = owned.get();
   e->created_ns_ = now_ns;
@@ -323,7 +380,28 @@ std::vector<Packet> Datapath::take_upcalls(size_t max_batch) {
     out.push_back(upcalls_.front());
     upcalls_.pop_front();
   }
+  // Delay-faulted upcalls arrive one handler round late: they become
+  // visible after the round that drained the queue.
+  if (!delayed_.empty()) flush_delayed_upcalls();
   return out;
+}
+
+void Datapath::corrupt_entry(size_t idx) {
+  if (entries_.empty()) return;
+  MegaflowEntry* e = entries_[idx % entries_.size()].get();
+  // A recognizably bogus action list: forward to a port that exists
+  // nowhere. The flow misbehaves until a revalidator pass re-translates it.
+  DpActions bogus;
+  bogus.output(0xDEAD);
+  e->set_actions(std::move(bogus));
+  ++stats_.entries_corrupted;
+}
+
+void Datapath::expire_entry(size_t idx) {
+  if (entries_.empty()) return;
+  MegaflowEntry* e = entries_[idx % entries_.size()].get();
+  e->used_ns_ = 0;
+  ++stats_.entries_expired;
 }
 
 }  // namespace ovs

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -28,6 +29,8 @@
 #include "util/rng.h"
 
 namespace ovs {
+
+class FaultInjector;
 
 // An installed datapath flow: a priority-less classifier rule carrying
 // actions and statistics.
@@ -72,6 +75,14 @@ struct DatapathConfig {
   size_t microflow_ways = 2;          // associativity
   size_t microflow_sets = 4096;       // total slots = ways * sets
   size_t max_upcall_queue = 4096;     // miss queue to userspace
+  // Kernel flow-table hard cap: install() fails (returns nullptr) at this
+  // many live flows. 0 = unbounded; the dynamic flow limit (§6) is enforced
+  // by userspace eviction, this models the kernel's own ENOSPC.
+  size_t max_flows = 0;
+  // Probabilistic EMC insertion (the §7.3-style mitigation for microflow
+  // churn, OVS's emc-insert-inv-prob): insert a missed microflow into the
+  // EMC with probability 1/N. 1 = always insert.
+  uint32_t emc_insert_inv_prob = 1;
   uint64_t seed = 0xDA7A;             // pseudo-random replacement (§6)
 };
 
@@ -139,7 +150,9 @@ class Datapath {
 
   // Installs a flow. Duplicate masked keys are rejected (returns the
   // existing entry and does not install) because userspace keeps megaflows
-  // disjoint (§4.2).
+  // disjoint (§4.2). Returns nullptr when the install *fails*: the table is
+  // at cfg.max_flows, or an injected table-full/transient fault fired —
+  // callers must treat the miss as unresolved (retry or drop).
   MegaflowEntry* install(const Match& match, DpActions actions,
                          uint64_t now_ns);
 
@@ -168,18 +181,56 @@ class Datapath {
   size_t flow_count() const noexcept { return mega_.rule_count(); }
   size_t mask_count() const noexcept { return mega_.tuple_count(); }
 
-  // Drains up to max_batch queued upcalls.
+  // Drains up to max_batch queued upcalls, then releases any fault-delayed
+  // upcalls into the queue (they arrive one round late).
   std::vector<Packet> take_upcalls(size_t max_batch);
   size_t upcall_queue_depth() const noexcept { return upcalls_.size(); }
+
+  // Miss-path sink: when set, upcalls are handed to the sink instead of the
+  // internal queue (the vswitchd bounded fair-queue path). A sink returning
+  // false refuses the upcall; the refusal is counted as a drop here.
+  using UpcallSink = std::function<bool(Packet&&)>;
+  void set_upcall_sink(UpcallSink sink) { sink_ = std::move(sink); }
+
+  // --- Fault-injection surface ---------------------------------------------
+
+  // Non-owning; nullptr disables injection. Consulted at upcall enqueue
+  // (drop / delay / duplicate) and at install (table-full / transient).
+  void set_fault_injector(FaultInjector* f) noexcept { fault_ = f; }
+
+  // Releases upcalls parked by the delay fault (to the sink/queue, where
+  // they may still be refused). Returns the number released.
+  size_t flush_delayed_upcalls();
+  size_t delayed_upcall_count() const noexcept { return delayed_.size(); }
+
+  // Scrambles the idx-th live entry's actions (modulo flow_count). The
+  // revalidator repairs it on its next full pass — the convergence property
+  // the fault-injection tests assert.
+  void corrupt_entry(size_t idx);
+  // Zeroes the idx-th live entry's last-used time so idle expiry reaps it.
+  void expire_entry(size_t idx);
+
+  // Runtime policy knob (graceful degradation under EMC thrash).
+  void set_emc_insert_inv_prob(uint32_t inv) noexcept {
+    cfg_.emc_insert_inv_prob = inv == 0 ? 1 : inv;
+  }
 
   struct Stats {
     uint64_t packets = 0;
     uint64_t microflow_hits = 0;
     uint64_t megaflow_hits = 0;
     uint64_t misses = 0;
-    uint64_t upcall_drops = 0;          // queue overflow
+    uint64_t upcall_drops = 0;          // queue overflow, sink refusal, fault
     uint64_t stale_microflow_hits = 0;  // corrected on first use (§6)
     uint64_t tuples_searched = 0;       // total megaflow tables probed
+    uint64_t emc_inserts = 0;           // microflow entries installed
+    uint64_t emc_insert_skips = 0;      // skipped by probabilistic insertion
+    uint64_t install_fail_full = 0;     // install rejected: table full
+    uint64_t install_fail_transient = 0;  // install rejected: transient fault
+    uint64_t upcall_dup_enqueues = 0;   // extra deliveries (duplicate fault)
+    uint64_t upcalls_delayed = 0;       // parked by the delay fault
+    uint64_t entries_corrupted = 0;
+    uint64_t entries_expired = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = Stats{}; }
@@ -200,6 +251,7 @@ class Datapath {
   void process_chunk(const Packet* pkts, size_t n, uint64_t now_ns,
                      RxResult* results, BatchSummary& summary);
   void enqueue_upcall(const Packet& pkt);
+  void deliver_upcall(Packet&& pkt);
 
   DatapathConfig cfg_;
   Classifier mega_;  // first_match_only, no priorities — the kernel TSS
@@ -208,6 +260,9 @@ class Datapath {
   std::vector<MicroSlot> micro_;                // inline EMC
   std::unique_ptr<ConcurrentEmc> cemc_;         // cfg.use_concurrent_emc
   std::deque<Packet> upcalls_;
+  std::vector<Packet> delayed_;                 // delay-fault parking lot
+  UpcallSink sink_;
+  FaultInjector* fault_ = nullptr;
   Rng rng_;
   Stats stats_;
 };

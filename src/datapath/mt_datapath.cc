@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/fault.h"
+
 namespace ovs {
 
 namespace {
@@ -193,10 +195,29 @@ void ShardedDatapath::process_chunk(WorkerSlot& slot, const Packet* pkts,
 }
 
 void ShardedDatapath::flush_upcalls(std::vector<Packet>& missed) {
-  uint64_t drops = 0;
+  uint64_t drops = 0, delayed = 0, dups = 0;
+  FaultInjector* fault = fault_;
   {
     std::lock_guard<std::mutex> lk(upcall_mu_);
     for (Packet& p : missed) {
+      if (fault != nullptr) {
+        if (fault->should_fire(FaultPoint::kUpcallDrop)) {
+          ++drops;
+          continue;
+        }
+        if (fault->should_fire(FaultPoint::kUpcallDelay)) {
+          delayed_.push_back(std::move(p));
+          ++delayed;
+          continue;
+        }
+        if (fault->should_fire(FaultPoint::kUpcallDuplicate)) {
+          if (upcalls_.size() >= cfg_.max_upcall_queue)
+            ++drops;
+          else
+            upcalls_.push_back(p);  // copy: original delivered below
+          ++dups;
+        }
+      }
       if (upcalls_.size() >= cfg_.max_upcall_queue) {
         ++drops;
       } else {
@@ -205,7 +226,35 @@ void ShardedDatapath::flush_upcalls(std::vector<Packet>& missed) {
     }
   }
   if (drops != 0) upcall_drops_.fetch_add(drops, std::memory_order_relaxed);
+  if (delayed != 0)
+    upcalls_delayed_.fetch_add(delayed, std::memory_order_relaxed);
+  if (dups != 0)
+    upcall_dup_enqueues_.fetch_add(dups, std::memory_order_relaxed);
   missed.clear();
+}
+
+size_t ShardedDatapath::flush_delayed_upcalls() {
+  uint64_t drops = 0;
+  size_t released = 0;
+  {
+    std::lock_guard<std::mutex> lk(upcall_mu_);
+    while (!delayed_.empty()) {
+      if (upcalls_.size() >= cfg_.max_upcall_queue) {
+        ++drops;
+      } else {
+        upcalls_.push_back(std::move(delayed_.front()));
+        ++released;
+      }
+      delayed_.pop_front();
+    }
+  }
+  if (drops != 0) upcall_drops_.fetch_add(drops, std::memory_order_relaxed);
+  return released;
+}
+
+size_t ShardedDatapath::delayed_upcall_count() const {
+  std::lock_guard<std::mutex> lk(upcall_mu_);
+  return delayed_.size();
 }
 
 void ShardedDatapath::process_batch(size_t worker, std::span<const Packet> pkts,
@@ -265,6 +314,12 @@ MtMegaflow* ShardedDatapath::install(const Match& match, DpActions actions,
                                      uint64_t now_ns) {
   Match m = match;
   m.normalize();
+  if (fault_ != nullptr &&
+      (fault_->should_fire(FaultPoint::kInstallTableFull) ||
+       fault_->should_fire(FaultPoint::kInstallTransient))) {
+    install_fails_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   MtTuple* t = writer_find_tuple(m.mask, /*create=*/true);
   if (t == nullptr) return nullptr;  // tuple directory full
 
@@ -392,13 +447,25 @@ size_t ShardedDatapath::mask_count() const noexcept {
 
 std::vector<Packet> ShardedDatapath::take_upcalls(size_t max_batch) {
   std::vector<Packet> out;
-  std::lock_guard<std::mutex> lk(upcall_mu_);
-  const size_t n = std::min(max_batch, upcalls_.size());
-  out.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    out.push_back(std::move(upcalls_.front()));
-    upcalls_.pop_front();
+  uint64_t drops = 0;
+  {
+    std::lock_guard<std::mutex> lk(upcall_mu_);
+    const size_t n = std::min(max_batch, upcalls_.size());
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(upcalls_.front()));
+      upcalls_.pop_front();
+    }
+    // Delay-faulted upcalls become visible one handler round late.
+    while (!delayed_.empty()) {
+      if (upcalls_.size() >= cfg_.max_upcall_queue)
+        ++drops;
+      else
+        upcalls_.push_back(std::move(delayed_.front()));
+      delayed_.pop_front();
+    }
   }
+  if (drops != 0) upcall_drops_.fetch_add(drops, std::memory_order_relaxed);
   return out;
 }
 
@@ -418,6 +485,10 @@ ShardedDatapath::Stats ShardedDatapath::stats() const {
     s.tuples_searched += sp->tuples_searched.load(std::memory_order_relaxed);
   }
   s.upcall_drops = upcall_drops_.load(std::memory_order_relaxed);
+  s.install_fails = install_fails_.load(std::memory_order_relaxed);
+  s.upcalls_delayed = upcalls_delayed_.load(std::memory_order_relaxed);
+  s.upcall_dup_enqueues =
+      upcall_dup_enqueues_.load(std::memory_order_relaxed);
   return s;
 }
 

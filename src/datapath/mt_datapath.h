@@ -41,6 +41,7 @@
 
 namespace ovs {
 
+class FaultInjector;
 class ShardedDatapath;
 
 // A megaflow entry in the concurrent table. Match is immutable after
@@ -164,6 +165,17 @@ class ShardedDatapath {
   std::vector<Packet> take_upcalls(size_t max_batch);
   size_t upcall_queue_depth() const;
 
+  // Non-owning; nullptr disables injection. Consulted at upcall flush
+  // (drop / delay / duplicate) and at install (table-full / transient).
+  // FaultInjector is internally synchronized, so worker flushes may consult
+  // it concurrently.
+  void set_fault_injector(FaultInjector* f) noexcept { fault_ = f; }
+
+  // Releases upcalls parked by the delay fault into the shared queue
+  // (where the global cap may still drop them). Returns the count released.
+  size_t flush_delayed_upcalls();
+  size_t delayed_upcall_count() const;
+
   struct Stats {
     uint64_t packets = 0;
     uint64_t microflow_hits = 0;   // EMC-hinted tuple resolved the packet
@@ -172,6 +184,9 @@ class ShardedDatapath {
     uint64_t stale_hints = 0;      // hint probed, flow not there (§6)
     uint64_t tuples_searched = 0;
     uint64_t upcall_drops = 0;
+    uint64_t install_fails = 0;         // injected table-full / transient
+    uint64_t upcalls_delayed = 0;       // parked by the delay fault
+    uint64_t upcall_dup_enqueues = 0;   // extra deliveries (duplicate fault)
   };
   Stats stats() const;  // aggregated over workers; any thread
 
@@ -278,7 +293,12 @@ class ShardedDatapath {
   // Shared upcall queue (one lock per burst flush).
   mutable std::mutex upcall_mu_;
   std::deque<Packet> upcalls_;
+  std::deque<Packet> delayed_;  // delay-fault parking lot (under upcall_mu_)
   std::atomic<uint64_t> upcall_drops_{0};
+  std::atomic<uint64_t> install_fails_{0};
+  std::atomic<uint64_t> upcalls_delayed_{0};
+  std::atomic<uint64_t> upcall_dup_enqueues_{0};
+  FaultInjector* fault_ = nullptr;
 
   // Worker pool.
   std::vector<std::unique_ptr<WorkerThread>> threads_;

@@ -33,6 +33,7 @@ struct CostModel {
   double per_packet = 250;       // rx, parse, action execution
   double microflow_probe = 80;   // exact-match cache probe
   double per_tuple = 65;         // one megaflow hash-table search
+  double emc_insert = 300;       // EMC slot write + eviction bookkeeping
   double miss_kernel = 1200;     // enqueue upcall, context mgmt
 
   // Batched (PMD-style) receive path. A burst pays one fixed cost plus a
@@ -48,6 +49,8 @@ struct CostModel {
                                    // amortizes this over the whole batch
   double per_table_lookup = 800;   // one OpenFlow table classification
   double reval_per_flow = 6000;    // dump + re-translate + compare (§6)
+  double install_fail = 600;       // failed netlink install (error return)
+  double upcall_requeue = 400;     // park a miss on the retry queue
 
   double cycles_per_second_total() const noexcept {
     return ghz * 1e9 * n_cores;

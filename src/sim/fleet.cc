@@ -22,11 +22,14 @@ struct Connection {
 
 class HypervisorSim {
  public:
-  HypervisorSim(const FleetConfig& fleet, Rng& master, bool outlier)
-      : fleet_(fleet), rng_(master.next()), outlier_(outlier) {
+  HypervisorSim(const FleetConfig& fleet, Rng& master, bool outlier,
+                bool stormy)
+      : fleet_(fleet), rng_(master.next()), outlier_(outlier),
+        stormy_(stormy) {
     SwitchConfig cfg;
     cfg.classifier.icmp_port_trie_bug = outlier;
     cfg.rx_batch = fleet.rx_batch;
+    cfg.degradation.enabled = fleet.degradation;
     sw_ = std::make_unique<Switch>(cfg);
 
     NvpConfig nvp;
@@ -62,11 +65,16 @@ class HypervisorSim {
   }
 
   FleetInterval run_interval(size_t hv, size_t idx) {
+    const bool storm_on = stormy_ && idx >= fleet_.storm_first_interval &&
+                          idx <= fleet_.storm_last_interval;
     const double mult = rng_.lognormal(0, fleet_.interval_sigma);
-    const double pps = std::clamp(base_pps_ * mult, 20.0, 150000.0);
+    double pps = std::clamp(base_pps_ * mult, 20.0, 150000.0);
+    if (storm_on) pps = std::min(pps * fleet_.storm_pps_factor, 150000.0);
     const double seconds = fleet_.sim_seconds_per_interval;
+    const double churn_rate = storm_on ? fleet_.storm_churn : churn_;
 
     const auto dp0 = sw_->datapath().stats();
+    const uint64_t dropped0 = sw_->counters().upcalls_dropped;
     const double user0 = sw_->cpu().user_cycles;
     const double kern0 = sw_->cpu().kernel_cycles;
 
@@ -74,7 +82,7 @@ class HypervisorSim {
     for (size_t s = 0; s < whole_seconds; ++s) {
       const double frac =
           std::min(1.0, seconds - static_cast<double>(s));
-      churn_connections(frac);
+      churn_connections(frac * churn_rate);
       const auto npkts = static_cast<size_t>(pps * frac);
       const uint64_t step_ns = static_cast<uint64_t>(
           1e9 * frac / std::max<size_t>(npkts, 1));
@@ -124,7 +132,12 @@ class HypervisorSim {
     out.hypervisor = hv;
     out.interval = idx;
     out.outlier = outlier_;
+    out.stormy = storm_on;
     out.offered_pps = pps;
+    out.drop_pps =
+        static_cast<double>(sw_->counters().upcalls_dropped - dropped0) /
+        seconds;
+    out.flow_limit_backoffs = sw_->counters().flow_limit_backoffs;
     out.hit_rate = pkts == 0 ? 1.0
                              : static_cast<double>(hits) /
                                    static_cast<double>(pkts);
@@ -168,9 +181,11 @@ class HypervisorSim {
     return c;
   }
 
-  void churn_connections(double frac) {
+  // `rate` is the fraction of the connection table replaced (may exceed 1
+  // during a storm: every connection replaced more than once).
+  void churn_connections(double rate) {
     const auto n = static_cast<size_t>(
-        churn_ * frac * static_cast<double>(conns_.size()));
+        rate * static_cast<double>(conns_.size()));
     for (size_t i = 0; i < n; ++i)
       conns_[rng_.uniform(conns_.size())] = new_connection();
   }
@@ -188,6 +203,7 @@ class HypervisorSim {
   const FleetConfig& fleet_;
   Rng rng_;
   bool outlier_;
+  bool stormy_ = false;
   std::unique_ptr<Switch> sw_;
   NvpTopology topo_;
   std::unique_ptr<ZipfSampler> zipf_;
@@ -213,9 +229,19 @@ FleetResults run_fleet(const FleetConfig& cfg) {
                 1, static_cast<size_t>(cfg.outlier_fraction *
                                        static_cast<double>(
                                            cfg.n_hypervisors)));
+  const size_t n_stormy =
+      cfg.storm_fraction <= 0
+          ? 0
+          : std::max<size_t>(
+                1, static_cast<size_t>(cfg.storm_fraction *
+                                       static_cast<double>(
+                                           cfg.n_hypervisors)));
   for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
     const bool outlier = hv < n_outliers;
-    HypervisorSim sim(cfg, master, outlier);
+    // Stormed hypervisors are drawn from the top of the id range so the
+    // outlier and storm populations stay disjoint in small fleets.
+    const bool stormy = hv >= cfg.n_hypervisors - n_stormy;
+    HypervisorSim sim(cfg, master, outlier, stormy);
     for (size_t i = 0; i < cfg.n_intervals; ++i)
       results.intervals.push_back(sim.run_interval(hv, i));
     results.hypervisors.push_back(sim.summary());

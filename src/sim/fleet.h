@@ -46,6 +46,18 @@ struct FleetConfig {
   double outlier_conns_factor = 30.0;
   double outlier_churn = 0.8;
 
+  // Connection-churn storms: a fraction of hypervisors host a tenant that
+  // goes adversarial for a window of intervals (a port scan / SYN flood —
+  // every packet a fresh connection, no reuse). Exercises the bounded
+  // upcall queue and the degradation policies under fleet-realistic load;
+  // `degradation` toggles those policies for ablation.
+  double storm_fraction = 0.0;       // hypervisors stormed (0 = off)
+  size_t storm_first_interval = 0;   // storm window [first, last], inclusive
+  size_t storm_last_interval = 0;
+  double storm_pps_factor = 8.0;     // offered-load multiplier while stormed
+  double storm_churn = 3.0;          // connection replacement rate while stormed
+  bool degradation = true;           // Switch degradation policies on/off
+
   // Userspace housekeeping charged per simulated second (stats polling once
   // per second, §6, plus fixed daemon overhead).
   double daemon_fixed_cycles_per_sec = 2.5e7;
@@ -60,13 +72,16 @@ struct FleetInterval {
   size_t hypervisor = 0;
   size_t interval = 0;
   bool outlier = false;
+  bool stormy = false;       // adversarial churn active this interval
   double offered_pps = 0;
   double hit_rate = 0;       // (EMC + megaflow hits) / packets
   double hit_pps = 0;
   double miss_pps = 0;       // flow setups entering userspace per second
+  double drop_pps = 0;       // upcalls refused by the bounded queue / s
   double user_cpu_pct = 0;   // ovs-vswitchd equivalent, % of one core
   double kernel_cpu_pct = 0;
   uint64_t flows = 0;        // datapath flow count at interval end
+  uint64_t flow_limit_backoffs = 0;  // cumulative AIMD reductions
 };
 
 struct FleetHypervisor {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ofproto/flow_parser.h"
+#include "util/fault.h"
 
 namespace ovs {
 
@@ -10,7 +11,20 @@ Switch::Switch(SwitchConfig cfg)
     : cfg_(cfg),
       pipeline_(cfg.n_tables, cfg.classifier),
       dp_(cfg.datapath),
-      effective_limit_(cfg.flow_limit) {}
+      effective_limit_(cfg.flow_limit),
+      queue_(cfg.upcall_queue),
+      fault_(cfg.fault) {
+  // Misses land in the bounded per-port fair queue at enqueue time; a
+  // refusal here is counted by the datapath as an upcall drop (preserving
+  // its misses == delivered + dropped conservation) and by the switch as
+  // an upcalls_dropped (the queue's per-port counters say why).
+  dp_.set_upcall_sink([this](Packet&& pkt) {
+    if (queue_.enqueue(std::move(pkt))) return true;
+    ++counters_.upcalls_dropped;
+    return false;
+  });
+  dp_.set_fault_injector(fault_);
+}
 
 void Switch::add_port(uint32_t port) { pipeline_.add_port(port); }
 void Switch::remove_port(uint32_t port) { pipeline_.remove_port(port); }
@@ -191,8 +205,9 @@ Datapath::Path Switch::inject(const Packet& pkt, uint64_t now_ns) {
   return rx.path;
 }
 
-void Switch::install_from_xlate(const XlateResult& xr, const Packet& pkt,
-                                uint64_t now_ns) {
+Switch::InstallResult Switch::install_from_xlate(const XlateResult& xr,
+                                                 const Packet& pkt,
+                                                 uint64_t now_ns) {
   Match match;
   if (cfg_.megaflows_enabled) {
     match = xr.megaflow;
@@ -204,26 +219,99 @@ void Switch::install_from_xlate(const XlateResult& xr, const Packet& pkt,
   }
   const size_t before = dp_.flow_count();
   MegaflowEntry* e = dp_.install(match, xr.actions, now_ns);
+  if (e == nullptr) {
+    // Kernel refused the flow (table full, transient fault). The miss
+    // packet was still forwarded by userspace; only the cache entry is
+    // missing, so subsequent packets keep upcalling until a retry lands.
+    ++counters_.install_fails;
+    cpu_.user_cycles += cfg_.cost.install_fail;
+    return InstallResult::kFailed;
+  }
   e->tags = xr.tags;
+  InstallResult res;
   if (dp_.flow_count() > before) {
     ++counters_.flow_setups;
     Attribution& at = attribution_[e];
     at.rules = xr.matched_rules;
     at.captured_gen = pipeline_.generation();
+    res = InstallResult::kInstalled;
   } else {
     ++counters_.setup_dups;
+    res = InstallResult::kDup;
   }
   // The miss packet is forwarded by userspace on the flow's behalf; it
   // counts toward the flow's statistics like any other packet.
   dp_.credit_packet(e, pkt, now_ns);
+  return res;
 }
 
-size_t Switch::handle_upcalls(uint64_t now_ns) {
+void Switch::schedule_retry(const Packet& pkt, uint64_t now_ns,
+                            uint32_t attempts) {
+  const DegradationConfig& d = cfg_.degradation;
+  if (!d.enabled) return;  // ablation: a failed install is simply lost
+  if (attempts >= d.max_install_retries ||
+      retry_q_.size() >= d.max_retry_queue) {
+    ++counters_.retry_abandoned;
+    return;
+  }
+  retry_q_.push_back(
+      {pkt, now_ns + (d.retry_backoff_ns << attempts), attempts});
+}
+
+size_t Switch::process_retries(uint64_t now_ns) {
+  if (retry_q_.empty()) return 0;
   const CostModel& m = cfg_.cost;
+  size_t executed = 0;
+  std::deque<RetryEntry> pending;
+  while (!retry_q_.empty()) {
+    RetryEntry r = std::move(retry_q_.front());
+    retry_q_.pop_front();
+    if (r.not_before > now_ns) {
+      pending.push_back(std::move(r));
+      continue;
+    }
+    ++counters_.upcalls_retried;
+    ++executed;
+    // side_effects=false: MAC learning etc. already ran when the upcall
+    // was first handled; this pass only re-attempts the cache install.
+    XlateResult xr =
+        pipeline_.translate(r.pkt.key, now_ns, /*side_effects=*/false);
+    cpu_.user_cycles +=
+        m.upcall_requeue + m.per_table_lookup * xr.table_lookups;
+    const InstallResult res = install_from_xlate(xr, r.pkt, now_ns);
+    if (res == InstallResult::kInstalled) {
+      ++port_upcall_stats_[r.pkt.key.in_port()].installs;
+    } else if (res == InstallResult::kFailed) {
+      schedule_retry(r.pkt, now_ns, r.attempts + 1);
+    }
+  }
+  retry_q_ = std::move(pending);
+  return executed;
+}
+
+void Switch::maybe_inject_entry_faults() {
+  if (fault_ == nullptr) return;
+  if (fault_->should_fire(FaultPoint::kEntryCorrupt) &&
+      dp_.flow_count() > 0) {
+    dp_.corrupt_entry(fault_->pick(dp_.flow_count()));
+    // Corruption bypasses the pipeline generation: force the next
+    // revalidation to re-translate everything so it repairs the entry.
+    reval_force_full_ = true;
+  }
+  if (fault_->should_fire(FaultPoint::kEntryExpire) &&
+      dp_.flow_count() > 0) {
+    dp_.expire_entry(fault_->pick(dp_.flow_count()));
+  }
+}
+
+size_t Switch::handle_upcalls(uint64_t now_ns, size_t max_upcalls) {
+  const CostModel& m = cfg_.cost;
+  process_retries(now_ns);
   size_t handled = 0;
-  for (;;) {
-    const size_t batch_size = cfg_.batching ? cfg_.upcall_batch : 1;
-    std::vector<Packet> batch = dp_.take_upcalls(batch_size);
+  while (handled < max_upcalls) {
+    const size_t batch_size = std::min(
+        cfg_.batching ? cfg_.upcall_batch : size_t{1}, max_upcalls - handled);
+    std::vector<Packet> batch = queue_.take(batch_size);
     if (batch.empty()) break;
     // One kernel/user crossing per batch; batching amortizes it (§4.1).
     cpu_.user_cycles += m.upcall_syscall;
@@ -232,21 +320,52 @@ size_t Switch::handle_upcalls(uint64_t now_ns) {
       cpu_.user_cycles +=
           m.upcall_fixed + m.per_table_lookup * xr.table_lookups;
       if (xr.error) ++counters_.xlate_errors;
-      install_from_xlate(xr, pkt, now_ns);
+      const InstallResult res = install_from_xlate(xr, pkt, now_ns);
+      PortUpcallStats& ps = port_upcall_stats_[pkt.key.in_port()];
+      ++ps.handled;
+      if (res == InstallResult::kInstalled) ++ps.installs;
+      if (res == InstallResult::kFailed) schedule_retry(pkt, now_ns, 0);
       // The queued packet itself is now forwarded.
       execute_actions(xr.actions, pkt);
       ++handled;
+      ++counters_.upcalls_handled;
     }
   }
+  maybe_inject_entry_faults();
+  // Delay-faulted upcalls surface into the fair queue now; they are
+  // serviced on the next invocation (observably one round late).
+  dp_.flush_delayed_upcalls();
   return handled;
+}
+
+void Switch::apply_limit_backoff() {
+  limit_scale_ = std::max(limit_scale_ * cfg_.degradation.limit_backoff,
+                          1.0 / 65536.0);
+  ++counters_.flow_limit_backoffs;
 }
 
 void Switch::revalidate(uint64_t now_ns) {
   const CostModel& m = cfg_.cost;
+
+  if (fault_ != nullptr &&
+      fault_->should_fire(FaultPoint::kRevalidatorStall)) {
+    // The pass blocks past its deadline without examining anything: charge
+    // the wasted wall time and let the AIMD limit see a synthetic overrun
+    // (a stalled revalidator must not be rewarded with a bigger table).
+    cpu_.user_cycles +=
+        2.0 * (static_cast<double>(cfg_.max_revalidation_ns) / 1e9) *
+        (m.ghz * 1e9);
+    ++counters_.reval_stalls;
+    if (cfg_.degradation.enabled) apply_limit_backoff();
+    return;
+  }
+
   ++counters_.reval_runs;
+  const double user_cycles_at_start = cpu_.user_cycles;
 
   // Dynamic flow limit (§6): "the actual maximum is dynamically adjusted to
-  // ensure that total revalidation time stays under 1 second".
+  // ensure that total revalidation time stays under 1 second". The AIMD
+  // scale (degradation policy) shrinks it further after deadline overruns.
   if (cfg_.dynamic_flow_limit) {
     const double reval_capacity =
         (static_cast<double>(cfg_.max_revalidation_ns) / 1e9) *
@@ -256,6 +375,15 @@ void Switch::revalidate(uint64_t now_ns) {
   } else {
     effective_limit_ = cfg_.flow_limit;
   }
+  if (cfg_.degradation.enabled && limit_scale_ < 1.0) {
+    // Scale down, but never below limit_floor (or below the unscaled limit
+    // itself when that is already under the floor).
+    const size_t floor =
+        std::min(effective_limit_, cfg_.degradation.limit_floor);
+    effective_limit_ = std::max(
+        floor, static_cast<size_t>(static_cast<double>(effective_limit_) *
+                                   limit_scale_));
+  }
 
   const bool over_limit = dp_.flow_count() > effective_limit_;
   // Above the maximum size, drop the idle time to force the table to
@@ -264,7 +392,8 @@ void Switch::revalidate(uint64_t now_ns) {
       over_limit ? cfg_.overflow_idle_timeout_ns : cfg_.idle_timeout_ns;
 
   const uint64_t gen = pipeline_.generation();
-  const bool maybe_stale = gen != pipeline_gen_at_last_reval_;
+  const bool maybe_stale =
+      gen != pipeline_gen_at_last_reval_ || reval_force_full_;
   const uint64_t changed_tags = pipeline_.mac_learning().take_changed_tags();
 
   std::vector<MegaflowEntry*> flows = dp_.dump();
@@ -318,6 +447,7 @@ void Switch::revalidate(uint64_t now_ns) {
     }
   }
   pipeline_gen_at_last_reval_ = gen;
+  reval_force_full_ = false;
 
   // Hard eviction if still above the limit: oldest-used first, like
   // userspace "must be able to delete flows ... as quickly as it can
@@ -337,6 +467,52 @@ void Switch::revalidate(uint64_t now_ns) {
   }
 
   dp_.purge_dead();  // grace period
+
+  // Deadline check: AIMD the flow limit. A pass that blew the deadline
+  // halves the table it will tolerate next time; a clean pass wins a
+  // fraction of the headroom back (§6's "dynamically adjusted", made
+  // explicit as multiplicative-decrease / additive-increase).
+  if (cfg_.degradation.enabled) {
+    const double pass_ns =
+        m.seconds(cpu_.user_cycles - user_cycles_at_start) * 1e9;
+    if (pass_ns > static_cast<double>(cfg_.max_revalidation_ns)) {
+      ++counters_.reval_overruns;
+      apply_limit_backoff();
+    } else {
+      limit_scale_ =
+          std::min(1.0, limit_scale_ + cfg_.degradation.limit_recovery);
+    }
+  }
+}
+
+void Switch::update_emc_policy() {
+  const DegradationConfig& d = cfg_.degradation;
+  if (!d.enabled) return;
+  const Datapath::Stats& s = dp_.stats();
+  const uint64_t attempts_now = s.emc_inserts + s.emc_insert_skips;
+  const uint64_t attempts = attempts_now - emc_attempts_seen_;
+  const uint64_t hits = s.microflow_hits - emc_hits_seen_;
+  emc_attempts_seen_ = attempts_now;
+  emc_hits_seen_ = s.microflow_hits;
+  // Thrash signature (§7.3): the EMC is being rewritten far faster than it
+  // is producing hits — every insert evicts something still useful (or
+  // never useful, under a never-repeating adversary). Ratio with +1 so a
+  // zero-hit interval is well-defined. Engaging needs emc_min_inserts of
+  // signal; disengaging happens at half the engage threshold regardless of
+  // volume (hysteresis: churn subsiding, not churn pausing, re-enables
+  // normal insertion — and a quiet interval counts as subsided).
+  const double ratio =
+      static_cast<double>(attempts) / static_cast<double>(hits + 1);
+  if (!emc_degraded_) {
+    if (attempts >= d.emc_min_inserts && ratio > d.emc_thrash_ratio) {
+      dp_.set_emc_insert_inv_prob(d.emc_degraded_inv_prob);
+      emc_degraded_ = true;
+      ++counters_.emc_degrade_engaged;
+    }
+  } else if (ratio < d.emc_thrash_ratio / 2) {
+    dp_.set_emc_insert_inv_prob(cfg_.datapath.emc_insert_inv_prob);
+    emc_degraded_ = false;
+  }
 }
 
 void Switch::push_flow_stats(MegaflowEntry* e, uint64_t now_ns) {
@@ -358,6 +534,7 @@ void Switch::push_flow_stats(MegaflowEntry* e, uint64_t now_ns) {
 
 void Switch::run_maintenance(uint64_t now_ns) {
   pipeline_.mac_learning().expire(now_ns);
+  update_emc_policy();
   revalidate(now_ns);
   // OpenFlow idle/hard flow expiry uses the statistics refreshed above
   // (§6); expirations bump the pipeline generation, so the next

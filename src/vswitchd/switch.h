@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <span>
 #include <unordered_map>
@@ -33,6 +34,7 @@
 #include "ofproto/pipeline.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "vswitchd/upcall_queue.h"
 
 namespace ovs {
 
@@ -40,6 +42,43 @@ enum class RevalidationMode : uint8_t {
   kFull,  // re-examine every datapath flow (OVS >= 2.0, §6)
   kTags,  // Bloom-filter tags: only flows whose tags changed (historical)
 };
+
+// Graceful-degradation policies: how the slow path sheds load instead of
+// collapsing when it is pushed past its envelope (§6, §7.3). Three
+// independent pressure valves:
+//
+//   * revalidator deadline overruns -> multiplicative backoff of the dynamic
+//     flow limit (limit_backoff per overrun), additive recovery
+//     (limit_recovery per clean pass) — AIMD on cache size, so a switch
+//     that cannot revalidate its table in time carries a smaller table
+//     rather than an ever-staler one;
+//   * sustained EMC thrash (insert attempts far outrunning microflow hits,
+//     the tuple-churn signature) -> probabilistic EMC insertion
+//     (emc-insert-inv-prob, the §7.3-style mitigation), restored with
+//     hysteresis once the churn subsides;
+//   * flow-install failures (kernel ENOSPC / transient) -> bounded retry
+//     with exponential backoff instead of silently losing the setup.
+struct DegradationConfig {
+  bool enabled = true;
+
+  // Dynamic-flow-limit AIMD (multiplier applied to the §6 deadline-derived
+  // limit; never drops the limit below limit_floor flows).
+  double limit_backoff = 0.5;    // scale *= this per deadline overrun
+  double limit_recovery = 0.1;   // scale += this per on-time pass (cap 1.0)
+  size_t limit_floor = 512;
+
+  // EMC thrash detection, evaluated once per maintenance interval.
+  double emc_thrash_ratio = 4.0;   // engage: inserts > ratio * hits
+  uint64_t emc_min_inserts = 512;  // minimum signal before judging
+  uint32_t emc_degraded_inv_prob = 32;  // insert prob 1/N while degraded
+
+  // Install-failure retry.
+  size_t max_install_retries = 3;
+  uint64_t retry_backoff_ns = 10 * kMillisecond;  // doubles per attempt
+  size_t max_retry_queue = 1024;
+};
+
+class FaultInjector;
 
 struct SwitchConfig {
   size_t n_tables = 8;
@@ -68,6 +107,15 @@ struct SwitchConfig {
   uint64_t overflow_idle_timeout_ns = 100 * kMillisecond;
   uint64_t max_revalidation_ns = 1 * kSecond;
   RevalidationMode reval_mode = RevalidationMode::kFull;
+
+  // Bounded per-port fair upcall queueing (vswitchd/upcall_queue.h) and
+  // overload-degradation policies.
+  UpcallQueueConfig upcall_queue;
+  DegradationConfig degradation;
+
+  // Non-owning; when set, faults are injected at the switch's upcall,
+  // install, entry, and revalidator decision points (util/fault.h).
+  FaultInjector* fault = nullptr;
 
   CostModel cost;
 };
@@ -117,9 +165,13 @@ class Switch {
   // the number of packets that missed (queued as upcalls).
   size_t inject_batch(std::span<const Packet> pkts, uint64_t now_ns);
 
-  // Processes queued upcalls: translate, install, forward. Returns the
-  // number handled.
-  size_t handle_upcalls(uint64_t now_ns);
+  // Processes queued upcalls: retries due failed installs, then drains up
+  // to max_upcalls misses from the fair queue (translate, install,
+  // forward), then releases fault-delayed upcalls for the next round.
+  // Returns the number of fresh upcalls handled (retries not included).
+  // max_upcalls models the handler's per-invocation service budget — under
+  // overload the queue backlogs and the fair dequeue decides who is served.
+  size_t handle_upcalls(uint64_t now_ns, size_t max_upcalls = SIZE_MAX);
 
   // Periodic maintenance: revalidation, idle eviction, flow-limit
   // enforcement, MAC aging. Call roughly once per second of virtual time.
@@ -141,6 +193,22 @@ class Switch {
     uint64_t evicted_flow_limit = 0;
     uint64_t tx_packets = 0;
     uint64_t tx_bytes = 0;
+    // Overload / robustness accounting. Invariant (degradation on):
+    //   upcalls_handled + upcalls_retried ==
+    //       flow_setups + setup_dups + install_fails
+    // (every processed attempt installs, hits a dup, or fails), and
+    //   install_fails == upcalls_retried + retry_queue_depth()
+    //                    + retry_abandoned
+    // (every failure is either retried, still pending, or given up).
+    uint64_t upcalls_handled = 0;   // fresh misses processed (not retries)
+    uint64_t upcalls_dropped = 0;   // refused by the bounded fair queue
+    uint64_t upcalls_retried = 0;   // retry attempts executed
+    uint64_t retry_abandoned = 0;   // gave up: max attempts or queue full
+    uint64_t install_fails = 0;     // dp install() returned failure
+    uint64_t flow_limit_backoffs = 0;  // multiplicative limit reductions
+    uint64_t reval_overruns = 0;    // pass blew max_revalidation_ns
+    uint64_t reval_stalls = 0;      // injected stall skipped a pass
+    uint64_t emc_degrade_engaged = 0;  // thrash detector activations
   };
   const Counters& counters() const noexcept { return counters_; }
 
@@ -158,13 +226,38 @@ class Switch {
 
   // Current (possibly dynamically reduced) datapath flow limit.
   size_t effective_flow_limit() const noexcept { return effective_limit_; }
+  // AIMD multiplier on the dynamic flow limit (1.0 = no backoff active).
+  double flow_limit_scale() const noexcept { return limit_scale_; }
+  // True while the EMC thrash detector holds probabilistic insertion on.
+  bool emc_degraded() const noexcept { return emc_degraded_; }
+
+  size_t upcall_queue_depth() const noexcept { return queue_.depth(); }
+  size_t retry_queue_depth() const noexcept { return retry_q_.size(); }
+  const FairUpcallQueue& upcall_queue() const noexcept { return queue_; }
+
+  // Slow-path service received per ingress port (the fairness metric).
+  struct PortUpcallStats {
+    uint64_t handled = 0;   // upcalls processed from this port
+    uint64_t installs = 0;  // flow setups credited to this port
+  };
+  PortUpcallStats port_upcall_stats(uint32_t port) const {
+    auto it = port_upcall_stats_.find(port);
+    return it == port_upcall_stats_.end() ? PortUpcallStats{} : it->second;
+  }
 
  private:
+  enum class InstallResult : uint8_t { kInstalled, kDup, kFailed };
+
   void execute_actions(const DpActions& actions, const Packet& pkt);
   void execute_actions_batch(std::span<const Packet> pkts,
                              const Datapath::RxResult* rx);
-  void install_from_xlate(const XlateResult& xr, const Packet& pkt,
-                          uint64_t now_ns);
+  InstallResult install_from_xlate(const XlateResult& xr, const Packet& pkt,
+                                   uint64_t now_ns);
+  void schedule_retry(const Packet& pkt, uint64_t now_ns, uint32_t attempts);
+  size_t process_retries(uint64_t now_ns);
+  void maybe_inject_entry_faults();
+  void apply_limit_backoff();
+  void update_emc_policy();
   void revalidate(uint64_t now_ns);
 
   // Per-megaflow attribution for OpenFlow flow statistics (§6): which
@@ -182,6 +275,12 @@ class Switch {
   };
   void push_flow_stats(MegaflowEntry* e, uint64_t now_ns);
 
+  struct RetryEntry {
+    Packet pkt;
+    uint64_t not_before = 0;  // earliest retry time (exponential backoff)
+    uint32_t attempts = 0;    // retry attempts already executed
+  };
+
   SwitchConfig cfg_;
   Pipeline pipeline_;
   Datapath dp_;
@@ -193,6 +292,18 @@ class Switch {
   std::vector<Datapath::RxResult> results_;  // inject_batch scratch
   size_t effective_limit_;
   uint64_t pipeline_gen_at_last_reval_ = 0;
+
+  FairUpcallQueue queue_;
+  std::deque<RetryEntry> retry_q_;
+  std::unordered_map<uint32_t, PortUpcallStats> port_upcall_stats_;
+  FaultInjector* fault_ = nullptr;  // == cfg_.fault
+  double limit_scale_ = 1.0;        // AIMD multiplier on the flow limit
+  // Entry faults bypass the pipeline generation, so the next revalidation
+  // must re-translate everything to repair them.
+  bool reval_force_full_ = false;
+  bool emc_degraded_ = false;
+  uint64_t emc_attempts_seen_ = 0;  // insert attempts at last policy check
+  uint64_t emc_hits_seen_ = 0;      // microflow hits at last policy check
 };
 
 }  // namespace ovs

@@ -1,0 +1,77 @@
+#include "vswitchd/upcall_queue.h"
+
+namespace ovs {
+
+FairUpcallQueue::PortState& FairUpcallQueue::state_for(uint32_t port) {
+  auto it = per_port_.find(port);
+  if (it == per_port_.end()) {
+    it = per_port_.emplace(port, PortState{}).first;
+    rr_order_.push_back(port);
+  }
+  return it->second;
+}
+
+bool FairUpcallQueue::enqueue(Packet&& pkt) {
+  const uint32_t port = pkt.key.in_port();
+  PortState& ps = state_for(port);
+  if (cfg_.fair && ps.c.depth >= cfg_.per_port_quota) {
+    ++ps.c.dropped_quota;
+    ++dropped_;
+    return false;
+  }
+  if (total_ >= cfg_.global_cap) {
+    ++ps.c.dropped_cap;
+    ++dropped_;
+    return false;
+  }
+  if (cfg_.fair)
+    ps.q.push_back(std::move(pkt));
+  else
+    fifo_.push_back(std::move(pkt));
+  ++ps.c.enqueued;
+  ++ps.c.depth;
+  ++total_;
+  ++enqueued_;
+  return true;
+}
+
+std::vector<Packet> FairUpcallQueue::take(size_t max) {
+  std::vector<Packet> out;
+  if (max == 0 || total_ == 0) return out;
+  out.reserve(std::min(max, total_));
+  if (!cfg_.fair) {
+    while (out.size() < max && !fifo_.empty()) {
+      Packet pkt = std::move(fifo_.front());
+      fifo_.pop_front();
+      PortState& ps = state_for(pkt.key.in_port());
+      ++ps.c.dequeued;
+      --ps.c.depth;
+      --total_;
+      out.push_back(std::move(pkt));
+    }
+    return out;
+  }
+  while (out.size() < max && total_ > 0) {
+    // total_ > 0 guarantees some port is backlogged, so this scan finds one
+    // within a full cycle of rr_order_.
+    PortState* ps = nullptr;
+    do {
+      ps = &per_port_[rr_order_[rr_cursor_]];
+      rr_cursor_ = (rr_cursor_ + 1) % rr_order_.size();
+    } while (ps->q.empty());
+    out.push_back(std::move(ps->q.front()));
+    ps->q.pop_front();
+    ++ps->c.dequeued;
+    --ps->c.depth;
+    --total_;
+  }
+  return out;
+}
+
+FairUpcallQueue::PortCounters FairUpcallQueue::port_counters(
+    uint32_t port) const {
+  auto it = per_port_.find(port);
+  return it == per_port_.end() ? PortCounters{} : it->second.c;
+}
+
+}  // namespace ovs

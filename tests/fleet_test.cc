@@ -77,6 +77,52 @@ TEST(FleetTest, OutliersBurnMoreCpu) {
   EXPECT_GT(cpu_out.mean(), cpu_norm.mean());
 }
 
+TEST(FleetTest, StormIntervalsAreMarkedAndContained) {
+  FleetConfig cfg = tiny_config();
+  cfg.n_hypervisors = 6;
+  cfg.storm_fraction = 0.34;  // 2 of 6 hypervisors stormed
+  cfg.storm_first_interval = 1;
+  cfg.storm_last_interval = 2;
+  FleetResults r = run_fleet(cfg);
+
+  size_t stormy_hvs = 0;
+  for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
+    bool any_stormy = false;
+    for (const FleetInterval& iv : r.intervals) {
+      if (iv.hypervisor != hv) continue;
+      const bool in_window = iv.interval >= cfg.storm_first_interval &&
+                             iv.interval <= cfg.storm_last_interval;
+      if (iv.stormy) {
+        any_stormy = true;
+        EXPECT_TRUE(in_window) << "storm outside its window";
+      }
+    }
+    stormy_hvs += any_stormy ? 1 : 0;
+  }
+  EXPECT_EQ(stormy_hvs, 2u);
+  // Unstormed hypervisors never see bounded-queue drops at these rates.
+  for (const FleetInterval& iv : r.intervals) {
+    if (!iv.stormy) {
+      EXPECT_EQ(iv.drop_pps, 0.0);
+    }
+  }
+}
+
+TEST(FleetTest, DegradationTogglePreservesDeterminism) {
+  FleetConfig cfg = tiny_config();
+  cfg.storm_fraction = 0.2;
+  cfg.storm_first_interval = 1;
+  cfg.storm_last_interval = 3;
+  cfg.degradation = false;  // ablation runs must be reproducible too
+  FleetResults a = run_fleet(cfg);
+  FleetResults b = run_fleet(cfg);
+  ASSERT_EQ(a.intervals.size(), b.intervals.size());
+  for (size_t i = 0; i < a.intervals.size(); ++i) {
+    EXPECT_EQ(a.intervals[i].flows, b.intervals[i].flows);
+    EXPECT_DOUBLE_EQ(a.intervals[i].drop_pps, b.intervals[i].drop_pps);
+  }
+}
+
 TEST(FleetTest, DeterministicForFixedSeed) {
   FleetResults a = run_fleet(tiny_config());
   FleetResults b = run_fleet(tiny_config());

@@ -73,7 +73,8 @@ TEST(StormTest, UpcallQueueOverflowRecovers) {
   // counted, nothing corrupts, and the system recovers once the daemon
   // catches up (§2: "port scans ... must be supported gracefully").
   SwitchConfig cfg;
-  cfg.datapath.max_upcall_queue = 128;
+  cfg.upcall_queue.per_port_quota = 128;
+  cfg.upcall_queue.global_cap = 128;
   cfg.megaflows_enabled = false;  // every connection is a miss
   Switch sw(cfg);
   sw.add_port(1);
@@ -93,12 +94,15 @@ TEST(StormTest, UpcallQueueOverflowRecovers) {
     p.key.set_tp_dst(80);
     sw.inject(p, 0);
   }
-  EXPECT_EQ(sw.datapath().upcall_queue_depth(), 128u);
+  EXPECT_EQ(sw.upcall_queue_depth(), 128u);
+  EXPECT_EQ(sw.counters().upcalls_dropped, 10000u - 128u);
+  // The datapath records the sink refusals as its own upcall drops.
   EXPECT_EQ(sw.datapath().stats().upcall_drops, 10000u - 128u);
 
   // Daemon catches up; the queued 128 become flows.
   EXPECT_EQ(sw.handle_upcalls(0), 128u);
   EXPECT_EQ(sw.datapath().flow_count(), 128u);
+  EXPECT_EQ(sw.counters().upcalls_handled, 128u);
 
   // Normal service resumes.
   Packet p;
@@ -267,9 +271,18 @@ TEST(AccountingTest, DatapathStatsConserve) {
   EXPECT_LE(entry_pkts, s.microflow_hits + s.megaflow_hits +
                             sw.counters().flow_setups +
                             sw.counters().setup_dups);
-  // Misses either became upcalls or were dropped.
-  EXPECT_EQ(s.misses, sw.counters().flow_setups + sw.counters().setup_dups +
-                          s.upcall_drops + sw.datapath().upcall_queue_depth());
+  // Misses either became handled upcalls, were dropped by the bounded
+  // queue, or are still queued.
+  EXPECT_EQ(s.misses, sw.counters().upcalls_handled + s.upcall_drops +
+                          sw.upcall_queue_depth());
+  // Every handled upcall installed a flow, raced a duplicate, or failed
+  // (no faults here, so no failures).
+  EXPECT_EQ(sw.counters().upcalls_handled,
+            sw.counters().flow_setups + sw.counters().setup_dups);
+  EXPECT_EQ(sw.counters().install_fails, 0u);
+  // The fair queue's own ledger balances.
+  EXPECT_EQ(sw.upcall_queue().total_enqueued(),
+            sw.counters().upcalls_handled + sw.upcall_queue_depth());
 }
 
 TEST(Ipv6EndToEndTest, PipelineRoutesAndTracksPrefixes) {
