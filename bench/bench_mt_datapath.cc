@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -173,6 +174,7 @@ int bench_main(int argc, char** argv) {
 
   // mpps[workers][batch] medians, for the derived ratios below.
   std::map<std::pair<size_t, size_t>, double> mpps;
+  std::map<std::pair<size_t, size_t>, double> mpps_wall;
   for (size_t workers : kWorkers) {
     const Workload wl =
         build_workload(workers, pkts_per_worker, microflows, megaflows);
@@ -187,6 +189,7 @@ int bench_main(int argc, char** argv) {
       std::sort(wall.begin(), wall.end());
       const double med = model[model.size() / 2];
       mpps[{workers, batch}] = med;
+      mpps_wall[{workers, batch}] = wall[wall.size() / 2];
       const std::map<std::string, std::string> params = {
           {"workers", std::to_string(workers)},
           {"batch", std::to_string(batch)},
@@ -211,8 +214,44 @@ int bench_main(int argc, char** argv) {
   report.add("batch_speedup_vs_per_packet", batch_speedup,
              {{"workers", "1"}, {"batch", "32"}}, repeats);
   report.add("scaling_1_to_4", scaling_1_to_4, {{"batch", "32"}}, repeats);
+
+  // Acceptance gates. The model-mode makespan gate is authoritative: it is
+  // deterministic and independent of how many cores this host has. The
+  // real-thread gate only means something when the machine can actually run
+  // four workers at once, so on smaller hosts it downgrades to a warning.
+  int rc = 0;
+  constexpr double kMinModelScaling = 2.5;
+  if (scaling_1_to_4 < kMinModelScaling) {
+    std::printf("FAIL: model scaling 1->4 workers %.2fx < %.2fx\n",
+                scaling_1_to_4, kMinModelScaling);
+    rc = 1;
+  } else {
+    std::printf("PASS: model scaling 1->4 workers %.2fx >= %.2fx\n",
+                scaling_1_to_4, kMinModelScaling);
+  }
+  if (real_mode) {
+    const unsigned cores = std::thread::hardware_concurrency();
+    const double wall_scaling =
+        mpps_wall[{4, 32}] / std::max(mpps_wall[{1, 32}], 1e-9);
+    report.add("scaling_1_to_4_wall", wall_scaling,
+               {{"batch", "32"}, {"cores", std::to_string(cores)}}, repeats);
+    constexpr double kMinWallScaling = 1.5;
+    std::printf("real-thread scaling 1 -> 4 workers (batch=32): %.2fx on %u cores\n",
+                wall_scaling, cores);
+    if (cores < 4) {
+      std::printf("WARN: only %u cores detected; real-thread scaling gate "
+                  "skipped (model gate above is authoritative)\n", cores);
+    } else if (wall_scaling < kMinWallScaling) {
+      std::printf("FAIL: real-thread scaling %.2fx < %.2fx on a %u-core host\n",
+                  wall_scaling, kMinWallScaling, cores);
+      rc = 1;
+    } else {
+      std::printf("PASS: real-thread scaling %.2fx >= %.2fx\n", wall_scaling,
+                  kMinWallScaling);
+    }
+  }
   report.write();
-  return 0;
+  return rc;
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 #include "classifier/classifier.h"
 #include "datapath/concurrent_emc.h"
 #include "datapath/dp_actions.h"
+#include "datapath/dp_shared.h"
 #include "packet/packet.h"
 #include "util/rng.h"
 
@@ -72,9 +73,9 @@ struct DatapathConfig {
   // single-threaded semantics, different replacement policy; this is the
   // cache the multi-worker datapath shards per thread (§4.1).
   bool use_concurrent_emc = false;
-  size_t microflow_ways = 2;          // associativity
-  size_t microflow_sets = 4096;       // total slots = ways * sets
-  size_t max_upcall_queue = 4096;     // miss queue to userspace
+  size_t microflow_ways = dpdefault::kEmcWays;  // associativity
+  size_t microflow_sets = dpdefault::kEmcSets;  // slots = ways * sets
+  size_t max_upcall_queue = dpdefault::kMaxUpcallQueue;  // miss queue
   // Kernel flow-table hard cap: install() fails (returns nullptr) at this
   // many live flows. 0 = unbounded; the dynamic flow limit (§6) is enforced
   // by userspace eviction, this models the kernel's own ENOSPC.
@@ -82,8 +83,8 @@ struct DatapathConfig {
   // Probabilistic EMC insertion (the §7.3-style mitigation for microflow
   // churn, OVS's emc-insert-inv-prob): insert a missed microflow into the
   // EMC with probability 1/N. 1 = always insert.
-  uint32_t emc_insert_inv_prob = 1;
-  uint64_t seed = 0xDA7A;             // pseudo-random replacement (§6)
+  uint32_t emc_insert_inv_prob = dpdefault::kEmcInsertInvProb;
+  uint64_t seed = dpdefault::kDpSeed;  // pseudo-random replacement (§6)
 };
 
 class Datapath {

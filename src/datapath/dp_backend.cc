@@ -1,0 +1,76 @@
+#include "datapath/dp_backend.h"
+
+namespace ovs {
+
+std::vector<DpBackend::FlowRef> SingleDpBackend::dump() const {
+  std::vector<FlowRef> out;
+  std::vector<MegaflowEntry*> flows = dp_.dump();
+  out.reserve(flows.size());
+  for (MegaflowEntry* e : flows) out.push_back(e);
+  return out;
+}
+
+std::vector<DpBackend::FlowRef> MtDpBackend::dump() const {
+  std::vector<FlowRef> out;
+  std::vector<MtMegaflow*> flows = dp_.dump();
+  out.reserve(flows.size());
+  for (MtMegaflow* e : flows) out.push_back(e);
+  return out;
+}
+
+Datapath::RxResult MtDpBackend::receive(const Packet& pkt, uint64_t now_ns) {
+  Datapath::RxResult res;
+  const size_t worker = rr_;
+  rr_ = (rr_ + 1) % dp_.config().n_workers;
+  dp_.process_batch(worker, std::span<const Packet>(&pkt, 1), now_ns, &res,
+                    nullptr);
+  return res;
+}
+
+void MtDpBackend::process_batch(std::span<const Packet> pkts, uint64_t now_ns,
+                                Datapath::RxResult* results,
+                                Datapath::BatchSummary* summary) {
+  // One burst = one rx-queue poll: the whole burst goes to one worker slot
+  // and successive bursts rotate, so the per-worker EMC shards see the same
+  // intra-burst dedup a real PMD would.
+  const size_t worker = rr_;
+  rr_ = (rr_ + 1) % dp_.config().n_workers;
+  dp_.process_batch(worker, pkts, now_ns, results, summary);
+}
+
+Datapath::Stats MtDpBackend::stats() const {
+  const ShardedDatapath::Stats s = dp_.stats();
+  Datapath::Stats out;
+  out.packets = s.packets;
+  out.microflow_hits = s.microflow_hits;
+  out.megaflow_hits = s.megaflow_hits;
+  out.misses = s.misses;
+  out.upcall_drops = s.upcall_drops;
+  out.stale_microflow_hits = s.stale_hints;
+  out.tuples_searched = s.tuples_searched;
+  out.emc_inserts = s.emc_inserts;
+  out.emc_insert_skips = s.emc_insert_skips;
+  out.install_fail_full = s.install_fail_full;
+  out.install_fail_transient = s.install_fail_transient;
+  out.upcall_dup_enqueues = s.upcall_dup_enqueues;
+  out.upcalls_delayed = s.upcalls_delayed;
+  out.entries_corrupted = s.entries_corrupted;
+  out.entries_expired = s.entries_expired;
+  return out;
+}
+
+std::unique_ptr<DpBackend> make_dp_backend(const DatapathConfig& cfg,
+                                           size_t workers) {
+  if (workers <= 1) return std::make_unique<SingleDpBackend>(cfg);
+  ShardedDatapathConfig mt;
+  mt.n_workers = workers;
+  mt.emc_enabled = cfg.microflow_enabled;
+  mt.emc_capacity_per_shard = cfg.microflow_ways * cfg.microflow_sets;
+  mt.max_upcall_queue = cfg.max_upcall_queue;
+  mt.max_flows = cfg.max_flows;
+  mt.emc_insert_inv_prob = cfg.emc_insert_inv_prob;
+  mt.seed = cfg.seed;
+  return std::make_unique<MtDpBackend>(mt);
+}
+
+}  // namespace ovs

@@ -1,0 +1,32 @@
+// Defaults shared by both datapath backends (the single-threaded `Datapath`
+// and the multi-worker `ShardedDatapath`). Before this header each backend
+// carried its own copy of these constants; keeping one definition means the
+// two backends stay configured identically by default — which the
+// backend-equivalence property tests rely on — and a tuning change cannot
+// silently apply to one backend only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ovs::dpdefault {
+
+// Miss queue to userspace (upcalls beyond this are dropped, ENOBUFS-style).
+inline constexpr size_t kMaxUpcallQueue = 4096;
+
+// Exact-match (microflow) cache capacity. The single-threaded datapath
+// arranges this as ways * sets; the sharded datapath gives each worker a
+// ConcurrentEmc shard of the same total size.
+inline constexpr size_t kEmcWays = 2;
+inline constexpr size_t kEmcSets = 4096;
+inline constexpr size_t kEmcCapacity = kEmcWays * kEmcSets;
+
+// Probabilistic EMC insertion (§7.3, OVS emc-insert-inv-prob): insert a
+// missed microflow with probability 1/N. 1 = always insert; the EMC-thrash
+// degradation policy raises it at runtime on both backends.
+inline constexpr uint32_t kEmcInsertInvProb = 1;
+
+// Seed for pseudo-random EMC replacement / probabilistic insertion (§6).
+inline constexpr uint64_t kDpSeed = 0xDA7A;
+
+}  // namespace ovs::dpdefault

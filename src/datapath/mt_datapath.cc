@@ -40,11 +40,16 @@ const MtMegaflow* ShardedDatapath::MtTuple::find(
 ShardedDatapath::ShardedDatapath(ShardedDatapathConfig cfg)
     : cfg_(cfg), dir_(cfg.max_tuples) {
   assert(cfg_.n_workers >= 1);
+  emc_insert_inv_prob_.store(
+      cfg_.emc_insert_inv_prob == 0 ? 1 : cfg_.emc_insert_inv_prob,
+      std::memory_order_relaxed);
   slots_.reserve(cfg_.n_workers);
   for (size_t i = 0; i < cfg_.n_workers; ++i) {
     auto s = std::make_unique<WorkerSlot>();
     if (cfg_.emc_enabled)
       s->emc = std::make_unique<ConcurrentEmc>(cfg_.emc_capacity_per_shard);
+    // Sub-seed per shard so worker streams stay independent.
+    s->rng = Rng(cfg_.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
     slots_.push_back(std::move(s));
   }
 }
@@ -79,6 +84,7 @@ void ShardedDatapath::process_chunk(WorkerSlot& slot, const Packet* pkts,
 
   // Local tallies, flushed to the shared atomics once per chunk.
   uint64_t micro_hits = 0, mega_hits = 0, misses = 0, stale = 0, searched = 0;
+  uint64_t emc_ins = 0, emc_skips = 0;
 
   sum.packets += static_cast<uint32_t>(n);
 
@@ -152,7 +158,19 @@ void ShardedDatapath::process_chunk(WorkerSlot& slot, const Packet* pkts,
     sum.tuples_searched += probed;
     if (e != nullptr) {
       ++mega_hits;
-      if (slot.emc != nullptr) slot.emc->install(hashes[i], e->tuple_idx_);
+      if (slot.emc != nullptr) {
+        // Probabilistic insertion (§7.3's churn mitigation): under microflow
+        // churn most shard entries are used exactly once, so inserting
+        // 1-in-N keeps the hot working set resident.
+        const uint32_t inv =
+            emc_insert_inv_prob_.load(std::memory_order_relaxed);
+        if (inv > 1 && slot.rng.uniform(inv) != 0) {
+          ++emc_skips;
+        } else {
+          ++emc_ins;
+          slot.emc->install(hashes[i], e->tuple_idx_);
+        }
+      }
       entry[i] = e;
       results[i] = {Path::kMegaflowHit, e->actions(), probed};
     } else {
@@ -192,6 +210,20 @@ void ShardedDatapath::process_chunk(WorkerSlot& slot, const Packet* pkts,
   slot.misses.fetch_add(misses, std::memory_order_relaxed);
   slot.stale_hints.fetch_add(stale, std::memory_order_relaxed);
   slot.tuples_searched.fetch_add(searched, std::memory_order_relaxed);
+  slot.emc_inserts.fetch_add(emc_ins, std::memory_order_relaxed);
+  slot.emc_insert_skips.fetch_add(emc_skips, std::memory_order_relaxed);
+}
+
+void ShardedDatapath::deliver_locked(Packet&& pkt, uint64_t* drops) {
+  if (sink_) {
+    if (!sink_(std::move(pkt))) ++*drops;
+    return;
+  }
+  if (upcalls_.size() >= cfg_.max_upcall_queue) {
+    ++*drops;
+  } else {
+    upcalls_.push_back(std::move(pkt));
+  }
 }
 
 void ShardedDatapath::flush_upcalls(std::vector<Packet>& missed) {
@@ -211,18 +243,11 @@ void ShardedDatapath::flush_upcalls(std::vector<Packet>& missed) {
           continue;
         }
         if (fault->should_fire(FaultPoint::kUpcallDuplicate)) {
-          if (upcalls_.size() >= cfg_.max_upcall_queue)
-            ++drops;
-          else
-            upcalls_.push_back(p);  // copy: original delivered below
+          deliver_locked(Packet(p), &drops);  // copy: original follows
           ++dups;
         }
       }
-      if (upcalls_.size() >= cfg_.max_upcall_queue) {
-        ++drops;
-      } else {
-        upcalls_.push_back(std::move(p));
-      }
+      deliver_locked(std::move(p), &drops);
     }
   }
   if (drops != 0) upcall_drops_.fetch_add(drops, std::memory_order_relaxed);
@@ -239,12 +264,9 @@ size_t ShardedDatapath::flush_delayed_upcalls() {
   {
     std::lock_guard<std::mutex> lk(upcall_mu_);
     while (!delayed_.empty()) {
-      if (upcalls_.size() >= cfg_.max_upcall_queue) {
-        ++drops;
-      } else {
-        upcalls_.push_back(std::move(delayed_.front()));
-        ++released;
-      }
+      const uint64_t before = drops;
+      deliver_locked(std::move(delayed_.front()), &drops);
+      if (drops == before) ++released;
       delayed_.pop_front();
     }
   }
@@ -314,11 +336,15 @@ MtMegaflow* ShardedDatapath::install(const Match& match, DpActions actions,
                                      uint64_t now_ns) {
   Match m = match;
   m.normalize();
-  if (fault_ != nullptr &&
-      (fault_->should_fire(FaultPoint::kInstallTableFull) ||
-       fault_->should_fire(FaultPoint::kInstallTransient))) {
-    install_fails_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
+  if (fault_ != nullptr) {
+    if (fault_->should_fire(FaultPoint::kInstallTableFull)) {
+      install_fail_full_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    if (fault_->should_fire(FaultPoint::kInstallTransient)) {
+      install_fail_transient_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
   }
   MtTuple* t = writer_find_tuple(m.mask, /*create=*/true);
   if (t == nullptr) return nullptr;  // tuple directory full
@@ -330,6 +356,13 @@ MtMegaflow* ShardedDatapath::install(const Match& match, DpActions actions,
   for (MtMegaflow* e = head; e != nullptr;
        e = e->hash_next_.load(std::memory_order_relaxed)) {
     if (!e->dead() && t->masked_equal(m.key, e->match().key)) return e;
+  }
+
+  // After the duplicate check, like Datapath: a re-install of an existing
+  // flow at the cap returns the existing entry rather than failing.
+  if (cfg_.max_flows != 0 && flow_count() >= cfg_.max_flows) {
+    install_fail_full_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
   }
 
   auto owned = std::unique_ptr<MtMegaflow>(new MtMegaflow(m));
@@ -404,6 +437,25 @@ void ShardedDatapath::update_actions(MtMegaflow* entry, DpActions actions) {
   retired_actions_.emplace_back(old);
 }
 
+void ShardedDatapath::corrupt_entry(size_t idx) {
+  if (entries_.empty()) return;
+  MtMegaflow* e = entries_[idx % entries_.size()].get();
+  // A recognizably bogus action list: forward to a port that exists
+  // nowhere. Published via the RCU swap, so mid-batch readers stay safe;
+  // the flow misbehaves until a revalidator pass re-translates it.
+  DpActions bogus;
+  bogus.output(0xDEAD);
+  update_actions(e, std::move(bogus));
+  entries_corrupted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedDatapath::expire_entry(size_t idx) {
+  if (entries_.empty()) return;
+  MtMegaflow* e = entries_[idx % entries_.size()].get();
+  e->used_ns_.store(0, std::memory_order_relaxed);
+  entries_expired_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ShardedDatapath::synchronize() {
   for (const auto& sp : slots_) {
     const uint64_t e0 = sp->epoch.load(std::memory_order_acquire);
@@ -458,10 +510,7 @@ std::vector<Packet> ShardedDatapath::take_upcalls(size_t max_batch) {
     }
     // Delay-faulted upcalls become visible one handler round late.
     while (!delayed_.empty()) {
-      if (upcalls_.size() >= cfg_.max_upcall_queue)
-        ++drops;
-      else
-        upcalls_.push_back(std::move(delayed_.front()));
+      deliver_locked(std::move(delayed_.front()), &drops);
       delayed_.pop_front();
     }
   }
@@ -483,12 +532,20 @@ ShardedDatapath::Stats ShardedDatapath::stats() const {
     s.misses += sp->misses.load(std::memory_order_relaxed);
     s.stale_hints += sp->stale_hints.load(std::memory_order_relaxed);
     s.tuples_searched += sp->tuples_searched.load(std::memory_order_relaxed);
+    s.emc_inserts += sp->emc_inserts.load(std::memory_order_relaxed);
+    s.emc_insert_skips +=
+        sp->emc_insert_skips.load(std::memory_order_relaxed);
   }
   s.upcall_drops = upcall_drops_.load(std::memory_order_relaxed);
-  s.install_fails = install_fails_.load(std::memory_order_relaxed);
+  s.install_fail_full = install_fail_full_.load(std::memory_order_relaxed);
+  s.install_fail_transient =
+      install_fail_transient_.load(std::memory_order_relaxed);
+  s.install_fails = s.install_fail_full + s.install_fail_transient;
   s.upcalls_delayed = upcalls_delayed_.load(std::memory_order_relaxed);
   s.upcall_dup_enqueues =
       upcall_dup_enqueues_.load(std::memory_order_relaxed);
+  s.entries_corrupted = entries_corrupted_.load(std::memory_order_relaxed);
+  s.entries_expired = entries_expired_.load(std::memory_order_relaxed);
   return s;
 }
 

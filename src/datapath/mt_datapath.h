@@ -35,9 +35,11 @@
 
 #include "datapath/concurrent_emc.h"
 #include "datapath/datapath.h"
+#include "datapath/dp_shared.h"
 #include "packet/match.h"
 #include "packet/packet.h"
 #include "util/cuckoo.h"
+#include "util/rng.h"
 
 namespace ovs {
 
@@ -102,10 +104,16 @@ class MtMegaflow {
 struct ShardedDatapathConfig {
   size_t n_workers = 4;
   bool emc_enabled = true;           // per-worker microflow shards (§4.2)
-  size_t emc_capacity_per_shard = 8192;
+  size_t emc_capacity_per_shard = dpdefault::kEmcCapacity;
   size_t max_tuples = 1024;          // tuple directory capacity (masks)
   size_t tuple_capacity = 4096;      // initial cuckoo size per tuple
-  size_t max_upcall_queue = 4096;    // shared miss queue to the control path
+  size_t max_upcall_queue = dpdefault::kMaxUpcallQueue;
+  // Flow-table hard cap, like DatapathConfig::max_flows. 0 = unbounded.
+  size_t max_flows = 0;
+  // Probabilistic EMC insertion (§7.3, OVS emc-insert-inv-prob): each shard
+  // inserts a missed microflow with probability 1/N. 1 = always insert.
+  uint32_t emc_insert_inv_prob = dpdefault::kEmcInsertInvProb;
+  uint64_t seed = dpdefault::kDpSeed;  // per-shard insertion RNG seeds
 };
 
 class ShardedDatapath {
@@ -147,6 +155,13 @@ class ShardedDatapath {
   // is retired until the next grace period.
   void update_actions(MtMegaflow* entry, DpActions actions);
 
+  // Credits a packet that userspace forwarded on the flow's behalf (the
+  // miss packet executed during flow setup) to the entry's statistics.
+  void credit_packet(MtMegaflow* entry, const Packet& pkt,
+                     uint64_t now_ns) noexcept {
+    entry->bump(1, pkt.size_bytes, now_ns);
+  }
+
   // QSBR grace period: returns once every worker observed outside a batch
   // (epoch even or advanced past the snapshot).
   void synchronize();
@@ -165,11 +180,36 @@ class ShardedDatapath {
   std::vector<Packet> take_upcalls(size_t max_batch);
   size_t upcall_queue_depth() const;
 
+  // Miss-path sink: when set, upcalls are handed to the sink instead of the
+  // internal queue (the vswitchd bounded fair-queue path). A sink returning
+  // false refuses the upcall; the refusal is counted as a drop here. The
+  // sink is invoked under the upcall lock — concurrent worker flushes are
+  // serialized through it, so the sink itself need not be thread-safe, but
+  // it must not call back into this datapath's upcall API. Set it before
+  // workers start streaming.
+  void set_upcall_sink(Datapath::UpcallSink sink) {
+    std::lock_guard<std::mutex> lk(upcall_mu_);
+    sink_ = std::move(sink);
+  }
+
   // Non-owning; nullptr disables injection. Consulted at upcall flush
   // (drop / delay / duplicate) and at install (table-full / transient).
   // FaultInjector is internally synchronized, so worker flushes may consult
   // it concurrently.
   void set_fault_injector(FaultInjector* f) noexcept { fault_ = f; }
+
+  // Scrambles the idx-th live entry's actions (modulo flow_count) via the
+  // RCU swap, so readers mid-batch stay safe. The revalidator repairs it on
+  // its next full pass.
+  void corrupt_entry(size_t idx);
+  // Zeroes the idx-th live entry's last-used time so idle expiry reaps it.
+  void expire_entry(size_t idx);
+
+  // Runtime policy knob (graceful degradation under EMC thrash). Workers
+  // pick the new probability up on their next insertion attempt.
+  void set_emc_insert_inv_prob(uint32_t inv) noexcept {
+    emc_insert_inv_prob_.store(inv == 0 ? 1 : inv, std::memory_order_relaxed);
+  }
 
   // Releases upcalls parked by the delay fault into the shared queue
   // (where the global cap may still drop them). Returns the count released.
@@ -184,9 +224,15 @@ class ShardedDatapath {
     uint64_t stale_hints = 0;      // hint probed, flow not there (§6)
     uint64_t tuples_searched = 0;
     uint64_t upcall_drops = 0;
-    uint64_t install_fails = 0;         // injected table-full / transient
+    uint64_t install_fails = 0;         // full + transient (sum of the two)
+    uint64_t install_fail_full = 0;     // table full (cap or injected)
+    uint64_t install_fail_transient = 0;  // injected transient fault
     uint64_t upcalls_delayed = 0;       // parked by the delay fault
     uint64_t upcall_dup_enqueues = 0;   // extra deliveries (duplicate fault)
+    uint64_t emc_inserts = 0;           // microflow shard entries installed
+    uint64_t emc_insert_skips = 0;      // skipped by probabilistic insertion
+    uint64_t entries_corrupted = 0;
+    uint64_t entries_expired = 0;
   };
   Stats stats() const;  // aggregated over workers; any thread
 
@@ -240,6 +286,7 @@ class ShardedDatapath {
     // section); even when quiescent.
     std::atomic<uint64_t> epoch{0};
     std::unique_ptr<ConcurrentEmc> emc;
+    Rng rng{0};  // probabilistic EMC insertion; owner worker only
     // Owner-written relaxed counters, aggregated by stats().
     std::atomic<uint64_t> packets{0};
     std::atomic<uint64_t> microflow_hits{0};
@@ -247,6 +294,8 @@ class ShardedDatapath {
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> stale_hints{0};
     std::atomic<uint64_t> tuples_searched{0};
+    std::atomic<uint64_t> emc_inserts{0};
+    std::atomic<uint64_t> emc_insert_skips{0};
   };
 
   struct WorkerThread {
@@ -271,6 +320,8 @@ class ShardedDatapath {
                      uint64_t now_ns, RxResult* results, BatchSummary& sum,
                      std::vector<Packet>& missed);
   void flush_upcalls(std::vector<Packet>& missed);
+  // Hands one upcall to the sink or the bounded queue. Requires upcall_mu_.
+  void deliver_locked(Packet&& pkt, uint64_t* drops);
 
   MtTuple* writer_find_tuple(const FlowMask& mask, bool create);
   void worker_loop(size_t w);
@@ -290,14 +341,20 @@ class ShardedDatapath {
   std::vector<std::unique_ptr<const DpActions>> retired_actions_;
   std::atomic<size_t> n_flows_{0};
 
-  // Shared upcall queue (one lock per burst flush).
+  // Shared upcall queue (one lock per burst flush). The optional sink is
+  // invoked under the same lock, serializing concurrent worker flushes.
   mutable std::mutex upcall_mu_;
   std::deque<Packet> upcalls_;
   std::deque<Packet> delayed_;  // delay-fault parking lot (under upcall_mu_)
+  Datapath::UpcallSink sink_;   // under upcall_mu_
   std::atomic<uint64_t> upcall_drops_{0};
-  std::atomic<uint64_t> install_fails_{0};
+  std::atomic<uint64_t> install_fail_full_{0};
+  std::atomic<uint64_t> install_fail_transient_{0};
   std::atomic<uint64_t> upcalls_delayed_{0};
   std::atomic<uint64_t> upcall_dup_enqueues_{0};
+  std::atomic<uint64_t> entries_corrupted_{0};
+  std::atomic<uint64_t> entries_expired_{0};
+  std::atomic<uint32_t> emc_insert_inv_prob_{1};
   FaultInjector* fault_ = nullptr;
 
   // Worker pool.

@@ -38,7 +38,11 @@ size_t Pipeline::expire_flows(uint64_t now_ns) {
 }
 
 uint64_t Pipeline::generation() const noexcept {
-  uint64_t g = port_generation_ + mac_.generation();
+  return port_generation_ + mac_.generation() + tables_generation();
+}
+
+uint64_t Pipeline::tables_generation() const noexcept {
+  uint64_t g = 0;
   for (const auto& t : tables_) g += t->generation();
   return g;
 }

@@ -82,6 +82,16 @@ class Pipeline {
   // excluded; see the header comment.)
   uint64_t generation() const noexcept;
 
+  // Changes only on flow-table modifications — the events that can delete
+  // OfRule objects. XlateResult::matched_rules pointers are exactly as
+  // durable as this counter: attribution held across MAC moves stays valid,
+  // which is what lets the two-tier revalidator keep pushing statistics for
+  // flows its tag fast path never re-translates.
+  uint64_t tables_generation() const noexcept;
+
+  // Changes on add_port / remove_port only.
+  uint64_t ports_generation() const noexcept { return port_generation_; }
+
  private:
   struct XlateCtx;
   void xlate_table(XlateCtx& ctx, size_t table_id, int depth);

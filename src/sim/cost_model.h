@@ -49,6 +49,9 @@ struct CostModel {
                                    // amortizes this over the whole batch
   double per_table_lookup = 800;   // one OpenFlow table classification
   double reval_per_flow = 6000;    // dump + re-translate + compare (§6)
+  double reval_thread_sync = 15000;  // per revalidator thread per pass:
+                                     // fan-out, join, cache handoff (§4.3);
+                                     // charged only when threads > 1
   double install_fail = 600;       // failed netlink install (error return)
   double upcall_requeue = 400;     // park a miss on the retry queue
 

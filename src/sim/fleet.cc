@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/clock.h"
+#include "util/fault.h"
 #include "util/stats.h"
 #include "vswitchd/switch.h"
 #include "workload/table_gen.h"
@@ -23,13 +24,23 @@ struct Connection {
 class HypervisorSim {
  public:
   HypervisorSim(const FleetConfig& fleet, Rng& master, bool outlier,
-                bool stormy)
+                bool stormy, bool faulted)
       : fleet_(fleet), rng_(master.next()), outlier_(outlier),
-        stormy_(stormy) {
+        stormy_(stormy), faulted_(faulted) {
     SwitchConfig cfg;
     cfg.classifier.icmp_port_trie_bug = outlier;
     cfg.rx_batch = fleet.rx_batch;
     cfg.degradation.enabled = fleet.degradation;
+    cfg.datapath_workers = fleet.datapath_workers;
+    cfg.revalidator_threads = fleet.revalidator_threads;
+    if (faulted_) {
+      // The injector starts disarmed; run_interval arms it only inside the
+      // rack's fault window. Seeded per hypervisor so fault *timing* varies
+      // within the rack while the schedule itself is rack-correlated.
+      fault_ = std::make_unique<FaultInjector>(fleet.fault_seed ^
+                                               rng_.next());
+      cfg.fault = fault_.get();
+    }
     sw_ = std::make_unique<Switch>(cfg);
 
     NvpConfig nvp;
@@ -67,14 +78,27 @@ class HypervisorSim {
   FleetInterval run_interval(size_t hv, size_t idx) {
     const bool storm_on = stormy_ && idx >= fleet_.storm_first_interval &&
                           idx <= fleet_.storm_last_interval;
+    const bool fault_on = faulted_ && idx >= fleet_.fault_first_interval &&
+                          idx <= fleet_.fault_last_interval;
+    if (fault_ != nullptr) {
+      if (fault_on) {
+        fault_->set_probability(FaultPoint::kInstallTransient,
+                                fleet_.fault_install_fail_prob);
+        fault_->set_probability(FaultPoint::kUpcallDrop,
+                                fleet_.fault_upcall_drop_prob);
+      } else {
+        fault_->disarm_all();
+      }
+    }
     const double mult = rng_.lognormal(0, fleet_.interval_sigma);
     double pps = std::clamp(base_pps_ * mult, 20.0, 150000.0);
     if (storm_on) pps = std::min(pps * fleet_.storm_pps_factor, 150000.0);
     const double seconds = fleet_.sim_seconds_per_interval;
     const double churn_rate = storm_on ? fleet_.storm_churn : churn_;
 
-    const auto dp0 = sw_->datapath().stats();
+    const auto dp0 = sw_->backend().stats();
     const uint64_t dropped0 = sw_->counters().upcalls_dropped;
+    const uint64_t fails0 = sw_->counters().install_fails;
     const double user0 = sw_->cpu().user_cycles;
     const double kern0 = sw_->cpu().kernel_cycles;
 
@@ -114,11 +138,11 @@ class HypervisorSim {
       sw_->cpu().user_cycles +=
           frac * (fleet_.daemon_fixed_cycles_per_sec +
                   fleet_.stats_poll_cycles_per_flow *
-                      static_cast<double>(sw_->datapath().flow_count()));
-      flow_samples_.add(static_cast<double>(sw_->datapath().flow_count()));
+                      static_cast<double>(sw_->backend().flow_count()));
+      flow_samples_.add(static_cast<double>(sw_->backend().flow_count()));
     }
 
-    const auto dp1 = sw_->datapath().stats();
+    const auto dp1 = sw_->backend().stats();
     // Charge the end-to-end userspace cost of the interval's flow setups
     // (see FleetConfig::flow_setup_user_cycles) before reading CPU deltas.
     sw_->cpu().user_cycles += fleet_.flow_setup_user_cycles *
@@ -133,7 +157,9 @@ class HypervisorSim {
     out.interval = idx;
     out.outlier = outlier_;
     out.stormy = storm_on;
+    out.faulted = fault_on;
     out.offered_pps = pps;
+    out.install_fails = sw_->counters().install_fails - fails0;
     out.drop_pps =
         static_cast<double>(sw_->counters().upcalls_dropped - dropped0) /
         seconds;
@@ -148,7 +174,7 @@ class HypervisorSim {
         100.0 * m.seconds(sw_->cpu().user_cycles - user0) / seconds;
     out.kernel_cpu_pct =
         100.0 * m.seconds(sw_->cpu().kernel_cycles - kern0) / seconds;
-    out.flows = sw_->datapath().flow_count();
+    out.flows = sw_->backend().flow_count();
     return out;
   }
 
@@ -204,6 +230,8 @@ class HypervisorSim {
   Rng rng_;
   bool outlier_;
   bool stormy_ = false;
+  bool faulted_ = false;
+  std::unique_ptr<FaultInjector> fault_;  // created only for faulted racks
   std::unique_ptr<Switch> sw_;
   NvpTopology topo_;
   std::unique_ptr<ZipfSampler> zipf_;
@@ -236,12 +264,27 @@ FleetResults run_fleet(const FleetConfig& cfg) {
                 1, static_cast<size_t>(cfg.storm_fraction *
                                        static_cast<double>(
                                            cfg.n_hypervisors)));
+  // Faulted racks come from the middle of the rack range, keeping them
+  // disjoint from outliers (bottom of the id range) and storms (top).
+  const size_t rack_size = std::max<size_t>(1, cfg.rack_size);
+  const size_t n_racks = (cfg.n_hypervisors + rack_size - 1) / rack_size;
+  const size_t n_fault_racks =
+      cfg.fault_rack_fraction <= 0
+          ? 0
+          : std::max<size_t>(
+                1, static_cast<size_t>(cfg.fault_rack_fraction *
+                                       static_cast<double>(n_racks)));
+  const size_t first_fault_rack = (n_racks - std::min(n_fault_racks,
+                                                      n_racks)) / 2;
   for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
     const bool outlier = hv < n_outliers;
     // Stormed hypervisors are drawn from the top of the id range so the
     // outlier and storm populations stay disjoint in small fleets.
     const bool stormy = hv >= cfg.n_hypervisors - n_stormy;
-    HypervisorSim sim(cfg, master, outlier, stormy);
+    const size_t rack = hv / rack_size;
+    const bool faulted = rack >= first_fault_rack &&
+                         rack < first_fault_rack + n_fault_racks;
+    HypervisorSim sim(cfg, master, outlier, stormy, faulted);
     for (size_t i = 0; i < cfg.n_intervals; ++i)
       results.intervals.push_back(sim.run_interval(hv, i));
     results.hypervisors.push_back(sim.summary());

@@ -58,6 +58,25 @@ struct FleetConfig {
   double storm_churn = 3.0;          // connection replacement rate while stormed
   bool degradation = true;           // Switch degradation policies on/off
 
+  // True multi-worker hypervisors: each Switch runs the sharded datapath
+  // with this many kernel-side workers (0/1 = the classic single-threaded
+  // backend) and this many revalidator plan threads (§4.3).
+  size_t datapath_workers = 0;
+  size_t revalidator_threads = 1;
+
+  // Per-hypervisor fault schedules, correlated at rack granularity: every
+  // hypervisor in a faulted rack sees the same install-failure / upcall-drop
+  // window (a ToR reboot or kernel regression rolling through one rack).
+  // Faulted racks are drawn from the middle of the rack range so they stay
+  // disjoint from outliers (bottom of the id range) and storms (top).
+  size_t rack_size = 16;             // hypervisors per rack (id / rack_size)
+  double fault_rack_fraction = 0.0;  // fraction of racks faulted (0 = off)
+  size_t fault_first_interval = 0;   // fault window [first, last], inclusive
+  size_t fault_last_interval = 0;
+  double fault_install_fail_prob = 0.0;  // transient install failure prob
+  double fault_upcall_drop_prob = 0.0;   // lost-upcall prob while faulted
+  uint64_t fault_seed = 7;
+
   // Userspace housekeeping charged per simulated second (stats polling once
   // per second, §6, plus fixed daemon overhead).
   double daemon_fixed_cycles_per_sec = 2.5e7;
@@ -73,6 +92,7 @@ struct FleetInterval {
   size_t interval = 0;
   bool outlier = false;
   bool stormy = false;       // adversarial churn active this interval
+  bool faulted = false;      // rack fault schedule active this interval
   double offered_pps = 0;
   double hit_rate = 0;       // (EMC + megaflow hits) / packets
   double hit_pps = 0;
@@ -82,6 +102,7 @@ struct FleetInterval {
   double kernel_cpu_pct = 0;
   uint64_t flows = 0;        // datapath flow count at interval end
   uint64_t flow_limit_backoffs = 0;  // cumulative AIMD reductions
+  uint64_t install_fails = 0;        // failed cache installs this interval
 };
 
 struct FleetHypervisor {

@@ -10,20 +10,22 @@ namespace ovs {
 Switch::Switch(SwitchConfig cfg)
     : cfg_(cfg),
       pipeline_(cfg.n_tables, cfg.classifier),
-      dp_(cfg.datapath),
+      be_(make_dp_backend(cfg.datapath, cfg.datapath_workers)),
       effective_limit_(cfg.flow_limit),
       queue_(cfg.upcall_queue),
       fault_(cfg.fault) {
   // Misses land in the bounded per-port fair queue at enqueue time; a
   // refusal here is counted by the datapath as an upcall drop (preserving
   // its misses == delivered + dropped conservation) and by the switch as
-  // an upcalls_dropped (the queue's per-port counters say why).
-  dp_.set_upcall_sink([this](Packet&& pkt) {
+  // an upcalls_dropped (the queue's per-port counters say why). On the
+  // sharded backend the sink runs under its upcall lock, so concurrent
+  // worker flushes are serialized before touching the queue.
+  be_->set_upcall_sink([this](Packet&& pkt) {
     if (queue_.enqueue(std::move(pkt))) return true;
     ++counters_.upcalls_dropped;
     return false;
   });
-  dp_.set_fault_injector(fault_);
+  be_->set_fault_injector(fault_);
 }
 
 void Switch::add_port(uint32_t port) { pipeline_.add_port(port); }
@@ -166,7 +168,7 @@ size_t Switch::inject_batch(std::span<const Packet> pkts, uint64_t now_ns) {
   if (pkts.empty()) return 0;
   results_.resize(pkts.size());
   Datapath::BatchSummary sum;
-  dp_.process_batch(pkts, now_ns, results_.data(), &sum);
+  be_->process_batch(pkts, now_ns, results_.data(), &sum);
 
   // Burst cost model: fixed dispatch overhead plus a reduced per-packet
   // cost; cache work is charged per *deduplicated* probe, which is where
@@ -183,12 +185,12 @@ size_t Switch::inject_batch(std::span<const Packet> pkts, uint64_t now_ns) {
 }
 
 Datapath::Path Switch::inject(const Packet& pkt, uint64_t now_ns) {
-  const Datapath::RxResult rx = dp_.receive(pkt, now_ns);
+  const Datapath::RxResult rx = be_->receive(pkt, now_ns);
 
   // Kernel-side cycle accounting.
   const CostModel& m = cfg_.cost;
   double cycles = m.per_packet;
-  if (dp_.config().microflow_enabled) cycles += m.microflow_probe;
+  if (be_->microflow_enabled()) cycles += m.microflow_probe;
   switch (rx.path) {
     case Datapath::Path::kMicroflowHit:
       break;
@@ -217,8 +219,8 @@ Switch::InstallResult Switch::install_from_xlate(const XlateResult& xr,
     for (size_t i = 0; i < kFlowWords; ++i) match.mask.w[i] = ~uint64_t{0};
     match.key = pkt.key;
   }
-  const size_t before = dp_.flow_count();
-  MegaflowEntry* e = dp_.install(match, xr.actions, now_ns);
+  const size_t before = be_->flow_count();
+  DpBackend::FlowRef e = be_->install(match, xr.actions, now_ns);
   if (e == nullptr) {
     // Kernel refused the flow (table full, transient fault). The miss
     // packet was still forwarded by userspace; only the cache entry is
@@ -227,13 +229,13 @@ Switch::InstallResult Switch::install_from_xlate(const XlateResult& xr,
     cpu_.user_cycles += cfg_.cost.install_fail;
     return InstallResult::kFailed;
   }
-  e->tags = xr.tags;
+  be_->set_flow_tags(e, xr.tags);
   InstallResult res;
-  if (dp_.flow_count() > before) {
+  if (be_->flow_count() > before) {
     ++counters_.flow_setups;
     Attribution& at = attribution_[e];
     at.rules = xr.matched_rules;
-    at.captured_gen = pipeline_.generation();
+    at.captured_gen = pipeline_.tables_generation();
     res = InstallResult::kInstalled;
   } else {
     ++counters_.setup_dups;
@@ -241,7 +243,7 @@ Switch::InstallResult Switch::install_from_xlate(const XlateResult& xr,
   }
   // The miss packet is forwarded by userspace on the flow's behalf; it
   // counts toward the flow's statistics like any other packet.
-  dp_.credit_packet(e, pkt, now_ns);
+  be_->credit_packet(e, pkt, now_ns);
   return res;
 }
 
@@ -292,15 +294,15 @@ size_t Switch::process_retries(uint64_t now_ns) {
 void Switch::maybe_inject_entry_faults() {
   if (fault_ == nullptr) return;
   if (fault_->should_fire(FaultPoint::kEntryCorrupt) &&
-      dp_.flow_count() > 0) {
-    dp_.corrupt_entry(fault_->pick(dp_.flow_count()));
+      be_->flow_count() > 0) {
+    be_->corrupt_entry(fault_->pick(be_->flow_count()));
     // Corruption bypasses the pipeline generation: force the next
     // revalidation to re-translate everything so it repairs the entry.
     reval_force_full_ = true;
   }
   if (fault_->should_fire(FaultPoint::kEntryExpire) &&
-      dp_.flow_count() > 0) {
-    dp_.expire_entry(fault_->pick(dp_.flow_count()));
+      be_->flow_count() > 0) {
+    be_->expire_entry(fault_->pick(be_->flow_count()));
   }
 }
 
@@ -334,7 +336,7 @@ size_t Switch::handle_upcalls(uint64_t now_ns, size_t max_upcalls) {
   maybe_inject_entry_faults();
   // Delay-faulted upcalls surface into the fair queue now; they are
   // serviced on the next invocation (observably one round late).
-  dp_.flush_delayed_upcalls();
+  be_->flush_delayed_upcalls();
   return handled;
 }
 
@@ -361,15 +363,17 @@ void Switch::revalidate(uint64_t now_ns) {
   }
 
   ++counters_.reval_runs;
-  const double user_cycles_at_start = cpu_.user_cycles;
+  const size_t n_threads = std::max<size_t>(1, cfg_.revalidator_threads);
 
   // Dynamic flow limit (§6): "the actual maximum is dynamically adjusted to
-  // ensure that total revalidation time stays under 1 second". The AIMD
-  // scale (degradation policy) shrinks it further after deadline overruns.
+  // ensure that total revalidation time stays under 1 second". N plan
+  // threads cover N times the flows within the same deadline (§4.3). The
+  // AIMD scale (degradation policy) shrinks it further after overruns.
   if (cfg_.dynamic_flow_limit) {
     const double reval_capacity =
         (static_cast<double>(cfg_.max_revalidation_ns) / 1e9) *
-        (m.ghz * 1e9) / m.reval_per_flow;
+        (m.ghz * 1e9) / m.reval_per_flow *
+        static_cast<double>(n_threads);
     effective_limit_ = std::min(cfg_.flow_limit,
                                 static_cast<size_t>(reval_capacity));
   } else {
@@ -385,7 +389,7 @@ void Switch::revalidate(uint64_t now_ns) {
                                    limit_scale_));
   }
 
-  const bool over_limit = dp_.flow_count() > effective_limit_;
+  const bool over_limit = be_->flow_count() > effective_limit_;
   // Above the maximum size, drop the idle time to force the table to
   // shrink (§6).
   const uint64_t idle_ns =
@@ -396,54 +400,82 @@ void Switch::revalidate(uint64_t now_ns) {
       gen != pipeline_gen_at_last_reval_ || reval_force_full_;
   const uint64_t changed_tags = pipeline_.mac_learning().take_changed_tags();
 
-  std::vector<MegaflowEntry*> flows = dp_.dump();
-  for (MegaflowEntry* e : flows) {
-    ++counters_.reval_flows_examined;
-    cpu_.user_cycles += m.reval_per_flow;
-    if (now_ns - e->used_ns() > idle_ns) {
-      push_flow_stats(e, now_ns);  // final stats (validated internally)
-      attribution_.erase(e);
-      dp_.remove(e);
-      ++counters_.reval_deleted_idle;
-      continue;
-    }
-    if (!maybe_stale) {
-      push_flow_stats(e, now_ns);
-      continue;
-    }
-    if (cfg_.reval_mode == RevalidationMode::kTags &&
-        (e->tags & changed_tags) == 0) {
-      // Tag-based invalidation (historical, §6): untouched tags mean the
-      // flow cannot have changed — modulo Bloom-filter false negatives
-      // being impossible and false positives being extra work only.
-      // (No stats push: the attribution pointers were not revalidated.)
-      ++counters_.reval_skipped_by_tags;
-      continue;
-    }
-    // Re-translate the flow's key through the current tables and compare.
-    XlateResult xr =
-        pipeline_.translate(e->match().key, now_ns, /*side_effects=*/false);
-    cpu_.user_cycles += m.per_table_lookup * xr.table_lookups;
-    if (xr.actions == e->actions()) {
-      // Refresh the attribution (rule pointers may have been replaced) and
-      // push pending stats against the CURRENT rules.
-      Attribution& at = attribution_[e];
-      at.rules = std::move(xr.matched_rules);
-      at.captured_gen = pipeline_.generation();
-      push_flow_stats(e, now_ns);
-      continue;
-    }
-    if (xr.megaflow.mask == e->match().mask) {
-      dp_.update_actions(e, xr.actions);
-      Attribution& at = attribution_[e];
-      at.rules = std::move(xr.matched_rules);
-      at.captured_gen = pipeline_.generation();
-      push_flow_stats(e, now_ns);
-      ++counters_.reval_updated_actions;
-    } else {
-      attribution_.erase(e);
-      dp_.remove(e);  // shape changed: let traffic re-establish it
-      ++counters_.reval_deleted_stale;
+  // Plan phase: partition the dump across revalidator threads; each
+  // re-translates read-only (side_effects=false) and records a verdict.
+  Revalidator::Config rc;
+  rc.n_threads = n_threads;
+  rc.idle_ns = idle_ns;
+  rc.maybe_stale = maybe_stale;
+  // kTags (historical): tags gate re-translation even when a full pass was
+  // forced — its documented weakness. kTwoTier drops the fast path when a
+  // full pass is forced (entry corruption bypasses the generation
+  // counters), so faulted entries are always repaired.
+  rc.use_tags =
+      cfg_.reval_mode == RevalidationMode::kTags ||
+      (cfg_.reval_mode == RevalidationMode::kTwoTier && !reval_force_full_);
+  rc.changed_tags = changed_tags;
+  rc.reval_per_flow = m.reval_per_flow;
+  rc.per_table_lookup = m.per_table_lookup;
+
+  std::vector<DpBackend::FlowRef> flows = be_->dump();
+  last_pass_ = Revalidator::plan(*be_, pipeline_, flows, now_ns, rc,
+                                 &decisions_);
+  counters_.reval_flows_examined += last_pass_.examined;
+  counters_.reval_skipped_by_tags += last_pass_.skipped_by_tags;
+
+  // Work vs latency: every partition's cycles are CPU work; the deadline
+  // below compares against the modeled pass latency (slowest partition
+  // plus per-thread fan-out/join overhead, charged only when threads > 1).
+  const double sync_cycles =
+      last_pass_.threads_used > 1
+          ? m.reval_thread_sync * static_cast<double>(last_pass_.threads_used)
+          : 0.0;
+  cpu_.user_cycles += last_pass_.total_cycles + sync_cycles;
+
+  // Apply phase (serial, dump order): all mutations happen here, on the
+  // control thread, so the outcome is independent of the thread count.
+  for (size_t i = 0; i < flows.size(); ++i) {
+    DpBackend::FlowRef f = flows[i];
+    RevalDecision& d = decisions_[i];
+    switch (d.kind) {
+      case RevalDecision::Kind::kDeleteIdle:
+        push_flow_stats(f, now_ns);  // final stats (validated internally)
+        attribution_.erase(f);
+        be_->remove(f);
+        ++counters_.reval_deleted_idle;
+        break;
+      case RevalDecision::Kind::kSkipClean:
+        push_flow_stats(f, now_ns);
+        break;
+      case RevalDecision::Kind::kSkipTags:
+        // kTags (historical, §6): no stats push — the attribution pointers
+        // were not revalidated and the full generation has moved. kTwoTier:
+        // attribution is keyed on the tables generation, which a MAC-only
+        // change leaves alone, so skipped flows still feed statistics.
+        if (cfg_.reval_mode == RevalidationMode::kTwoTier)
+          push_flow_stats(f, now_ns);
+        break;
+      case RevalDecision::Kind::kKeepFresh:
+        // Refresh the attribution (rule pointers may have been replaced)
+        // and push pending stats against the CURRENT rules.
+        be_->set_flow_tags(f, d.xr.tags);
+        refresh_attribution(f, std::move(d.xr));
+        push_flow_stats(f, now_ns);
+        break;
+      case RevalDecision::Kind::kUpdateActions: {
+        DpActions fresh = d.xr.actions;
+        be_->update_actions(f, std::move(fresh));  // RCU swap on sharded
+        be_->set_flow_tags(f, d.xr.tags);
+        refresh_attribution(f, std::move(d.xr));
+        push_flow_stats(f, now_ns);
+        ++counters_.reval_updated_actions;
+        break;
+      }
+      case RevalDecision::Kind::kDeleteStale:
+        attribution_.erase(f);
+        be_->remove(f);  // shape changed: let traffic re-establish it
+        ++counters_.reval_deleted_stale;
+        break;
     }
   }
   pipeline_gen_at_last_reval_ = gen;
@@ -452,29 +484,31 @@ void Switch::revalidate(uint64_t now_ns) {
   // Hard eviction if still above the limit: oldest-used first, like
   // userspace "must be able to delete flows ... as quickly as it can
   // install new flows" (§6).
-  if (dp_.flow_count() > effective_limit_) {
-    std::vector<MegaflowEntry*> live = dp_.dump();
+  if (be_->flow_count() > effective_limit_) {
+    std::vector<DpBackend::FlowRef> live = be_->dump();
     std::sort(live.begin(), live.end(),
-              [](const MegaflowEntry* a, const MegaflowEntry* b) {
-                return a->used_ns() < b->used_ns();
+              [this](DpBackend::FlowRef a, DpBackend::FlowRef b) {
+                return be_->flow_used_ns(a) < be_->flow_used_ns(b);
               });
-    size_t excess = dp_.flow_count() - effective_limit_;
+    size_t excess = be_->flow_count() - effective_limit_;
     for (size_t i = 0; i < excess; ++i) {
       attribution_.erase(live[i]);
-      dp_.remove(live[i]);
+      be_->remove(live[i]);
       ++counters_.evicted_flow_limit;
     }
   }
 
-  dp_.purge_dead();  // grace period
+  be_->purge_dead();  // grace period
 
   // Deadline check: AIMD the flow limit. A pass that blew the deadline
   // halves the table it will tolerate next time; a clean pass wins a
   // fraction of the headroom back (§6's "dynamically adjusted", made
-  // explicit as multiplicative-decrease / additive-increase).
+  // explicit as multiplicative-decrease / additive-increase). The latency
+  // compared is the plan makespan plus thread sync — with one thread this
+  // equals the seed's serial user-cycle delta exactly.
   if (cfg_.degradation.enabled) {
     const double pass_ns =
-        m.seconds(cpu_.user_cycles - user_cycles_at_start) * 1e9;
+        m.seconds(last_pass_.makespan_cycles + sync_cycles) * 1e9;
     if (pass_ns > static_cast<double>(cfg_.max_revalidation_ns)) {
       ++counters_.reval_overruns;
       apply_limit_backoff();
@@ -488,7 +522,7 @@ void Switch::revalidate(uint64_t now_ns) {
 void Switch::update_emc_policy() {
   const DegradationConfig& d = cfg_.degradation;
   if (!d.enabled) return;
-  const Datapath::Stats& s = dp_.stats();
+  const Datapath::Stats s = be_->stats();
   const uint64_t attempts_now = s.emc_inserts + s.emc_insert_skips;
   const uint64_t attempts = attempts_now - emc_attempts_seen_;
   const uint64_t hits = s.microflow_hits - emc_hits_seen_;
@@ -505,25 +539,34 @@ void Switch::update_emc_policy() {
       static_cast<double>(attempts) / static_cast<double>(hits + 1);
   if (!emc_degraded_) {
     if (attempts >= d.emc_min_inserts && ratio > d.emc_thrash_ratio) {
-      dp_.set_emc_insert_inv_prob(d.emc_degraded_inv_prob);
+      be_->set_emc_insert_inv_prob(d.emc_degraded_inv_prob);
       emc_degraded_ = true;
       ++counters_.emc_degrade_engaged;
     }
   } else if (ratio < d.emc_thrash_ratio / 2) {
-    dp_.set_emc_insert_inv_prob(cfg_.datapath.emc_insert_inv_prob);
+    be_->set_emc_insert_inv_prob(cfg_.datapath.emc_insert_inv_prob);
     emc_degraded_ = false;
   }
 }
 
-void Switch::push_flow_stats(MegaflowEntry* e, uint64_t now_ns) {
-  auto it = attribution_.find(e);
+void Switch::refresh_attribution(DpBackend::FlowRef f, XlateResult&& xr) {
+  Attribution& at = attribution_[f];
+  at.rules = std::move(xr.matched_rules);
+  at.captured_gen = pipeline_.tables_generation();
+}
+
+void Switch::push_flow_stats(DpBackend::FlowRef f, uint64_t now_ns) {
+  auto it = attribution_.find(f);
   if (it == attribution_.end()) return;
   Attribution& at = it->second;
   // Rule pointers are only safe while no flow-table change happened since
-  // capture (any change bumps the pipeline generation).
-  if (at.captured_gen != pipeline_.generation()) return;
-  const uint64_t dp_pkts = e->packets();
-  const uint64_t dp_bytes = e->bytes();
+  // capture. Keying on the TABLES generation (not the full pipeline
+  // generation) lets MAC-learning churn — which cannot invalidate OfRule
+  // pointers — leave statistics flowing; this is what makes the kTwoTier
+  // skip path able to push stats for flows it never re-translated.
+  if (at.captured_gen != pipeline_.tables_generation()) return;
+  const uint64_t dp_pkts = be_->flow_packets(f);
+  const uint64_t dp_bytes = be_->flow_bytes(f);
   if (dp_pkts == at.pushed_packets) return;
   const uint64_t dpkts = dp_pkts - at.pushed_packets;
   const uint64_t dbytes = dp_bytes - at.pushed_bytes;

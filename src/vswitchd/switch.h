@@ -23,24 +23,31 @@
 //   ... every second: sw.run_maintenance(clock.now());
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
-#include "datapath/datapath.h"
+#include "datapath/dp_backend.h"
 #include "ofproto/pipeline.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
+#include "vswitchd/revalidator.h"
 #include "vswitchd/upcall_queue.h"
 
 namespace ovs {
 
 enum class RevalidationMode : uint8_t {
-  kFull,  // re-examine every datapath flow (OVS >= 2.0, §6)
-  kTags,  // Bloom-filter tags: only flows whose tags changed (historical)
+  kFull,     // re-examine every datapath flow (OVS >= 2.0, §6)
+  kTags,     // Bloom-filter tags: only flows whose tags changed (historical;
+             // skipped flows get no statistics push)
+  kTwoTier,  // §4.3: tag/generation fast path decides per flow whether the
+             // full re-translation is needed; skipped flows still push
+             // statistics (attribution survives MAC-only changes)
 };
 
 // Graceful-degradation policies: how the slow path sheds load instead of
@@ -84,6 +91,17 @@ struct SwitchConfig {
   size_t n_tables = 8;
   ClassifierConfig classifier;  // userspace tables (Table 1 toggles these)
   DatapathConfig datapath;
+
+  // Datapath backend selection: 0 or 1 keeps the single-threaded
+  // `Datapath`; >= 2 runs a `ShardedDatapath` with this many forwarding
+  // worker slots (per-worker EMC shards over one RCU megaflow table, §4.1),
+  // configured from `datapath` via make_dp_backend().
+  size_t datapath_workers = 0;
+
+  // Revalidator plan-phase threads (§4.3: "dividing flows among revalidator
+  // threads"). 1 = the historical serial pass; the apply phase is always
+  // serial on the control thread.
+  size_t revalidator_threads = 1;
 
   // false reproduces Table 1's "megaflows disabled" row: userspace installs
   // exact-match (microflow) entries only.
@@ -134,7 +152,26 @@ class Switch {
 
   Pipeline& pipeline() noexcept { return pipeline_; }
   FlowTable& table(size_t i) { return pipeline_.table(i); }
-  Datapath& datapath() noexcept { return dp_; }
+  // Revalidator plan-thread count is safe to change between maintenance
+  // passes (benches sweep it on one Switch instead of rebuilding state).
+  void set_revalidator_threads(size_t n) noexcept {
+    cfg_.revalidator_threads = n;
+  }
+  // Next revalidation re-translates every flow, tags notwithstanding (the
+  // ovs-appctl "revalidator purge" analogue; also set by entry-fault
+  // injection, whose corruption bypasses the generation counters).
+  void force_full_revalidation() noexcept { reval_force_full_ = true; }
+  // The datapath seam: valid for either backend. Use this for stats /
+  // flow_count / upcall introspection.
+  DpBackend& backend() noexcept { return *be_; }
+  const DpBackend& backend() const noexcept { return *be_; }
+  // Legacy accessor for the single-threaded backend (datapath_workers <= 1);
+  // asserts when the switch runs sharded. Prefer backend().
+  Datapath& datapath() noexcept {
+    Datapath* dp = be_->single();
+    assert(dp != nullptr && "datapath(): switch is running sharded; use backend()");
+    return *dp;
+  }
   const SwitchConfig& config() const noexcept { return cfg_; }
 
   // ovs-ofctl-style text interface (see ofproto/flow_parser.h). Returns an
@@ -224,6 +261,12 @@ class Switch {
   CpuAccounting& cpu() noexcept { return cpu_; }
   const CpuAccounting& cpu() const noexcept { return cpu_; }
 
+  // Plan-phase statistics of the most recent revalidation pass (examined /
+  // re-translated / tag-skipped counts, modeled work and makespan cycles).
+  const RevalPassStats& last_reval_pass() const noexcept {
+    return last_pass_;
+  }
+
   // Current (possibly dynamically reduced) datapath flow limit.
   size_t effective_flow_limit() const noexcept { return effective_limit_; }
   // AIMD multiplier on the dynamic flow limit (1.0 = no backoff active).
@@ -268,12 +311,14 @@ class Switch {
     std::vector<const OfRule*> rules;
     uint64_t pushed_packets = 0;
     uint64_t pushed_bytes = 0;
-    // Pipeline generation when `rules` was captured; the pointers are only
-    // dereferenced while the generation is unchanged (no rule can have
-    // been deleted without bumping it).
+    // Pipeline *tables* generation when `rules` was captured; the pointers
+    // are only dereferenced while it is unchanged (OfRule objects can only
+    // be deleted by a table modification, which bumps it — MAC moves and
+    // port changes leave the pointers intact).
     uint64_t captured_gen = 0;
   };
-  void push_flow_stats(MegaflowEntry* e, uint64_t now_ns);
+  void push_flow_stats(DpBackend::FlowRef f, uint64_t now_ns);
+  void refresh_attribution(DpBackend::FlowRef f, XlateResult&& xr);
 
   struct RetryEntry {
     Packet pkt;
@@ -283,13 +328,15 @@ class Switch {
 
   SwitchConfig cfg_;
   Pipeline pipeline_;
-  Datapath dp_;
-  std::unordered_map<const MegaflowEntry*, Attribution> attribution_;
+  std::unique_ptr<DpBackend> be_;
+  std::unordered_map<DpBackend::FlowRef, Attribution> attribution_;
   OutputFn output_;
   Counters counters_;
   std::unordered_map<uint32_t, PortStats> port_stats_;
   CpuAccounting cpu_;
   std::vector<Datapath::RxResult> results_;  // inject_batch scratch
+  std::vector<RevalDecision> decisions_;     // revalidation plan scratch
+  RevalPassStats last_pass_;
   size_t effective_limit_;
   uint64_t pipeline_gen_at_last_reval_ = 0;
 
