@@ -70,6 +70,14 @@ class ConcurrentEmc {
     // Their ring slots become stale dups, which pop_evict treats as no-ops.
   }
 
+  // Read-only visit of every (microflow hash, hint) pair. Writer-side only
+  // (same contract as erase_if); the invariant checker uses it to verify
+  // EMC -> megaflow coherence without reaching into the cuckoo table.
+  template <typename Fn>
+  void for_each_hint(Fn&& fn) const {
+    map_.for_each([&](uint64_t k, uint64_t v) { fn(k, v); });
+  }
+
   size_t size() const noexcept { return map_.size(); }
   size_t capacity() const noexcept { return capacity_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 #include "util/fault.h"
 
@@ -363,6 +364,24 @@ void Datapath::purge_dead() {
   for (MicroSlot& slot : micro_)
     if (slot.entry != nullptr && slot.entry->dead()) slot.entry = nullptr;
   graveyard_.clear();
+}
+
+size_t Datapath::emc_dangling_hints() const {
+  std::unordered_set<const MegaflowEntry*> known;
+  known.reserve(entries_.size() + graveyard_.size());
+  for (const auto& e : entries_) known.insert(e.get());
+  for (const auto& e : graveyard_) known.insert(e.get());
+  size_t dangling = 0;
+  if (cemc_ != nullptr) {
+    cemc_->for_each_hint([&](uint64_t, uint64_t v) {
+      if (known.count(reinterpret_cast<const MegaflowEntry*>(v)) == 0)
+        ++dangling;
+    });
+  } else {
+    for (const MicroSlot& slot : micro_)
+      if (slot.entry != nullptr && known.count(slot.entry) == 0) ++dangling;
+  }
+  return dangling;
 }
 
 std::vector<MegaflowEntry*> Datapath::dump() const {

@@ -236,6 +236,13 @@ class Datapath {
   const Stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = Stats{}; }
 
+  // Invariant-checker hook (datapath/dp_check.h): EMC hints that no longer
+  // resolve to a live or parked (graveyard) megaflow. Hints to dead entries
+  // awaiting purge are legal — §6 corrects them on first use — but a pointer
+  // outside entries_ + graveyard_ would be dereferenced blind on the fast
+  // path, so any such hint is a coherence violation.
+  size_t emc_dangling_hints() const;
+
   const DatapathConfig& config() const noexcept { return cfg_; }
   void set_microflow_enabled(bool on) noexcept {
     cfg_.microflow_enabled = on;

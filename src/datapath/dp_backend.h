@@ -92,6 +92,12 @@ class DpBackend {
   // tallies into the same struct; stale_hints land in stale_microflow_hits).
   virtual Datapath::Stats stats() const = 0;
 
+  // EMC -> megaflow coherence probe for the invariant checker
+  // (datapath/dp_check.h): hints that cannot safely resolve — a pointer
+  // outside the live + graveyard entry sets (single) or a tuple index
+  // outside the directory (sharded). Control thread, workers quiescent.
+  virtual size_t emc_dangling_hints() const = 0;
+
   virtual size_t n_workers() const = 0;
 
   // Downcasts for backend-specific drivers (benches, stress tests, legacy
@@ -180,6 +186,9 @@ class SingleDpBackend final : public DpBackend {
   }
 
   Datapath::Stats stats() const override { return dp_.stats(); }
+  size_t emc_dangling_hints() const override {
+    return dp_.emc_dangling_hints();
+  }
   size_t n_workers() const override { return 1; }
   Datapath* single() noexcept override { return &dp_; }
 
@@ -268,6 +277,9 @@ class MtDpBackend final : public DpBackend {
   bool microflow_enabled() const override { return dp_.config().emc_enabled; }
 
   Datapath::Stats stats() const override;
+  size_t emc_dangling_hints() const override {
+    return dp_.emc_dangling_hints();
+  }
   size_t n_workers() const override { return dp_.config().n_workers; }
   ShardedDatapath* sharded() noexcept override { return &dp_; }
 

@@ -549,6 +549,18 @@ ShardedDatapath::Stats ShardedDatapath::stats() const {
   return s;
 }
 
+size_t ShardedDatapath::emc_dangling_hints() const {
+  const uint32_t n = n_tuples_.load(std::memory_order_acquire);
+  size_t dangling = 0;
+  for (const auto& sp : slots_) {
+    if (sp->emc == nullptr) continue;
+    sp->emc->for_each_hint([&](uint64_t, uint64_t v) {
+      if (v >= n) ++dangling;
+    });
+  }
+  return dangling;
+}
+
 // --- Worker pool -------------------------------------------------------------
 
 void ShardedDatapath::start() {

@@ -236,6 +236,12 @@ class ShardedDatapath {
   };
   Stats stats() const;  // aggregated over workers; any thread
 
+  // Invariant-checker hook (datapath/dp_check.h): EMC hints whose tuple
+  // index falls outside the directory. The directory is append-only, so by
+  // construction this is always zero — the checker enforces exactly that
+  // construction. Call with workers quiescent (shards are single-writer).
+  size_t emc_dangling_hints() const;
+
   const ShardedDatapathConfig& config() const noexcept { return cfg_; }
 
   // --- Optional built-in worker pool (for benches and stress tests) --------

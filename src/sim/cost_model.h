@@ -55,6 +55,13 @@ struct CostModel {
   double install_fail = 600;       // failed netlink install (error return)
   double upcall_requeue = 400;     // park a miss on the retry queue
 
+  // Crash/restart recovery (DESIGN.md §9). A daemon restart pays a fixed
+  // re-exec cost (config re-read, socket setup) before the reconciliation
+  // pass, whose per-flow work reuses reval_per_flow/per_table_lookup; the
+  // invariant self-check is a hash-and-compare sweep per live flow.
+  double restart_fixed = 2e6;      // daemon re-exec + durable config load
+  double dp_check_per_flow = 120;  // invariant checker per-flow sweep cost
+
   double cycles_per_second_total() const noexcept {
     return ghz * 1e9 * n_cores;
   }

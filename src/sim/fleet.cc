@@ -24,16 +24,16 @@ struct Connection {
 class HypervisorSim {
  public:
   HypervisorSim(const FleetConfig& fleet, Rng& master, bool outlier,
-                bool stormy, bool faulted)
+                bool stormy, bool faulted, bool crashed)
       : fleet_(fleet), rng_(master.next()), outlier_(outlier),
-        stormy_(stormy), faulted_(faulted) {
+        stormy_(stormy), faulted_(faulted), crashed_(crashed) {
     SwitchConfig cfg;
     cfg.classifier.icmp_port_trie_bug = outlier;
     cfg.rx_batch = fleet.rx_batch;
     cfg.degradation.enabled = fleet.degradation;
     cfg.datapath_workers = fleet.datapath_workers;
     cfg.revalidator_threads = fleet.revalidator_threads;
-    if (faulted_) {
+    if (faulted_ || crashed_) {
       // The injector starts disarmed; run_interval arms it only inside the
       // rack's fault window. Seeded per hypervisor so fault *timing* varies
       // within the rack while the schedule itself is rack-correlated.
@@ -81,14 +81,23 @@ class HypervisorSim {
     const bool fault_on = faulted_ && idx >= fleet_.fault_first_interval &&
                           idx <= fleet_.fault_last_interval;
     if (fault_ != nullptr) {
+      fault_->disarm_all();  // re-arm below from this interval's schedules
       if (fault_on) {
         fault_->set_probability(FaultPoint::kInstallTransient,
                                 fleet_.fault_install_fail_prob);
         fault_->set_probability(FaultPoint::kUpcallDrop,
                                 fleet_.fault_upcall_drop_prob);
-      } else {
-        fault_->disarm_all();
       }
+      if (crashed_ && idx == fleet_.crash_interval) {
+        // One crash exactly: window anchored at the occurrence count this
+        // interval starts with, so the first maintenance tick takes it and
+        // later ticks (and later intervals) see a spent window.
+        const uint64_t occ = fault_->occurrences(FaultPoint::kUserspaceCrash);
+        fault_->arm_window(FaultPoint::kUserspaceCrash, occ, occ + 1);
+      }
+      if (crashed_ && idx >= fleet_.crash_interval)
+        fault_->set_probability(FaultPoint::kReconcileStall,
+                                fleet_.crash_stall_prob);
     }
     const double mult = rng_.lognormal(0, fleet_.interval_sigma);
     double pps = std::clamp(base_pps_ * mult, 20.0, 150000.0);
@@ -97,6 +106,8 @@ class HypervisorSim {
     const double churn_rate = storm_on ? fleet_.storm_churn : churn_;
 
     const auto dp0 = sw_->backend().stats();
+    const uint64_t crashes0 = sw_->counters().userspace_crashes;
+    const uint64_t blackout0 = sw_->counters().reconcile_blackout_cycles;
     const uint64_t dropped0 = sw_->counters().upcalls_dropped;
     const uint64_t fails0 = sw_->counters().install_fails;
     const double user0 = sw_->cpu().user_cycles;
@@ -142,6 +153,10 @@ class HypervisorSim {
       flow_samples_.add(static_cast<double>(sw_->backend().flow_count()));
     }
 
+    // Periodic background invariant self-check (DESIGN.md §9): sweep the
+    // datapath at the interval boundary and quarantine any violators.
+    if (fleet_.self_check) sw_->self_check();
+
     const auto dp1 = sw_->backend().stats();
     // Charge the end-to-end userspace cost of the interval's flow setups
     // (see FleetConfig::flow_setup_user_cycles) before reading CPU deltas.
@@ -158,6 +173,12 @@ class HypervisorSim {
     out.outlier = outlier_;
     out.stormy = storm_on;
     out.faulted = fault_on;
+    // An interval is "crashed" if the daemon died in it, reconciliation
+    // charged blackout in it, or it ends still not serving.
+    out.crashed = sw_->counters().userspace_crashes != crashes0 ||
+                  sw_->counters().reconcile_blackout_cycles != blackout0 ||
+                  sw_->lifecycle() != LifecycleState::kServing;
+    out.quarantined = sw_->counters().flows_quarantined;
     out.offered_pps = pps;
     out.install_fails = sw_->counters().install_fails - fails0;
     out.drop_pps =
@@ -231,6 +252,7 @@ class HypervisorSim {
   bool outlier_;
   bool stormy_ = false;
   bool faulted_ = false;
+  bool crashed_ = false;  // on this hypervisor's rack crash schedule
   std::unique_ptr<FaultInjector> fault_;  // created only for faulted racks
   std::unique_ptr<Switch> sw_;
   NvpTopology topo_;
@@ -276,6 +298,18 @@ FleetResults run_fleet(const FleetConfig& cfg) {
                                        static_cast<double>(n_racks)));
   const size_t first_fault_rack = (n_racks - std::min(n_fault_racks,
                                                       n_racks)) / 2;
+  // Crashed racks sit immediately left of the faulted band (disjoint from
+  // it, and from outliers/storms at the id-range extremes in any fleet
+  // large enough to hold all four populations).
+  const size_t n_crash_racks =
+      cfg.crash_rack_fraction <= 0
+          ? 0
+          : std::max<size_t>(
+                1, static_cast<size_t>(cfg.crash_rack_fraction *
+                                       static_cast<double>(n_racks)));
+  const size_t first_crash_rack =
+      first_fault_rack >= n_crash_racks ? first_fault_rack - n_crash_racks
+                                        : 0;
   for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
     const bool outlier = hv < n_outliers;
     // Stormed hypervisors are drawn from the top of the id range so the
@@ -284,7 +318,9 @@ FleetResults run_fleet(const FleetConfig& cfg) {
     const size_t rack = hv / rack_size;
     const bool faulted = rack >= first_fault_rack &&
                          rack < first_fault_rack + n_fault_racks;
-    HypervisorSim sim(cfg, master, outlier, stormy, faulted);
+    const bool crashed = rack >= first_crash_rack &&
+                         rack < first_crash_rack + n_crash_racks;
+    HypervisorSim sim(cfg, master, outlier, stormy, faulted, crashed);
     for (size_t i = 0; i < cfg.n_intervals; ++i)
       results.intervals.push_back(sim.run_interval(hv, i));
     results.hypervisors.push_back(sim.summary());

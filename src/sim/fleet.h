@@ -77,6 +77,20 @@ struct FleetConfig {
   double fault_upcall_drop_prob = 0.0;   // lost-upcall prob while faulted
   uint64_t fault_seed = 7;
 
+  // Crash schedules (DESIGN.md §9), also rack-correlated: every hypervisor
+  // in a crashed rack loses its vswitchd at `crash_interval` (a bad daemon
+  // rollout hitting one rack at a time) and reconciles on the next
+  // maintenance tick while the datapath keeps serving its cache. Crashed
+  // racks sit immediately left of the faulted band so all four populations
+  // (outliers, storms, faults, crashes) stay disjoint.
+  double crash_rack_fraction = 0.0;  // fraction of racks crashed (0 = off)
+  size_t crash_interval = 0;         // interval whose maintenance tick crashes
+  double crash_stall_prob = 0.0;     // kReconcileStall prob during recovery
+  // Run the megaflow invariant self-check at every interval boundary and
+  // quarantine violators (periodic background self-check; the
+  // post-reconciliation gate inside Switch::restart() runs regardless).
+  bool self_check = false;
+
   // Userspace housekeeping charged per simulated second (stats polling once
   // per second, §6, plus fixed daemon overhead).
   double daemon_fixed_cycles_per_sec = 2.5e7;
@@ -93,6 +107,7 @@ struct FleetInterval {
   bool outlier = false;
   bool stormy = false;       // adversarial churn active this interval
   bool faulted = false;      // rack fault schedule active this interval
+  bool crashed = false;      // userspace crash/reconcile touched this interval
   double offered_pps = 0;
   double hit_rate = 0;       // (EMC + megaflow hits) / packets
   double hit_pps = 0;
@@ -103,6 +118,7 @@ struct FleetInterval {
   uint64_t flows = 0;        // datapath flow count at interval end
   uint64_t flow_limit_backoffs = 0;  // cumulative AIMD reductions
   uint64_t install_fails = 0;        // failed cache installs this interval
+  uint64_t quarantined = 0;          // flows removed by self-check (cumulative)
 };
 
 struct FleetHypervisor {

@@ -42,6 +42,8 @@ enum class FaultPoint : uint8_t {
   kEntryCorrupt,       // an installed entry's actions are scrambled
   kEntryExpire,        // an installed entry's used time is zeroed
   kRevalidatorStall,   // a revalidation pass blocks past its deadline
+  kUserspaceCrash,     // vswitchd dies; datapath keeps serving its cache
+  kReconcileStall,     // restart reconciliation blocks for one round
   kNumPoints
 };
 
@@ -57,6 +59,8 @@ inline const char* fault_point_name(FaultPoint p) noexcept {
     case FaultPoint::kEntryCorrupt: return "entry_corrupt";
     case FaultPoint::kEntryExpire: return "entry_expire";
     case FaultPoint::kRevalidatorStall: return "revalidator_stall";
+    case FaultPoint::kUserspaceCrash: return "userspace_crash";
+    case FaultPoint::kReconcileStall: return "reconcile_stall";
     default: return "?";
   }
 }

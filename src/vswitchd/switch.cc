@@ -21,6 +21,13 @@ Switch::Switch(SwitchConfig cfg)
   // sharded backend the sink runs under its upcall lock, so concurrent
   // worker flushes are serialized before touching the queue.
   be_->set_upcall_sink([this](Packet&& pkt) {
+    // A crashed/reconciling daemon has no upcall listener: the kernel keeps
+    // forwarding cached flows, but misses are refused until serving resumes
+    // (the blackout a restart causes for NEW flows, DESIGN.md §9).
+    if (state_ != LifecycleState::kServing) {
+      ++counters_.upcalls_dropped;
+      return false;
+    }
     if (queue_.enqueue(std::move(pkt))) return true;
     ++counters_.upcalls_dropped;
     return false;
@@ -307,6 +314,9 @@ void Switch::maybe_inject_entry_faults() {
 }
 
 size_t Switch::handle_upcalls(uint64_t now_ns, size_t max_upcalls) {
+  // A dead daemon handles nothing; whatever the kernel tried to deliver
+  // since the crash was already refused at the sink.
+  if (state_ != LifecycleState::kServing) return 0;
   const CostModel& m = cfg_.cost;
   process_retries(now_ns);
   size_t handled = 0;
@@ -396,6 +406,8 @@ void Switch::revalidate(uint64_t now_ns) {
       over_limit ? cfg_.overflow_idle_timeout_ns : cfg_.idle_timeout_ns;
 
   const uint64_t gen = pipeline_.generation();
+  const uint64_t tables_gen = pipeline_.tables_generation();
+  const uint64_t ports_gen = pipeline_.ports_generation();
   const bool maybe_stale =
       gen != pipeline_gen_at_last_reval_ || reval_force_full_;
   const uint64_t changed_tags = pipeline_.mac_learning().take_changed_tags();
@@ -409,10 +421,16 @@ void Switch::revalidate(uint64_t now_ns) {
   // kTags (historical): tags gate re-translation even when a full pass was
   // forced — its documented weakness. kTwoTier drops the fast path when a
   // full pass is forced (entry corruption bypasses the generation
-  // counters), so faulted entries are always repaired.
+  // counters), so faulted entries are always repaired; and because tags
+  // track only MAC bindings, it also drops it whenever the tables or ports
+  // generation moved — a rule or port change can invalidate flows whose
+  // tags never change, so only MAC-driven staleness may take the tier-1
+  // skip (the soundness condition behind making kTwoTier the default).
   rc.use_tags =
       cfg_.reval_mode == RevalidationMode::kTags ||
-      (cfg_.reval_mode == RevalidationMode::kTwoTier && !reval_force_full_);
+      (cfg_.reval_mode == RevalidationMode::kTwoTier && !reval_force_full_ &&
+       tables_gen == tables_gen_at_last_reval_ &&
+       ports_gen == ports_gen_at_last_reval_);
   rc.changed_tags = changed_tags;
   rc.reval_per_flow = m.reval_per_flow;
   rc.per_table_lookup = m.per_table_lookup;
@@ -479,6 +497,8 @@ void Switch::revalidate(uint64_t now_ns) {
     }
   }
   pipeline_gen_at_last_reval_ = gen;
+  tables_gen_at_last_reval_ = tables_gen;
+  ports_gen_at_last_reval_ = ports_gen;
   reval_force_full_ = false;
 
   // Hard eviction if still above the limit: oldest-used first, like
@@ -555,6 +575,172 @@ void Switch::refresh_attribution(DpBackend::FlowRef f, XlateResult&& xr) {
   at.captured_gen = pipeline_.tables_generation();
 }
 
+void Switch::adopt_attribution(DpBackend::FlowRef f, XlateResult&& xr) {
+  Attribution& at = attribution_[f];
+  at.rules = std::move(xr.matched_rules);
+  at.captured_gen = pipeline_.tables_generation();
+  // The rebuilt rules' statistics start from zero; pre-adoption traffic
+  // belongs to the previous daemon incarnation and must not be replayed.
+  at.pushed_packets = be_->flow_packets(f);
+  at.pushed_bytes = be_->flow_bytes(f);
+}
+
+void Switch::crash() {
+  if (state_ != LifecycleState::kServing) return;
+  // Durable config snapshot (the OVSDB role, §3.3): ports and OpenFlow
+  // rules survive the daemon. Everything else is process state.
+  saved_flows_ = dump_flows();
+  saved_ports_ = pipeline_.ports();
+  // Fold in-flight slow-path work into the loss counters so the
+  // upcall/install ledgers still balance across the crash: queued upcalls
+  // were never handled (they are drops), pending retries are abandoned.
+  counters_.retry_abandoned += retry_q_.size();
+  retry_q_.clear();
+  while (true) {
+    const std::vector<Packet> lost = queue_.take(256);
+    if (lost.empty()) break;
+    counters_.upcalls_dropped += lost.size();
+  }
+  // Tear down userspace: fresh pipeline (tables rebuilt from config on
+  // restart), no attribution, degradation detectors back to defaults. The
+  // EMC insertion knob is kernel state the dead daemon had set — a restart
+  // restores the configured policy, like a fresh daemon would.
+  pipeline_ = Pipeline(cfg_.n_tables, cfg_.classifier);
+  attribution_.clear();
+  limit_scale_ = 1.0;
+  effective_limit_ = cfg_.flow_limit;
+  emc_degraded_ = false;
+  be_->set_emc_insert_inv_prob(cfg_.datapath.emc_insert_inv_prob);
+  const Datapath::Stats s = be_->stats();
+  emc_attempts_seen_ = s.emc_inserts + s.emc_insert_skips;
+  emc_hits_seen_ = s.microflow_hits;
+  reval_force_full_ = false;
+  pipeline_gen_at_last_reval_ = 0;
+  tables_gen_at_last_reval_ = 0;
+  ports_gen_at_last_reval_ = 0;
+  last_pass_ = RevalPassStats{};
+  ++counters_.userspace_crashes;
+  state_ = LifecycleState::kCrashed;
+}
+
+bool Switch::restart(uint64_t now_ns) {
+  if (state_ == LifecycleState::kServing) return true;
+  const CostModel& m = cfg_.cost;
+  double blackout_cycles = 0;
+
+  if (state_ == LifecycleState::kCrashed) {
+    // Daemon re-exec: OpenFlow state rebuilt from the durable snapshot.
+    blackout_cycles += m.restart_fixed;
+    for (uint32_t p : saved_ports_) pipeline_.add_port(p);
+    for (const std::string& f : saved_flows_) add_flow(f, now_ns);
+    state_ = LifecycleState::kReconciling;
+  }
+
+  if (fault_ != nullptr && fault_->should_fire(FaultPoint::kReconcileStall)) {
+    // Reconciliation blocked for a round (datapath dump timed out, say):
+    // the blackout extends, the surviving cache keeps forwarding, and the
+    // next maintenance round tries again.
+    cpu_.user_cycles +=
+        2.0 * (static_cast<double>(cfg_.max_revalidation_ns) / 1e9) *
+        (m.ghz * 1e9);
+    counters_.reconcile_blackout_cycles += static_cast<uint64_t>(
+        2.0 * (static_cast<double>(cfg_.max_revalidation_ns) / 1e9) *
+        (m.ghz * 1e9));
+    ++counters_.reconcile_stalls;
+    return false;
+  }
+
+  // Reconciliation pass (§9): forced-full plan over the surviving cache —
+  // the crash-time tags died with the daemon, so every flow re-translates
+  // against the rebuilt tables. Plan parallelizes across revalidator
+  // threads; the apply below is serial in dump order, which is what makes
+  // the outcome independent of the thread count and the backend.
+  force_full_revalidation();
+  Revalidator::Config rc;
+  rc.n_threads = std::max<size_t>(1, cfg_.revalidator_threads);
+  rc.idle_ns = cfg_.idle_timeout_ns;
+  rc.maybe_stale = true;
+  rc.use_tags = false;
+  rc.changed_tags = 0;
+  rc.reval_per_flow = m.reval_per_flow;
+  rc.per_table_lookup = m.per_table_lookup;
+
+  const std::vector<DpBackend::FlowRef> flows = be_->dump();
+  last_pass_ = Revalidator::plan(*be_, pipeline_, flows, now_ns, rc,
+                                 &decisions_);
+  counters_.reval_flows_examined += last_pass_.examined;
+  const double sync_cycles =
+      last_pass_.threads_used > 1
+          ? m.reval_thread_sync * static_cast<double>(last_pass_.threads_used)
+          : 0.0;
+  blackout_cycles += last_pass_.total_cycles + sync_cycles;
+
+  for (size_t i = 0; i < flows.size(); ++i) {
+    DpBackend::FlowRef f = flows[i];
+    RevalDecision& d = decisions_[i];
+    switch (d.kind) {
+      case RevalDecision::Kind::kDeleteIdle:
+        // Sat idle through the blackout; no attribution exists yet.
+        be_->remove(f);
+        ++counters_.reval_deleted_idle;
+        break;
+      case RevalDecision::Kind::kSkipClean:
+      case RevalDecision::Kind::kSkipTags:
+        break;  // unreachable: maybe_stale && !use_tags
+      case RevalDecision::Kind::kKeepFresh:
+        be_->set_flow_tags(f, d.xr.tags);
+        adopt_attribution(f, std::move(d.xr));
+        ++counters_.flows_adopted;
+        break;
+      case RevalDecision::Kind::kUpdateActions: {
+        DpActions fresh = d.xr.actions;
+        be_->update_actions(f, std::move(fresh));
+        be_->set_flow_tags(f, d.xr.tags);
+        adopt_attribution(f, std::move(d.xr));
+        ++counters_.flows_repaired;
+        break;
+      }
+      case RevalDecision::Kind::kDeleteStale:
+        be_->remove(f);
+        ++counters_.reval_deleted_stale;
+        break;
+    }
+  }
+  be_->purge_dead();
+
+  // Post-reconciliation gate: only a cache that passes the megaflow
+  // invariants may serve installs again; anything still violating after
+  // the full re-translation is quarantined rather than left to misdeliver.
+  // (self_check charges its own cpu cycles; fold them into the blackout
+  // tally without charging twice.)
+  const DpCheckReport gate = self_check();
+  counters_.reconcile_blackout_cycles += static_cast<uint64_t>(
+      m.dp_check_per_flow * static_cast<double>(gate.flows_checked));
+
+  pipeline_gen_at_last_reval_ = pipeline_.generation();
+  tables_gen_at_last_reval_ = pipeline_.tables_generation();
+  ports_gen_at_last_reval_ = pipeline_.ports_generation();
+  reval_force_full_ = false;
+  cpu_.user_cycles += blackout_cycles;
+  counters_.reconcile_blackout_cycles +=
+      static_cast<uint64_t>(blackout_cycles);
+  state_ = LifecycleState::kServing;
+  return true;
+}
+
+DpCheckReport Switch::self_check() {
+  DpCheckReport rep = run_dp_check(*be_);
+  cpu_.user_cycles +=
+      cfg_.cost.dp_check_per_flow * static_cast<double>(rep.flows_checked);
+  for (DpBackend::FlowRef f : rep.quarantine) {
+    attribution_.erase(f);
+    be_->remove(f);
+    ++counters_.flows_quarantined;
+  }
+  if (!rep.quarantine.empty()) be_->purge_dead();
+  return rep;
+}
+
 void Switch::push_flow_stats(DpBackend::FlowRef f, uint64_t now_ns) {
   auto it = attribution_.find(f);
   if (it == attribution_.end()) return;
@@ -576,6 +762,19 @@ void Switch::push_flow_stats(DpBackend::FlowRef f, uint64_t now_ns) {
 }
 
 void Switch::run_maintenance(uint64_t now_ns) {
+  // A downed daemon's only maintenance is coming back up; the blackout for
+  // new flows lasts until a restart round completes (an injected
+  // kReconcileStall can stretch it across several).
+  if (state_ != LifecycleState::kServing) {
+    restart(now_ns);
+    return;
+  }
+  // The daemon can die between any two maintenance rounds; the datapath
+  // keeps forwarding from its surviving cache until restart() reconciles.
+  if (fault_ != nullptr && fault_->should_fire(FaultPoint::kUserspaceCrash)) {
+    crash();
+    return;
+  }
   pipeline_.mac_learning().expire(now_ns);
   update_emc_policy();
   revalidate(now_ns);

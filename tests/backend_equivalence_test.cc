@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "datapath/dp_check.h"
 #include "sim/clock.h"
 #include "util/rng.h"
 #include "vswitchd/switch.h"
@@ -122,6 +123,10 @@ void drive_trace(Switch& sw, uint64_t seed, size_t n_pkts, size_t rx_batch) {
 
 void expect_equivalent(Switch& a, Switch& b) {
   EXPECT_EQ(canonical_flows(a), canonical_flows(b));
+  // Every replayed trace must also leave both caches invariant-clean
+  // (pairwise-disjoint megaflows, coherent EMC, conserved stats).
+  EXPECT_TRUE(run_dp_check(a.backend()).ok());
+  EXPECT_TRUE(run_dp_check(b.backend()).ok());
   EXPECT_EQ(a.backend().flow_count(), b.backend().flow_count());
   EXPECT_EQ(a.counters().flow_setups, b.counters().flow_setups);
   EXPECT_EQ(a.counters().setup_dups, b.counters().setup_dups);

@@ -41,12 +41,18 @@ Packet conn_packet(uint32_t port, uint32_t id) {
 void expect_accounting_invariants(const Switch& sw) {
   const Switch::Counters& c = sw.counters();
   // Every processed attempt (fresh or retry) installed, hit a dup, or
-  // failed.
+  // failed. Holds across a crash: crash() folds the queued upcalls into
+  // upcalls_dropped and the pending retries into retry_abandoned, so
+  // nothing leaves the ledger silently.
   EXPECT_EQ(c.upcalls_handled + c.upcalls_retried,
             c.flow_setups + c.setup_dups + c.install_fails);
   // Every failure was retried, is still pending, or was given up.
   EXPECT_EQ(c.install_fails,
             c.upcalls_retried + sw.retry_queue_depth() + c.retry_abandoned);
+  // Reconciliation verdicts only ever come from examined flows, and
+  // blackout cycles only from taken crashes.
+  EXPECT_LE(c.flows_adopted + c.flows_repaired, c.reval_flows_examined);
+  if (c.userspace_crashes == 0) EXPECT_EQ(c.reconcile_blackout_cycles, 0u);
 }
 
 // --- FaultInjector unit behavior -------------------------------------------
@@ -110,6 +116,11 @@ class FaultMatrixTest : public ::testing::TestWithParam<FaultPoint> {};
 TEST_P(FaultMatrixTest, ConvergesAfterFaultsStop) {
   FaultInjector fault(0xF00D + static_cast<uint64_t>(GetParam()));
   fault.set_probability(GetParam(), 0.3);
+  // kReconcileStall is only consulted while a restart is reconciling, so
+  // its matrix row needs a crash to reach that state: script one at the
+  // first maintenance round.
+  if (GetParam() == FaultPoint::kReconcileStall)
+    fault.script(FaultPoint::kUserspaceCrash, {0});
 
   SwitchConfig cfg;
   cfg.megaflows_enabled = false;  // one exact-match entry per connection
@@ -134,10 +145,16 @@ TEST_P(FaultMatrixTest, ConvergesAfterFaultsStop) {
   expect_accounting_invariants(sw);
 
   // Phase 2: faults stop. One maintenance round (repairs corruption,
-  // reaps expirations) plus one clean traffic round must converge.
+  // reaps expirations, completes any pending crash recovery) plus one
+  // clean traffic round must converge. A crash taken at the very last
+  // armed maintenance can leave the switch mid-recovery, so drive
+  // maintenance until it serves again (bounded: stalls are disarmed).
   fault.disarm_all();
   clock.advance(kSecond);
   sw.run_maintenance(clock.now());
+  for (int i = 0; i < 3 && sw.lifecycle() != LifecycleState::kServing; ++i)
+    sw.run_maintenance(clock.now());
+  ASSERT_EQ(sw.lifecycle(), LifecycleState::kServing);
   for (int round = 0; round < 3; ++round) {
     for (uint32_t i = 0; i < kConns; ++i)
       sw.inject(conn_packet(1, i), clock.now());
@@ -170,7 +187,9 @@ INSTANTIATE_TEST_SUITE_P(
                       FaultPoint::kInstallTableFull,
                       FaultPoint::kInstallTransient,
                       FaultPoint::kEntryCorrupt, FaultPoint::kEntryExpire,
-                      FaultPoint::kRevalidatorStall),
+                      FaultPoint::kRevalidatorStall,
+                      FaultPoint::kUserspaceCrash,
+                      FaultPoint::kReconcileStall),
     [](const ::testing::TestParamInfo<FaultPoint>& param_info) {
       return fault_point_name(param_info.param);
     });
@@ -197,9 +216,10 @@ TEST(FaultMatrixTest, ScenarioIsDeterministicFromSeed) {
     }
     const Switch::Counters& c = sw.counters();
     return std::vector<uint64_t>{
-        c.flow_setups,     c.setup_dups,     c.install_fails,
+        c.flow_setups,     c.setup_dups,      c.install_fails,
         c.upcalls_handled, c.upcalls_retried, c.retry_abandoned,
-        c.upcalls_dropped, c.reval_stalls,    sw.datapath().flow_count(),
+        c.upcalls_dropped, c.reval_stalls,    c.userspace_crashes,
+        c.flows_adopted,   c.reconcile_stalls, sw.datapath().flow_count(),
         fault.total_fired()};
   };
   EXPECT_EQ(run(), run());

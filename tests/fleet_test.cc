@@ -158,6 +158,54 @@ TEST(FleetTest, RackFaultScheduleIsCorrelatedAndWindowed) {
   }
 }
 
+TEST(FleetTest, CrashScheduleIsRackCorrelatedAndRecovers) {
+  FleetConfig cfg = tiny_config();
+  cfg.n_hypervisors = 12;
+  cfg.rack_size = 4;               // racks {0..3}, {4..7}, {8..11}
+  cfg.crash_rack_fraction = 0.34;  // 1 of 3 racks; with no faulted racks
+                                   // the band sits at rack 0 (hvs 0-3)
+  cfg.crash_interval = 1;
+  cfg.n_intervals = 5;
+  cfg.self_check = true;           // periodic invariant sweep stays clean
+  FleetResults r = run_fleet(cfg);
+
+  size_t crashed_hvs = 0;
+  for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
+    bool any_crashed = false;
+    for (const FleetInterval& iv : r.intervals) {
+      if (iv.hypervisor != hv) continue;
+      if (iv.crashed) {
+        any_crashed = true;
+        // Crash fires at crash_interval's maintenance; recovery completes
+        // within the following interval's maintenance ticks.
+        EXPECT_GE(iv.interval, cfg.crash_interval);
+        EXPECT_LE(iv.interval, cfg.crash_interval + 1);
+      }
+      // The background self-check never finds anything to quarantine in a
+      // healthy fleet, crash or not.
+      EXPECT_EQ(iv.quarantined, 0u);
+    }
+    crashed_hvs += any_crashed ? 1 : 0;
+    // The datapath cache survives the daemon crash, so hypervisors keep a
+    // non-trivial hit rate even in the blackout interval and serve flows
+    // again by the end of the run.
+    const FleetInterval& last = r.intervals[hv * cfg.n_intervals +
+                                            (cfg.n_intervals - 1)];
+    EXPECT_FALSE(last.crashed) << "hv " << hv << " still not serving";
+    EXPECT_GT(last.flows, 0u);
+  }
+  EXPECT_EQ(crashed_hvs, 4u);
+
+  // The whole crash-and-reconcile schedule replays bit-identically.
+  FleetResults r2 = run_fleet(cfg);
+  ASSERT_EQ(r.intervals.size(), r2.intervals.size());
+  for (size_t i = 0; i < r.intervals.size(); ++i) {
+    EXPECT_EQ(r.intervals[i].crashed, r2.intervals[i].crashed);
+    EXPECT_EQ(r.intervals[i].flows, r2.intervals[i].flows);
+    EXPECT_DOUBLE_EQ(r.intervals[i].hit_rate, r2.intervals[i].hit_rate);
+  }
+}
+
 TEST(FleetTest, MultiWorkerFleetMatchesCachingExpectations) {
   FleetConfig cfg = tiny_config();
   cfg.n_hypervisors = 4;
