@@ -1,0 +1,112 @@
+// Differential-fuzzing throughput bench: how many generated scenarios (and
+// scenario events) per second the harness sustains when replaying against
+// the full 8-configuration matrix. This is the number that sizes the
+// nightly deep-fuzz budget — seeds/minute on a CI core decides how much
+// state space a fixed wall-clock window actually covers — and a regression
+// here silently shrinks fuzz coverage even though every test stays green.
+//
+// Flags: --seeds=N --events=N --repeats=N --quick (single config, fewer
+// seeds: the CI smoke shape).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "testing/differential.h"
+#include "testing/scenario.h"
+
+namespace ovs {
+namespace {
+
+using benchutil::BenchReport;
+using benchutil::Flags;
+
+struct RunTotals {
+  double seconds = 0;
+  size_t scenarios = 0;
+  size_t events = 0;
+  size_t divergences = 0;
+};
+
+RunTotals run_sweep(size_t seeds, const fuzz::GeneratorConfig& gcfg,
+                    const std::vector<fuzz::DiffConfig>& cfgs) {
+  fuzz::DifferentialRunner runner;
+  RunTotals t;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    const fuzz::Scenario sc = fuzz::generate_scenario(seed, gcfg);
+    for (const fuzz::DiffConfig& cfg : cfgs) {
+      if (runner.run(sc, cfg)) ++t.divergences;
+      ++t.scenarios;
+      t.events += sc.events.size();
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  t.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return t;
+}
+
+int bench_main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const bool quick = flags.boolean("quick", false);
+  const size_t seeds =
+      std::max<uint64_t>(1, flags.u64("seeds", quick ? 10 : 100));
+  const size_t repeats = std::max<uint64_t>(1, flags.u64("repeats", 3));
+  fuzz::GeneratorConfig gcfg;
+  gcfg.n_events = std::max<uint64_t>(8, flags.u64("events", gcfg.n_events));
+
+  std::vector<fuzz::DiffConfig> cfgs = fuzz::standard_configs();
+  if (quick) cfgs.resize(1);
+
+  BenchReport report("fuzz_throughput");
+  std::printf("%-10s %-8s %14s %14s %12s\n", "seeds", "configs",
+              "scenarios/s", "events/s", "divergences");
+  benchutil::print_rule();
+
+  std::vector<double> scen_rates, event_rates;
+  size_t divergences = 0;
+  for (size_t r = 0; r < repeats; ++r) {
+    const RunTotals t = run_sweep(seeds, gcfg, cfgs);
+    scen_rates.push_back(static_cast<double>(t.scenarios) / t.seconds);
+    event_rates.push_back(static_cast<double>(t.events) / t.seconds);
+    divergences += t.divergences;
+  }
+  std::sort(scen_rates.begin(), scen_rates.end());
+  std::sort(event_rates.begin(), event_rates.end());
+  const double scen_med = scen_rates[scen_rates.size() / 2];
+  const double event_med = event_rates[event_rates.size() / 2];
+  std::printf("%-10zu %-8zu %14.1f %14.0f %12zu\n", seeds, cfgs.size(),
+              scen_med, event_med, divergences);
+
+  const std::map<std::string, std::string> params = {
+      {"seeds", std::to_string(seeds)},
+      {"configs", std::to_string(cfgs.size())},
+      {"events_per_scenario", std::to_string(gcfg.n_events)}};
+  report.add("scenario_runs_per_sec", scen_med, params, repeats);
+  report.add("events_per_sec", event_med, params, repeats);
+  report.add("divergences", static_cast<double>(divergences), params,
+             repeats);
+
+  benchutil::print_rule();
+  // The sweep is also a free acceptance check: sound configurations must
+  // not diverge, and a throughput bench that quietly tolerates divergences
+  // would report a meaningless (shrink-dominated) rate.
+  if (divergences != 0) {
+    std::printf("FAIL: %zu divergences in the benchmark sweep\n",
+                divergences);
+    report.write();
+    return 1;
+  }
+  std::printf("PASS: zero divergences; %.1f scenario-runs/s (median of %zu)\n",
+              scen_med, repeats);
+  report.write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ovs
+
+int main(int argc, char** argv) { return ovs::bench_main(argc, argv); }

@@ -168,6 +168,14 @@ int bench_main(int argc, char** argv) {
   static constexpr size_t kBatches[] = {1, 8, 32, 128};
 
   BenchReport report("mt_datapath");
+  // Always recorded, in both modes: consumers of BENCH_mt_datapath.json can
+  // tell from the JSON alone whether wall-clock rows (and the real-thread
+  // scaling gate) were measured on a host that could actually run the
+  // workers in parallel, without scraping stdout for the warning.
+  const unsigned detected_cores = std::thread::hardware_concurrency();
+  report.add("detected_cores", static_cast<double>(detected_cores),
+             {{"mode", real_mode ? "real" : "model"}});
+  std::printf("host cores detected: %u\n", detected_cores);
   std::printf("%-8s %-8s %12s %12s\n", "workers", "batch", "Mpps(model)",
               real_mode ? "Mpps(wall)" : "-");
   benchutil::print_rule();
@@ -230,7 +238,7 @@ int bench_main(int argc, char** argv) {
                 scaling_1_to_4, kMinModelScaling);
   }
   if (real_mode) {
-    const unsigned cores = std::thread::hardware_concurrency();
+    const unsigned cores = detected_cores;
     const double wall_scaling =
         mpps_wall[{4, 32}] / std::max(mpps_wall[{1, 32}], 1e-9);
     report.add("scaling_1_to_4_wall", wall_scaling,

@@ -307,7 +307,7 @@ void Datapath::process_batch(std::span<const Packet> pkts, uint64_t now_ns,
 }
 
 MegaflowEntry* Datapath::install(const Match& match, DpActions actions,
-                                 uint64_t now_ns) {
+                                 uint64_t now_ns, const FlowKey* full_key) {
   if (Rule* existing = mega_.find_exact(match, 0))
     return static_cast<MegaflowEntry*>(existing);
   if (fault_ != nullptr) {
@@ -326,6 +326,7 @@ MegaflowEntry* Datapath::install(const Match& match, DpActions actions,
   }
   auto owned = std::make_unique<MegaflowEntry>(match, std::move(actions));
   MegaflowEntry* e = owned.get();
+  e->full_key_ = full_key != nullptr ? *full_key : match.key;
   e->created_ns_ = now_ns;
   e->used_ns_ = now_ns;
   e->index_ = entries_.size();

@@ -43,6 +43,13 @@ class MegaflowEntry : public Rule {
   const DpActions& actions() const noexcept { return actions_; }
   void set_actions(DpActions a) noexcept { actions_ = std::move(a); }
 
+  // Full-fidelity key of the packet that created this flow (the udpif key in
+  // real OVS). match().key is pre-masked, so re-translating it is lossy:
+  // fields the stale mask wildcards read as zero and the classifier can
+  // reproduce the stale mask from its own artifact. Revalidation and restart
+  // reconciliation must translate this key instead.
+  const FlowKey& full_key() const noexcept { return full_key_; }
+
   uint64_t packets() const noexcept { return packets_; }
   uint64_t bytes() const noexcept { return bytes_; }
   uint64_t used_ns() const noexcept { return used_ns_; }
@@ -58,6 +65,7 @@ class MegaflowEntry : public Rule {
   friend class Datapath;
 
   DpActions actions_;
+  FlowKey full_key_;  // set at install; immutable afterwards
   size_t index_ = 0;  // position in Datapath::entries_ (swap-remove)
   uint64_t packets_ = 0;
   uint64_t bytes_ = 0;
@@ -154,8 +162,13 @@ class Datapath {
   // disjoint (§4.2). Returns nullptr when the install *fails*: the table is
   // at cfg.max_flows, or an injected table-full/transient fault fired —
   // callers must treat the miss as unresolved (retry or drop).
+  // full_key, when given, is the unmasked key of the packet that triggered
+  // the install; it is stored on the entry for full-fidelity revalidation.
+  // Defaults to match.key (already masked) for callers that install
+  // synthetic flows directly.
   MegaflowEntry* install(const Match& match, DpActions actions,
-                         uint64_t now_ns);
+                         uint64_t now_ns,
+                         const FlowKey* full_key = nullptr);
 
   // Removes a flow; the entry stays valid until purge_dead().
   void remove(MegaflowEntry* entry);

@@ -48,8 +48,11 @@ class DpBackend {
   // nullptr on failure (table full / transient fault); an existing entry on
   // a duplicate masked key. Callers distinguish a fresh install from a dup
   // by watching flow_count().
+  // full_key, when given, is the unmasked key of the packet that triggered
+  // the install; defaults to match.key (masked) for synthetic installs.
   virtual FlowRef install(const Match& match, DpActions actions,
-                          uint64_t now_ns) = 0;
+                          uint64_t now_ns,
+                          const FlowKey* full_key = nullptr) = 0;
   virtual void remove(FlowRef flow) = 0;
   virtual void update_actions(FlowRef flow, DpActions actions) = 0;
   virtual void credit_packet(FlowRef flow, const Packet& pkt,
@@ -62,6 +65,11 @@ class DpBackend {
   // --- Per-flow accessors --------------------------------------------------
 
   virtual const Match& flow_match(FlowRef flow) const = 0;
+  // Full-fidelity install-time key (the udpif key): what revalidation and
+  // restart reconciliation must re-translate. flow_match(f).key is
+  // pre-masked, and translating a masked key can reproduce the entry's own
+  // stale mask, keeping over-broad flows alive forever.
+  virtual const FlowKey& flow_full_key(FlowRef flow) const = 0;
   // The returned reference is valid until the flow's next update_actions /
   // purge_dead (sharded: RCU — also safe against concurrent swaps, readers
   // keep the list they loaded until the next grace period).
@@ -120,9 +128,9 @@ class SingleDpBackend final : public DpBackend {
     dp_.process_batch(pkts, now_ns, results, summary);
   }
 
-  FlowRef install(const Match& match, DpActions actions,
-                  uint64_t now_ns) override {
-    return dp_.install(match, std::move(actions), now_ns);
+  FlowRef install(const Match& match, DpActions actions, uint64_t now_ns,
+                  const FlowKey* full_key = nullptr) override {
+    return dp_.install(match, std::move(actions), now_ns, full_key);
   }
   void remove(FlowRef flow) override { dp_.remove(as(flow)); }
   void update_actions(FlowRef flow, DpActions actions) override {
@@ -139,6 +147,9 @@ class SingleDpBackend final : public DpBackend {
 
   const Match& flow_match(FlowRef flow) const override {
     return as(flow)->match();
+  }
+  const FlowKey& flow_full_key(FlowRef flow) const override {
+    return as(flow)->full_key();
   }
   const DpActions& flow_actions(FlowRef flow) const override {
     return as(flow)->actions();
@@ -213,9 +224,9 @@ class MtDpBackend final : public DpBackend {
                      Datapath::RxResult* results,
                      Datapath::BatchSummary* summary) override;
 
-  FlowRef install(const Match& match, DpActions actions,
-                  uint64_t now_ns) override {
-    return dp_.install(match, std::move(actions), now_ns);
+  FlowRef install(const Match& match, DpActions actions, uint64_t now_ns,
+                  const FlowKey* full_key = nullptr) override {
+    return dp_.install(match, std::move(actions), now_ns, full_key);
   }
   void remove(FlowRef flow) override { dp_.remove(as(flow)); }
   void update_actions(FlowRef flow, DpActions actions) override {
@@ -232,6 +243,9 @@ class MtDpBackend final : public DpBackend {
 
   const Match& flow_match(FlowRef flow) const override {
     return as(flow)->match();
+  }
+  const FlowKey& flow_full_key(FlowRef flow) const override {
+    return as(flow)->full_key();
   }
   const DpActions& flow_actions(FlowRef flow) const override {
     return *as(flow)->actions();

@@ -333,7 +333,8 @@ ShardedDatapath::MtTuple* ShardedDatapath::writer_find_tuple(
 }
 
 MtMegaflow* ShardedDatapath::install(const Match& match, DpActions actions,
-                                     uint64_t now_ns) {
+                                     uint64_t now_ns,
+                                     const FlowKey* full_key) {
   Match m = match;
   m.normalize();
   if (fault_ != nullptr) {
@@ -367,6 +368,7 @@ MtMegaflow* ShardedDatapath::install(const Match& match, DpActions actions,
 
   auto owned = std::unique_ptr<MtMegaflow>(new MtMegaflow(m));
   MtMegaflow* e = owned.get();
+  e->full_key_ = full_key != nullptr ? *full_key : m.key;
   e->actions_.store(new DpActions(std::move(actions)),
                     std::memory_order_relaxed);
   e->created_ns_ = now_ns;

@@ -52,6 +52,10 @@ class ShardedDatapath;
 class MtMegaflow {
  public:
   const Match& match() const noexcept { return match_; }
+  // Full-fidelity key of the packet that created this flow (the udpif key
+  // in real OVS); written before publication, immutable afterwards.
+  // match().key is pre-masked and lossy to re-translate.
+  const FlowKey& full_key() const noexcept { return full_key_; }
   const DpActions* actions() const noexcept {
     return actions_.load(std::memory_order_acquire);
   }
@@ -89,6 +93,7 @@ class MtMegaflow {
   }
 
   const Match match_;
+  FlowKey full_key_;  // set by the writer before the publication point
   std::atomic<const DpActions*> actions_{nullptr};
   std::atomic<MtMegaflow*> hash_next_{nullptr};  // same-tuple hash collision
   std::atomic<uint64_t> packets_{0};
@@ -146,7 +151,11 @@ class ShardedDatapath {
   // Installs a flow; returns the existing entry on a duplicate masked key
   // (userspace keeps megaflows disjoint, §4.2) and nullptr if the tuple
   // directory is full.
-  MtMegaflow* install(const Match& match, DpActions actions, uint64_t now_ns);
+  // full_key, when given, is the unmasked key of the packet that triggered
+  // the install (stored for full-fidelity revalidation); defaults to the
+  // already-masked match.key for direct/synthetic installs.
+  MtMegaflow* install(const Match& match, DpActions actions, uint64_t now_ns,
+                      const FlowKey* full_key = nullptr);
 
   // Marks dead, unlinks, and parks the entry; freed by purge_dead().
   void remove(MtMegaflow* entry);

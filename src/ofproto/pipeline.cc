@@ -255,4 +255,12 @@ XlateResult Pipeline::translate(const FlowKey& pkt, uint64_t now_ns,
   return res;
 }
 
+XlateResult Pipeline::evaluate(const FlowKey& pkt, uint64_t now_ns) const {
+  // With side_effects=false translation is read-only (the revalidator's
+  // parallel plan phase depends on exactly this), so the cast never lets a
+  // mutation through.
+  return const_cast<Pipeline*>(this)->translate(pkt, now_ns,
+                                                /*side_effects=*/false);
+}
+
 }  // namespace ovs

@@ -71,6 +71,14 @@ class Pipeline {
   XlateResult translate(const FlowKey& pkt, uint64_t now_ns,
                         bool side_effects = true);
 
+  // Side-effect-free single-packet evaluation: what would this pipeline do
+  // with `pkt` right now? Exactly translate(pkt, now_ns, side_effects=false)
+  // — classifier, MAC and conntrack lookups only, no learning and no
+  // commits — packaged as a const entry point so model-based oracles (the
+  // differential fuzz harness's OracleSwitch, src/testing/) can evaluate
+  // against a pipeline they hold by const reference.
+  XlateResult evaluate(const FlowKey& pkt, uint64_t now_ns) const;
+
   // Total flows across all tables.
   size_t flow_count() const noexcept;
 

@@ -23,4 +23,36 @@ class VirtualClock {
   uint64_t now_ns_ = 0;
 };
 
+// Stepping policy for deterministic replay harnesses: a VirtualClock plus
+// the fixed quanta a replay advances by. Injected into the differential
+// fuzz runner (src/testing/differential.h) so tests control the time
+// structure of a replay — how far apart packets land, and how long a
+// revalidation tick is — instead of the runner hard-coding timing.
+class ReplayClock {
+ public:
+  struct Quanta {
+    uint64_t per_event_ns = 50 * kMicrosecond;  // between replayed events
+    uint64_t per_tick_ns = kSecond;             // a maintenance/reval tick
+  };
+
+  ReplayClock() noexcept = default;
+  explicit ReplayClock(Quanta q) noexcept : q_(q) {}
+
+  uint64_t now() const noexcept { return clock_.now(); }
+  uint64_t step_event() noexcept {
+    clock_.advance(q_.per_event_ns);
+    return clock_.now();
+  }
+  uint64_t step_tick() noexcept {
+    clock_.advance(q_.per_tick_ns);
+    return clock_.now();
+  }
+  void advance(uint64_t ns) noexcept { clock_.advance(ns); }
+  const Quanta& quanta() const noexcept { return q_; }
+
+ private:
+  Quanta q_;
+  VirtualClock clock_;
+};
+
 }  // namespace ovs

@@ -1,0 +1,95 @@
+// Seeded scenario generation for the differential fuzz harness.
+//
+// A Scenario is a deterministic interleaving of every seam the switch
+// composes: packets, flow-table mutations, port churn, fault-injector
+// window arms, userspace crashes, and revalidation ticks. The generator is
+// a pure function of (seed, config) — the same seed always yields the same
+// event list — and every scenario round-trips through a line-oriented text
+// format so minimized reproducers can live in tests/corpus/ and replay as
+// ordinary ctest cases.
+//
+// Generated rules deliberately avoid NORMAL and ct() actions: with only
+// explicit output / set_field / tunnel / controller / drop / resubmit
+// actions, translation is a pure function of the flow tables, which is what
+// lets the OracleSwitch predict every packet's fate from the mutation log
+// alone (see oracle_switch.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "packet/packet.h"
+#include "util/fault.h"
+
+namespace ovs::fuzz {
+
+struct FuzzEvent {
+  enum class Kind : uint8_t {
+    kPacket,       // inject one packet (pkt)
+    kAddFlow,      // ovs-ofctl add-flow text (text)
+    kDelFlows,     // loose-match delete spec (text; may be empty)
+    kAddPort,      // (port)
+    kRemovePort,   // (port)
+    kRevalTick,    // advance one tick and run maintenance
+    kAdvanceTime,  // advance the replay clock by dt_ns
+    kFaultWindow,  // arm `fault` for the next `fault_count` occurrences
+    kCrash,        // kill the userspace daemon (datapath survives)
+  };
+
+  Kind kind = Kind::kPacket;
+  Packet pkt;             // kPacket
+  std::string text;       // kAddFlow / kDelFlows
+  uint32_t port = 0;      // kAddPort / kRemovePort
+  uint64_t dt_ns = 0;     // kAdvanceTime
+  FaultPoint fault = FaultPoint::kUpcallDrop;  // kFaultWindow
+  uint32_t fault_count = 0;                    // kFaultWindow
+
+  std::string to_line() const;
+  // Parses one serialized line; returns false (and leaves *out untouched)
+  // on malformed input.
+  static bool from_line(const std::string& line, FuzzEvent* out);
+};
+
+struct Scenario {
+  uint64_t seed = 0;
+  std::vector<FuzzEvent> events;
+
+  // True when any event can make packet outcomes config-dependent (fault
+  // windows, crashes): the runner then accepts dropped/duplicated traces.
+  bool has_faults() const;
+  // Fault windows only; crashes fully converge by restart + reconcile, so a
+  // crash-only scenario still gets strict end-of-run probe checking.
+  bool has_fault_windows() const;
+  bool has_crashes() const;
+  size_t packet_count() const;
+
+  // One event per line, '#' comments, leading "seed N". deserialize() is
+  // the exact inverse of serialize() and also accepts hand-edited files.
+  std::string serialize() const;
+  static bool deserialize(const std::string& text, Scenario* out);
+};
+
+// Event-mix weights (normalized internally; relative magnitudes matter).
+struct GeneratorWeights {
+  double packet = 0.70;
+  double add_flow = 0.06;     // includes reroutes shadowing earlier rules
+  double del_flows = 0.02;
+  double port_churn = 0.03;
+  double reval_tick = 0.09;
+  double advance = 0.05;
+  double fault = 0.04;
+  double crash = 0.01;
+};
+
+struct GeneratorConfig {
+  size_t n_events = 120;  // after the fixed port/rule prologue
+  size_t n_ports = 6;
+  size_t n_conns = 24;    // connection pool the packet events draw from
+  GeneratorWeights weights;
+};
+
+// Deterministic: generate_scenario(s, c) is a pure function of (s, c).
+Scenario generate_scenario(uint64_t seed, const GeneratorConfig& cfg = {});
+
+}  // namespace ovs::fuzz

@@ -44,15 +44,37 @@ PartStats plan_range(DpBackend& be, Pipeline& pl,
       ++ps.skipped_by_tags;
       continue;
     }
-    // Tier 2: full re-translation through the current tables.
+    // Tier 2: full re-translation through the current tables. Translate
+    // the full-fidelity install-time key, not flow_match(f).key: the
+    // latter is pre-masked, and a masked key can re-derive the entry's own
+    // stale mask (fields the mask wildcards read as zero, steering the
+    // classifier's prefix cuts the same wrong way), turning a stale
+    // over-broad flow into a kKeepFresh fixed point that overlaps fresher
+    // disjoint entries.
     XlateResult xr =
-        pl.translate(be.flow_match(f).key, now_ns, /*side_effects=*/false);
+        pl.translate(be.flow_full_key(f), now_ns, /*side_effects=*/false);
     ps.cycles += cfg.per_table_lookup * xr.table_lookups;
     ++ps.retranslated;
-    if (xr.actions == be.flow_actions(f)) {
+    // The installed mask must match every field the fresh translation
+    // consulted; an entry broader than that (extra wildcards, in OVS
+    // terms) swallows packets the current tables would treat differently
+    // — even when the actions for this witness key still agree. E.g. a
+    // drop megaflow installed against an empty table matches everything
+    // on its port; once a rule exists, re-translating its witness packet
+    // still yields drop, but the fresh mask now pins the fields that
+    // prove the miss.
+    const FlowMask& inst_mask = be.flow_match(f).mask;
+    bool covers = true;
+    for (size_t w = 0; w < kFlowWords; ++w) {
+      if ((xr.megaflow.mask.w[w] & ~inst_mask.w[w]) != 0) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers && xr.actions == be.flow_actions(f)) {
       d.kind = RevalDecision::Kind::kKeepFresh;
       d.xr = std::move(xr);
-    } else if (xr.megaflow.mask == be.flow_match(f).mask) {
+    } else if (xr.megaflow.mask == inst_mask) {
       d.kind = RevalDecision::Kind::kUpdateActions;
       d.xr = std::move(xr);
     } else {

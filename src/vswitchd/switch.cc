@@ -187,6 +187,11 @@ size_t Switch::inject_batch(std::span<const Packet> pkts, uint64_t now_ns) {
                         m.per_tuple * sum.tuples_searched +
                         m.miss_kernel * sum.misses;
 
+  if (trace_) {
+    for (size_t i = 0; i < pkts.size(); ++i)
+      if (results_[i].actions != nullptr)
+        trace_(pkts[i], *results_[i].actions, results_[i].path);
+  }
   execute_actions_batch(pkts, results_.data());
   return sum.misses;
 }
@@ -210,7 +215,10 @@ Datapath::Path Switch::inject(const Packet& pkt, uint64_t now_ns) {
   }
   cpu_.kernel_cycles += cycles;
 
-  if (rx.actions != nullptr) execute_actions(*rx.actions, pkt);
+  if (rx.actions != nullptr) {
+    if (trace_) trace_(pkt, *rx.actions, rx.path);
+    execute_actions(*rx.actions, pkt);
+  }
   return rx.path;
 }
 
@@ -227,7 +235,7 @@ Switch::InstallResult Switch::install_from_xlate(const XlateResult& xr,
     match.key = pkt.key;
   }
   const size_t before = be_->flow_count();
-  DpBackend::FlowRef e = be_->install(match, xr.actions, now_ns);
+  DpBackend::FlowRef e = be_->install(match, xr.actions, now_ns, &pkt.key);
   if (e == nullptr) {
     // Kernel refused the flow (table full, transient fault). The miss
     // packet was still forwarded by userspace; only the cache entry is
@@ -338,6 +346,7 @@ size_t Switch::handle_upcalls(uint64_t now_ns, size_t max_upcalls) {
       if (res == InstallResult::kInstalled) ++ps.installs;
       if (res == InstallResult::kFailed) schedule_retry(pkt, now_ns, 0);
       // The queued packet itself is now forwarded.
+      if (trace_) trace_(pkt, xr.actions, Datapath::Path::kMiss);
       execute_actions(xr.actions, pkt);
       ++handled;
       ++counters_.upcalls_handled;

@@ -206,6 +206,16 @@ class Switch {
   using OutputFn = std::function<void(uint32_t port, const Packet&)>;
   void set_output_handler(OutputFn fn) { output_ = std::move(fn); }
 
+  // Deterministic trace hook: fires exactly once per packet at the moment
+  // its forwarding fate is decided — on a cache hit with the cached entry's
+  // actions, or when its upcall is handled with the freshly translated
+  // actions (path == kMiss). Refused upcalls (queue full, daemon down) and
+  // fault-dropped upcalls produce no trace. The differential fuzz harness
+  // (src/testing/) diffs these per-packet traces against its oracle.
+  using TraceFn = std::function<void(const Packet&, const DpActions&,
+                                     Datapath::Path)>;
+  void set_trace_hook(TraceFn fn) { trace_ = std::move(fn); }
+
   // --- Packet path ---------------------------------------------------------
 
   // Processes one received packet. Cache hits execute immediately; misses
@@ -334,6 +344,9 @@ class Switch {
 
   size_t upcall_queue_depth() const noexcept { return queue_.depth(); }
   size_t retry_queue_depth() const noexcept { return retry_q_.size(); }
+  // Live per-megaflow attribution records; every entry must reference an
+  // installed flow (leak oracle for crash/reval interleavings).
+  size_t attribution_count() const noexcept { return attribution_.size(); }
   const FairUpcallQueue& upcall_queue() const noexcept { return queue_; }
 
   // Slow-path service received per ingress port (the fairness metric).
@@ -394,6 +407,7 @@ class Switch {
   std::unique_ptr<DpBackend> be_;
   std::unordered_map<DpBackend::FlowRef, Attribution> attribution_;
   OutputFn output_;
+  TraceFn trace_;
   Counters counters_;
   std::unordered_map<uint32_t, PortStats> port_stats_;
   CpuAccounting cpu_;

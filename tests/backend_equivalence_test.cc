@@ -6,42 +6,20 @@
 // (EMC shard vs shared megaflow table) may differ between backends.
 #include <gtest/gtest.h>
 
-#include <set>
 #include <string>
 #include <vector>
 
 #include "datapath/dp_check.h"
 #include "sim/clock.h"
+#include "test_util.h"
 #include "util/rng.h"
 #include "vswitchd/switch.h"
 
 namespace ovs {
 namespace {
 
-Packet tcp_pkt(uint32_t in_port, Ipv4 src, Ipv4 dst, uint16_t sport,
-               uint16_t dport) {
-  Packet p;
-  p.key.set_in_port(in_port);
-  p.key.set_eth_src(EthAddr(0, 0, 0, 0, 0, static_cast<uint8_t>(in_port)));
-  p.key.set_eth_dst(EthAddr(0, 0, 0, 0, 0, 0x99));
-  p.key.set_eth_type(ethertype::kIpv4);
-  p.key.set_nw_proto(ipproto::kTcp);
-  p.key.set_nw_src(src);
-  p.key.set_nw_dst(dst);
-  p.key.set_tp_src(sport);
-  p.key.set_tp_dst(dport);
-  p.size_bytes = 100;
-  return p;
-}
-
-std::multiset<std::string> canonical_flows(Switch& sw) {
-  std::multiset<std::string> out;
-  DpBackend& be = sw.backend();
-  for (DpBackend::FlowRef f : be.dump())
-    out.insert(be.flow_match(f).to_string() + " -> " +
-               be.flow_actions(f).to_string());
-  return out;
-}
+using testutil::canonical_flows;
+using testutil::tcp_pkt;
 
 SwitchConfig make_config(size_t workers) {
   SwitchConfig cfg;

@@ -10,22 +10,13 @@
 
 #include "datapath/datapath.h"
 #include "packet/match.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace ovs {
 namespace {
 
-Packet tcp_pkt(Ipv4 dst, uint16_t sport, uint16_t dport) {
-  Packet p;
-  p.key.set_eth_type(ethertype::kIpv4);
-  p.key.set_nw_proto(ipproto::kTcp);
-  p.key.set_nw_src(Ipv4(2, 2, 2, 2));
-  p.key.set_nw_dst(dst);
-  p.key.set_tp_src(sport);
-  p.key.set_tp_dst(dport);
-  p.size_bytes = 60 + sport % 1400;
-  return p;
-}
+using testutil::dp_tcp_pkt;
 
 // Installs the same K /8 megaflows into both datapaths; dsts 10.x–(10+K-1).x
 // are covered, anything above misses.
@@ -44,8 +35,8 @@ std::vector<Packet> random_workload(Rng& rng, size_t n, int k) {
   pkts.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const uint8_t oct = uint8_t(10 + rng.uniform(size_t(k) + 2));
-    pkts.push_back(tcp_pkt(Ipv4(oct, uint8_t(rng.uniform(3)), 0, 1),
-                           uint16_t(rng.uniform(6)), 80));
+    pkts.push_back(dp_tcp_pkt(Ipv4(oct, uint8_t(rng.uniform(3)), 0, 1),
+                              uint16_t(rng.uniform(6)), 80));
   }
   return pkts;
 }

@@ -12,11 +12,14 @@
 #include <vector>
 
 #include "sim/clock.h"
+#include "test_util.h"
 #include "util/fault.h"
 #include "vswitchd/switch.h"
 
 namespace ovs {
 namespace {
+
+using testutil::canonical_flows;
 
 Packet prefix_pkt(uint32_t in_port, uint8_t dst_hi, uint8_t dst_lo,
                   uint16_t sport) {
@@ -53,15 +56,6 @@ void warm_flows(Switch& sw, VirtualClock& clock, size_t n) {
                          static_cast<uint16_t>(2000 + i)),
               clock.now());
   sw.handle_upcalls(clock.now());
-}
-
-std::vector<std::string> canonical_flows(const Switch& sw) {
-  std::vector<std::string> out;
-  for (DpBackend::FlowRef f : sw.backend().dump())
-    out.push_back(sw.backend().flow_match(f).to_string() + " -> " +
-                  sw.backend().flow_actions(f).to_string());
-  std::sort(out.begin(), out.end());
-  return out;
 }
 
 TEST(RestartRecoveryTest, CrashKeepsDatapathServingButRefusesUpcalls) {
@@ -277,6 +271,75 @@ TEST(RestartRecoveryTest, ReconciliationIsDeterministicAcrossConfigs) {
         << "workers=" << workers << " threads=" << threads;
     EXPECT_EQ(base.verdicts, o.verdicts)
         << "workers=" << workers << " threads=" << threads;
+  }
+}
+
+// Regression: a crash landing on the very maintenance round that would
+// have revalidated a pending repair (the repair is "in flight") must not
+// double-apply it after restart, and reconciliation must leave exactly one
+// live attribution record per installed flow — no leaked records for
+// entries the aborted pass had planned against. Runs across single and
+// sharded backends and multi-threaded revalidator plans, which share the
+// decision ladder but not the apply path.
+TEST(RestartRecoveryTest, CrashWithPendingRepairNeitherLeaksNorDoubleApplies) {
+  for (auto [workers, reval_threads] :
+       {std::pair<size_t, size_t>{0, 1}, {0, 4}, {4, 4}}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers) +
+                 " reval_threads=" + std::to_string(reval_threads));
+    FaultInjector fault(0x51);
+    SwitchConfig cfg;
+    cfg.fault = &fault;
+    cfg.datapath_workers = workers;
+    cfg.revalidator_threads = reval_threads;
+    Switch sw(cfg);
+    install_prefix_rules(sw, 16);
+    VirtualClock clock;
+    warm_flows(sw, clock, 16);
+    ASSERT_EQ(sw.backend().flow_count(), 16u);
+    ASSERT_EQ(sw.attribution_count(), 16u);
+
+    // A same-shape shadowing rule stales exactly one megaflow (same tuple,
+    // higher priority, different output): the repair is now pending...
+    sw.table(0).add_flow(
+        MatchBuilder().tcp().nw_dst_prefix(Ipv4(10, 0, 3, 0), 24), 30,
+        OfActions().output(2));
+    // ...and the daemon dies on the maintenance round that would apply it.
+    const uint64_t occ = fault.occurrences(FaultPoint::kUserspaceCrash);
+    fault.arm_window(FaultPoint::kUserspaceCrash, occ, occ + 1);
+    clock.advance(kSecond);
+    sw.run_maintenance(clock.now());
+    ASSERT_EQ(sw.lifecycle(), LifecycleState::kCrashed);
+    EXPECT_EQ(sw.attribution_count(), 0u);  // userspace state died with it
+
+    clock.advance(kSecond);
+    sw.run_maintenance(clock.now());  // restart + reconcile
+    ASSERT_EQ(sw.lifecycle(), LifecycleState::kServing);
+
+    const Switch::Counters& c = sw.counters();
+    // The pending repair was applied exactly once, and the reconciliation
+    // verdicts partition the surviving cache exactly.
+    EXPECT_EQ(c.flows_repaired, 1u);
+    EXPECT_EQ(c.flows_adopted + c.flows_repaired + c.reval_deleted_idle +
+                  c.reval_deleted_stale,
+              16u);
+    EXPECT_EQ(sw.attribution_count(), sw.backend().flow_count());
+    EXPECT_TRUE(sw.self_check().ok());
+
+    // A follow-up pass finds nothing left to repair: a double-apply would
+    // surface here as a second wave of action updates.
+    const uint64_t repaired = c.flows_repaired;
+    const uint64_t updated = c.reval_updated_actions;
+    clock.advance(kSecond);
+    sw.run_maintenance(clock.now());
+    EXPECT_EQ(c.flows_repaired, repaired);
+    EXPECT_EQ(c.reval_updated_actions, updated);
+    EXPECT_EQ(sw.attribution_count(), sw.backend().flow_count());
+
+    // The slow-path ledgers balance across the whole crash/restart cycle.
+    EXPECT_EQ(c.upcalls_handled + c.upcalls_retried,
+              c.flow_setups + c.setup_dups + c.install_fails);
+    EXPECT_EQ(c.install_fails,
+              c.upcalls_retried + sw.retry_queue_depth() + c.retry_abandoned);
   }
 }
 

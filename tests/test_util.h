@@ -1,15 +1,68 @@
-// Shared helpers for classifier tests: an owning rule wrapper, a naive
-// linear reference classifier, and random rule/packet generators.
+// Shared helpers for the test suites: an owning rule wrapper and naive
+// linear reference classifier, random rule/packet generators, and the
+// packet/trace builders the switch-level equivalence and recovery suites
+// replay. Keep these header-only and deterministic: equivalence tests
+// replay the same traces across backends and configurations, so a helper
+// that drifts between suites silently weakens the comparison.
 #pragma once
 
+#include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "classifier/classifier.h"
 #include "packet/match.h"
 #include "util/rng.h"
+#include "vswitchd/switch.h"
 
 namespace ovs::testutil {
+
+// Switch-level TCP packet: a full 5-tuple with the ethernet source keyed by
+// the ingress port (so MAC learning sees distinct hosts per port).
+inline Packet tcp_pkt(uint32_t in_port, Ipv4 src, Ipv4 dst, uint16_t sport,
+                      uint16_t dport) {
+  Packet p;
+  p.key.set_in_port(in_port);
+  p.key.set_eth_src(EthAddr(0, 0, 0, 0, 0, static_cast<uint8_t>(in_port)));
+  p.key.set_eth_dst(EthAddr(0, 0, 0, 0, 0, 0x99));
+  p.key.set_eth_type(ethertype::kIpv4);
+  p.key.set_nw_proto(ipproto::kTcp);
+  p.key.set_nw_src(src);
+  p.key.set_nw_dst(dst);
+  p.key.set_tp_src(sport);
+  p.key.set_tp_dst(dport);
+  p.size_bytes = 100;
+  return p;
+}
+
+// Datapath-level TCP packet: no port/ethernet addressing — raw cache-layer
+// tests key entirely off the L3/L4 fields. The size varies with sport so
+// byte counters catch misattributed packets, not just miscounted ones.
+inline Packet dp_tcp_pkt(Ipv4 dst, uint16_t sport, uint16_t dport) {
+  Packet p;
+  p.key.set_eth_type(ethertype::kIpv4);
+  p.key.set_nw_proto(ipproto::kTcp);
+  p.key.set_nw_src(Ipv4(2, 2, 2, 2));
+  p.key.set_nw_dst(dst);
+  p.key.set_tp_src(sport);
+  p.key.set_tp_dst(dport);
+  p.size_bytes = 60 + sport % 1400;
+  return p;
+}
+
+// Canonical rendering of the installed megaflow set, sorted so two caches
+// compare equal regardless of dump order (which differs across backends
+// and install interleavings).
+inline std::vector<std::string> canonical_flows(const Switch& sw) {
+  std::vector<std::string> out;
+  const DpBackend& be = sw.backend();
+  for (DpBackend::FlowRef f : be.dump())
+    out.push_back(be.flow_match(f).to_string() + " -> " +
+                  be.flow_actions(f).to_string());
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 // A rule that is its own payload; `id` identifies it in test assertions.
 struct TestRule : Rule {

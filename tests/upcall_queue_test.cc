@@ -1,0 +1,156 @@
+// Edge-case tests for the bounded fair upcall queue: empty-ring drains,
+// take(0) / over-draining, exact quota boundaries, and round-robin cursor
+// behavior. The storm-level fairness properties live in
+// fault_injection_test.cc (UpcallFairnessTest); these pin the queue's
+// low-level contract, which the switch's crash path (queue drain into loss
+// counters) and the batched upcall handler both rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vswitchd/upcall_queue.h"
+
+namespace ovs {
+namespace {
+
+// Minimal upcall packet: routed by in_port; tp_src tags identity so tests
+// can assert which packet came back out.
+Packet upcall(uint32_t in_port, uint16_t id) {
+  Packet p;
+  p.key.set_in_port(in_port);
+  p.key.set_tp_src(id);
+  p.size_bytes = 64;
+  return p;
+}
+
+TEST(UpcallFairnessQueueTest, DrainWithPopulatedRingButEmptyQueues) {
+  FairUpcallQueue q;
+  // Never-enqueued queue: the round-robin ring is empty.
+  EXPECT_TRUE(q.take(8).empty());
+  EXPECT_EQ(q.depth(), 0u);
+
+  // Fill and fully drain two ports: the ring still holds both ports, but
+  // every per-port queue is empty — take must return nothing, not spin.
+  ASSERT_TRUE(q.enqueue(upcall(1, 10)));
+  ASSERT_TRUE(q.enqueue(upcall(2, 20)));
+  EXPECT_EQ(q.take(8).size(), 2u);
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_TRUE(q.take(8).empty());
+  EXPECT_EQ(q.ports().size(), 2u);  // ports stay known for accounting
+
+  // A port known to the ring only through rejected enqueues (global cap 0)
+  // must not trip the backlog scan either.
+  UpcallQueueConfig zero_cap;
+  zero_cap.global_cap = 0;
+  FairUpcallQueue capped(zero_cap);
+  EXPECT_FALSE(capped.enqueue(upcall(7, 70)));
+  EXPECT_EQ(capped.ports().size(), 1u);
+  EXPECT_TRUE(capped.take(1).empty());
+  EXPECT_EQ(capped.port_counters(7).dropped_cap, 1u);
+}
+
+TEST(UpcallFairnessQueueTest, TakeZeroAndOverdrainLeaveCountersCoherent) {
+  FairUpcallQueue q;
+  for (uint16_t i = 0; i < 5; ++i) ASSERT_TRUE(q.enqueue(upcall(3, i)));
+
+  // take(0) is a no-op: nothing dequeued, cursor and depths untouched.
+  EXPECT_TRUE(q.take(0).empty());
+  EXPECT_EQ(q.depth(), 5u);
+  EXPECT_EQ(q.port_counters(3).dequeued, 0u);
+
+  // Asking for more than the backlog returns exactly the backlog, in FIFO
+  // order within the port.
+  const std::vector<Packet> got = q.take(100);
+  ASSERT_EQ(got.size(), 5u);
+  for (uint16_t i = 0; i < 5; ++i) EXPECT_EQ(got[i].key.tp_src(), i);
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(q.port_counters(3).dequeued, 5u);
+  EXPECT_EQ(q.port_counters(3).enqueued, 5u);
+  EXPECT_EQ(q.total_dropped(), 0u);
+}
+
+TEST(UpcallFairnessQueueTest, QuotaBoundaryReopensAfterDequeue) {
+  UpcallQueueConfig cfg;
+  cfg.per_port_quota = 3;
+  cfg.global_cap = 64;
+  FairUpcallQueue q(cfg);
+  // Exactly quota enqueues land; the quota+1-th is dropped against the port.
+  for (uint16_t i = 0; i < 3; ++i) ASSERT_TRUE(q.enqueue(upcall(5, i)));
+  EXPECT_FALSE(q.enqueue(upcall(5, 99)));
+  EXPECT_EQ(q.port_counters(5).dropped_quota, 1u);
+  EXPECT_EQ(q.port_counters(5).depth, 3u);
+  // Another port is unaffected by the full neighbor.
+  EXPECT_TRUE(q.enqueue(upcall(6, 60)));
+
+  // Draining one slot reopens the quota for exactly one more enqueue.
+  EXPECT_EQ(q.take(1).size(), 1u);
+  EXPECT_TRUE(q.enqueue(upcall(5, 100)));
+  EXPECT_FALSE(q.enqueue(upcall(5, 101)));
+  EXPECT_EQ(q.port_counters(5).dropped_quota, 2u);
+}
+
+TEST(UpcallFairnessQueueTest, SinglePortCannotHoldAllSlotsUnlessFifo) {
+  UpcallQueueConfig cfg;
+  cfg.per_port_quota = 4;
+  cfg.global_cap = 16;
+  FairUpcallQueue fair(cfg);
+  size_t accepted = 0;
+  for (uint16_t i = 0; i < 32; ++i)
+    if (fair.enqueue(upcall(1, i))) ++accepted;
+  // Fair mode: the flooding port is clamped at its quota, leaving the rest
+  // of the global budget for everyone else.
+  EXPECT_EQ(accepted, 4u);
+  EXPECT_EQ(fair.port_counters(1).dropped_quota, 28u);
+  for (uint16_t i = 0; i < 4; ++i)
+    EXPECT_TRUE(fair.enqueue(upcall(2, i)));  // victim gets its full quota
+  EXPECT_FALSE(fair.enqueue(upcall(2, 99)));  // its own quota, not the cap
+  EXPECT_EQ(fair.port_counters(2).dropped_quota, 1u);
+
+  // FIFO ablation: the same flood owns the entire global budget.
+  cfg.fair = false;
+  FairUpcallQueue fifo(cfg);
+  accepted = 0;
+  for (uint16_t i = 0; i < 32; ++i)
+    if (fifo.enqueue(upcall(1, i))) ++accepted;
+  EXPECT_EQ(accepted, 16u);
+  EXPECT_EQ(fifo.port_counters(1).dropped_cap, 16u);
+  EXPECT_FALSE(fifo.enqueue(upcall(2, 0)));  // victim finds no room at all
+  EXPECT_EQ(fifo.port_counters(2).dropped_cap, 1u);
+}
+
+TEST(UpcallFairnessQueueTest, RoundRobinResumesAfterLastServedPort) {
+  FairUpcallQueue q;
+  // Unequal backlogs: port 1 holds 3, port 2 holds 1, port 3 holds 2.
+  ASSERT_TRUE(q.enqueue(upcall(1, 10)));
+  ASSERT_TRUE(q.enqueue(upcall(1, 11)));
+  ASSERT_TRUE(q.enqueue(upcall(1, 12)));
+  ASSERT_TRUE(q.enqueue(upcall(2, 20)));
+  ASSERT_TRUE(q.enqueue(upcall(3, 30)));
+  ASSERT_TRUE(q.enqueue(upcall(3, 31)));
+
+  // Single-slot takes must rotate ports — the cursor resumes after the
+  // last port served rather than restarting at the ring head, so port 1
+  // cannot be systematically first.
+  auto next = [&]() {
+    std::vector<Packet> v = q.take(1);
+    return v.empty() ? uint32_t{0} : v[0].key.in_port();
+  };
+  EXPECT_EQ(next(), 1u);
+  EXPECT_EQ(next(), 2u);
+  EXPECT_EQ(next(), 3u);
+  EXPECT_EQ(next(), 1u);
+  EXPECT_EQ(next(), 3u);  // port 2 drained; skipped without stalling
+  EXPECT_EQ(next(), 1u);
+  EXPECT_EQ(q.depth(), 0u);
+
+  // One batched take interleaves the same way.
+  ASSERT_TRUE(q.enqueue(upcall(1, 13)));
+  ASSERT_TRUE(q.enqueue(upcall(1, 14)));
+  ASSERT_TRUE(q.enqueue(upcall(2, 21)));
+  const std::vector<Packet> batch = q.take(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_NE(batch[0].key.in_port(), batch[1].key.in_port());
+}
+
+}  // namespace
+}  // namespace ovs
