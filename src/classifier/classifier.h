@@ -1,42 +1,46 @@
-// Tuple space search classifier with caching-aware optimizations.
+// Packet classifier facade over pluggable lookup engines.
 //
-// This is the paper's primary contribution (§3.2, §5). A *tuple* is one hash
-// table per unique match mask; a lookup searches tuples and returns the
-// highest-priority matching rule. Updates are O(1): a single hash-table
-// operation (plus trie maintenance).
+// The paper's primary contribution (§3.2, §5) is the staged tuple-space-
+// search classifier with caching-aware megaflow generation. This header now
+// fronts that algorithm with a backend seam (mirroring datapath/dp_backend.h)
+// so alternative lookup engines can be raced against it under identical
+// call sites, differential fuzzing, and benchmarks:
 //
-// The classifier also implements megaflow generation support: when a lookup
-// is given a FlowWildcards accumulator, it records exactly which key bits
-// were consulted, applying the four optimizations that keep megaflows as
-// general as possible:
+//   * kStagedTss     — the paper's TSS with all four optimizations (tuple
+//     priority sorting §5.2, staged lookup §5.3, prefix tracking §5.4,
+//     metadata partitioning §5.5). The reference engine.
+//   * kChainedTuple  — TupleChain-style: subtables totally ordered by
+//     mask subsumption form chains; a per-level guide set over full-masked
+//     rule hashes lets a lookup stop a whole chain on one miss instead of
+//     probing every mask (see chain_engine.h for the soundness argument).
+//   * kBloomGated    — staged TSS with a per-subtable single-hash counting
+//     gate in front of the staged walk, plus the SIMD-friendly
+//     structure-of-arrays lookup_batch path (staged_tss.h).
 //
-//   * tuple priority sorting  (§5.2) — cut the search, and hence the
-//     unwildcarding, as soon as no better-priority tuple remains;
-//   * staged lookup           (§5.3) — each tuple is four nested hash tables
-//     (metadata ⊂ +L2 ⊂ +L3 ⊂ +L4); a miss at stage k unwildcards only the
-//     stages searched so far;
-//   * prefix tracking         (§5.4) — per-field tries decide both the
-//     minimal prefix a megaflow must match and which tuples to skip;
-//   * partitioning            (§5.5) — tuples exact-matching the metadata
-//     field are skipped when the packet's metadata value has no rules there.
-//
-// Every optimization is individually switchable (ClassifierConfig) because
-// Table 1 of the paper evaluates each in isolation.
+// All engines implement the same caching-aware contract: when a lookup is
+// given a FlowWildcards accumulator, every key bit the decision depended on
+// is OR-ed into it, so megaflows generated from any engine are sound.
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <memory>
-#include <vector>
 
 #include "classifier/rule.h"
 #include "packet/flow_key.h"
-#include "util/flat_hash.h"
-#include "util/prefix_trie.h"
 
 namespace ovs {
+
+class ClassifierBackend;
+
+enum class ClassifierEngine : uint8_t {
+  kStagedTss = 0,   // paper baseline (§5)
+  kChainedTuple,    // mask-subsumption chains with guide sets
+  kBloomGated,      // staged TSS behind single-hash gates + batched lookup
+};
+
+const char* classifier_engine_name(ClassifierEngine engine) noexcept;
 
 struct ClassifierConfig {
   bool priority_sorting = true;
@@ -51,6 +55,11 @@ struct ClassifierConfig {
   // the L4 port tries, forcing full port unwildcarding. Off by default.
   bool icmp_port_trie_bug = false;
 
+  // Lookup engine behind the seam. Defaults to the paper baseline; the
+  // trailing position keeps the historical brace-init below (and every
+  // aggregate-init call site) valid.
+  ClassifierEngine engine = ClassifierEngine::kStagedTss;
+
   static ClassifierConfig all_disabled() {
     return ClassifierConfig{false, false, false, false, false, false, false};
   }
@@ -62,82 +71,15 @@ inline constexpr std::array<FieldId, 6> kTrieFields = {
     FieldId::kIpv6Dst, FieldId::kTpSrc, FieldId::kTpDst};
 inline constexpr size_t kNumTrieFields = kTrieFields.size();
 
-// One hash table per unique mask ("subtable"). Exposed for tests.
-class Tuple {
- public:
-  explicit Tuple(const FlowMask& mask);
-
-  const FlowMask& mask() const noexcept { return mask_; }
-  int32_t pri_max() const noexcept { return pri_max_; }
-  size_t size() const noexcept { return n_rules_; }
-  bool empty() const noexcept { return n_rules_ == 0; }
-
-  // Prefix length of each trie field in this mask; -1 if non-prefix, 0 if
-  // the field is not matched.
-  int trie_plen(size_t trie_idx) const noexcept { return trie_plen_[trie_idx]; }
-
-  // Number of stages this tuple uses (1 + index of last non-empty stage).
-  size_t n_stages() const noexcept { return n_stages_; }
-
- private:
-  friend class Classifier;
-
-  void insert(Rule* rule);
-  void remove(Rule* rule) noexcept;
-
-  // Miniflow-style sparse hashing: only words with mask bits participate in
-  // the hash (real flow masks touch 2-5 of the 15 key words). `upto_stage`
-  // hashes the words of stages [0, upto_stage]; results chain incrementally
-  // exactly like the dense scheme.
-  uint64_t hash_stage(const FlowWords& src, size_t stage,
-                      uint64_t basis) const noexcept {
-    uint64_t h = basis;
-    for (uint8_t w : active_words_[stage])
-      h = hash_add64(h, src.w[w] & mask_.w[w]);
-    return h;
-  }
-  // Hash over every masked word (the rule-table key hash).
-  uint64_t full_hash(const FlowWords& src) const noexcept {
-    uint64_t h = 0;
-    for (size_t s = 0; s < kNumStages; ++s) h = hash_stage(src, s, h);
-    return h;
-  }
-
-  // Staged lookup. On return *stage_searched is the index of the last stage
-  // consulted (== n_stages_-1 when the final rule table was probed).
-  const Rule* lookup(const FlowKey& pkt, bool staged,
-                     size_t* stage_searched) const noexcept;
-
-  // Metadata partition support.
-  bool partitions_metadata() const noexcept { return partitions_metadata_; }
-  bool partition_contains(uint64_t metadata) const noexcept {
-    return metadata_values_.contains(hash_mix64(metadata));
-  }
-
-  void recompute_pri_max() noexcept;
-
-  FlowMask mask_;
-  size_t n_stages_ = 1;
-  bool partitions_metadata_ = false;
-
-  // Final table: masked key hash -> chain of rules (descending priority).
-  HashBuckets<Rule*> rules_;
-  size_t n_rules_ = 0;
-
-  // Intermediate stage membership sets (stages [0, n_stages_-1)).
-  std::array<HashCounter, kNumStages - 1> stage_sets_;
-
-  // Metadata values present among rules (only if partitions_metadata_).
-  HashCounter metadata_values_;
-
-  // Rule count per priority, for pri_max maintenance.
-  std::map<int32_t, uint32_t> prio_counts_;
-  int32_t pri_max_ = 0;
-
-  std::array<int, kNumTrieFields> trie_plen_{};
-
-  // Indices of mask-active words, grouped by stage.
-  std::array<std::vector<uint8_t>, kNumStages> active_words_;
+// Cumulative lookup statistics (reset with reset_stats). Returned by value:
+// the engine-internal counters are atomics shared by concurrent readers.
+struct ClassifierStats {
+  uint64_t lookups = 0;
+  uint64_t tuples_searched = 0;      // subtables whose hash tables were probed
+  uint64_t tuples_skipped = 0;       // skipped via tries/partitions/gates
+  uint64_t stage_terminations = 0;   // staged-lookup early misses
+  uint64_t gate_probes = 0;          // kBloomGated: single-hash gate tests
+  uint64_t guide_probes = 0;         // kChainedTuple: chain guide-set probes
 };
 
 class Classifier {
@@ -154,7 +96,7 @@ class Classifier {
   // duplicate of an existing (match, priority) pair (see find_exact).
   void insert(Rule* rule);
 
-  // Removes a rule previously inserted. O(1) plus trie maintenance.
+  // Removes a rule previously inserted. O(1) plus index maintenance.
   void remove(Rule* rule) noexcept;
 
   // Finds the rule with identical match and priority, if any.
@@ -163,9 +105,9 @@ class Classifier {
   // Returns the highest-priority matching rule (or the first match found in
   // first_match_only mode), or nullptr. If `wc` is non-null, all consulted
   // key bits are OR-ed into it — the caching-aware classification algorithm.
-  // If `n_searched` is non-null it receives the number of tuples whose hash
-  // tables were probed by THIS call (a thread-safe alternative to diffing
-  // the cumulative stats).
+  // If `n_searched` is non-null it receives the number of subtables whose
+  // hash tables were probed by THIS call (a thread-safe alternative to
+  // diffing the cumulative stats).
   //
   // The lookup path is const and data-race-free: it mutates nothing but the
   // atomic statistics counters, so any number of reader threads may call it
@@ -174,78 +116,30 @@ class Classifier {
   const Rule* lookup(const FlowKey& pkt, FlowWildcards* wc = nullptr,
                      uint32_t* n_searched = nullptr) const noexcept;
 
-  size_t rule_count() const noexcept { return n_rules_; }
-  size_t tuple_count() const noexcept { return tuples_.size(); }  // "masks"
+  // Classifies `n` keys in one call: out[i] receives what lookup(keys[i])
+  // would return, and (if `wcs` is non-null) wcs[i] accumulates exactly the
+  // bits a scalar lookup would have consulted for keys[i]. Engines without a
+  // native batch path fall back to a scalar loop; kBloomGated runs its
+  // structure-of-arrays probe pipeline. Same thread-safety as lookup().
+  void lookup_batch(const FlowKey* keys, size_t n, const Rule** out,
+                    FlowWildcards* wcs = nullptr) const noexcept;
 
-  // Cumulative lookup statistics (reset with reset_stats). Returned by
-  // value: the internal counters are atomics shared by concurrent readers.
-  struct Stats {
-    uint64_t lookups = 0;
-    uint64_t tuples_searched = 0;   // tuples whose hash tables were probed
-    uint64_t tuples_skipped = 0;    // skipped via tries or partitions
-    uint64_t stage_terminations = 0;  // staged-lookup early misses
-  };
-  Stats stats() const noexcept {
-    Stats s;
-    s.lookups = stats_.lookups.load(std::memory_order_relaxed);
-    s.tuples_searched = stats_.tuples_searched.load(std::memory_order_relaxed);
-    s.tuples_skipped = stats_.tuples_skipped.load(std::memory_order_relaxed);
-    s.stage_terminations =
-        stats_.stage_terminations.load(std::memory_order_relaxed);
-    return s;
-  }
-  void reset_stats() const noexcept {
-    stats_.lookups.store(0, std::memory_order_relaxed);
-    stats_.tuples_searched.store(0, std::memory_order_relaxed);
-    stats_.tuples_skipped.store(0, std::memory_order_relaxed);
-    stats_.stage_terminations.store(0, std::memory_order_relaxed);
-  }
+  size_t rule_count() const noexcept;
+  size_t tuple_count() const noexcept;  // distinct masks ("subtables")
+
+  using Stats = ClassifierStats;
+  Stats stats() const noexcept;
+  void reset_stats() const noexcept;
 
   // Visits every rule (dump order is unspecified).
-  template <typename F>
-  void for_each_rule(F&& f) const {
-    for (const auto& t : tuples_)
-      t->rules_.for_each([&](Rule* head) {
-        for (Rule* r = head; r != nullptr; r = r->next_same_key_) f(r);
-      });
-  }
+  void for_each_rule(const std::function<void(Rule*)>& f) const;
+
+  ClassifierBackend& backend() noexcept { return *backend_; }
+  const ClassifierBackend& backend() const noexcept { return *backend_; }
 
  private:
-  struct TrieCtx;  // per-lookup lazily computed trie results
-
-  Tuple* find_tuple(const FlowMask& mask) const noexcept;
-  Tuple* get_tuple(const FlowMask& mask);
-
-  // Trie bookkeeping on rule insert/remove.
-  void trie_update(const Rule& rule, bool add);
-
-  // Returns true if `tuple` can be skipped for `pkt` per the tries; updates
-  // wildcards with the prefix bits that justified the skip.
-  bool check_tries(const Tuple& tuple, const FlowKey& pkt, TrieCtx& ctx,
-                   FlowWildcards* wc) const noexcept;
-
-  // Re-sorts `sorted_` by pri_max. Called from the mutators (insert/remove)
-  // so that lookup never writes anything but its atomic counters.
-  void sort_tuples_if_dirty() noexcept;
-
-  struct AtomicStats {
-    std::atomic<uint64_t> lookups{0};
-    std::atomic<uint64_t> tuples_searched{0};
-    std::atomic<uint64_t> tuples_skipped{0};
-    std::atomic<uint64_t> stage_terminations{0};
-  };
-
   ClassifierConfig cfg_;
-  std::vector<std::unique_ptr<Tuple>> tuples_;       // owned
-  std::vector<Tuple*> sorted_;                       // by pri_max desc
-  bool sort_dirty_ = false;
-  HashBuckets<Tuple*> tuples_by_mask_;
-  size_t n_rules_ = 0;
-
-  std::array<PrefixTrie, kNumTrieFields> tries_;
-  std::array<size_t, kNumTrieFields> trie_icmp_rules_{};  // bug-mode poison
-
-  mutable AtomicStats stats_;
+  std::unique_ptr<ClassifierBackend> backend_;
 };
 
 }  // namespace ovs

@@ -1,0 +1,28 @@
+#include "classifier/cls_backend.h"
+
+#include "classifier/chain_engine.h"
+#include "classifier/staged_tss.h"
+
+namespace ovs {
+
+void ClassifierBackend::lookup_batch(const FlowKey* keys, size_t n,
+                                     const Rule** out,
+                                     FlowWildcards* wcs) const noexcept {
+  for (size_t i = 0; i < n; ++i)
+    out[i] = lookup(keys[i], wcs != nullptr ? &wcs[i] : nullptr, nullptr);
+}
+
+std::unique_ptr<ClassifierBackend> make_classifier_backend(
+    const ClassifierConfig& cfg) {
+  switch (cfg.engine) {
+    case ClassifierEngine::kChainedTuple:
+      return std::make_unique<ChainedTupleEngine>(cfg);
+    case ClassifierEngine::kBloomGated:
+      return std::make_unique<StagedTssEngine>(cfg, /*gated=*/true);
+    case ClassifierEngine::kStagedTss:
+      break;
+  }
+  return std::make_unique<StagedTssEngine>(cfg, /*gated=*/false);
+}
+
+}  // namespace ovs

@@ -1,6 +1,6 @@
 // A classifier rule. Callers embed Rule as a base of their own entry types
 // (an OpenFlow flow, a megaflow cache entry) and retain ownership; the
-// classifier only links rules in and out of its tuples, mirroring how OVS
+// classifier only links rules in and out of its subtables, mirroring how OVS
 // embeds `cls_rule` inside larger structs.
 #pragma once
 
@@ -9,8 +9,6 @@
 #include "packet/match.h"
 
 namespace ovs {
-
-class Tuple;
 
 class Rule {
  public:
@@ -26,18 +24,20 @@ class Rule {
   const Match& match() const noexcept { return match_; }
   int32_t priority() const noexcept { return priority_; }
 
-  bool in_classifier() const noexcept { return tuple_ != nullptr; }
+  bool in_classifier() const noexcept { return sub_ != nullptr; }
 
  private:
-  friend class Classifier;
-  friend class Tuple;
+  // Engines reach the intrusive links through RuleLinks (rule_links.h) so
+  // the link fields stay engine-opaque: `sub_` points at whatever subtable
+  // structure the active ClassifierBackend keys rules by.
+  friend struct RuleLinks;
 
   Match match_;
   int32_t priority_;
 
   // Classifier-internal state.
   Rule* next_same_key_ = nullptr;  // same masked key, lower priority
-  Tuple* tuple_ = nullptr;
+  void* sub_ = nullptr;            // owning engine subtable (opaque)
   uint64_t key_hash_ = 0;  // hash of masked key over all words
 };
 

@@ -1,0 +1,73 @@
+// Engine-shared access to Rule's intrusive classifier links, plus the
+// same-masked-key priority chain discipline every engine's final rule table
+// uses: rules with identical masked keys hang off one bucket in descending
+// priority order, so a lookup's single hash probe lands on the
+// highest-priority candidate directly.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "classifier/rule.h"
+#include "util/flat_hash.h"
+
+namespace ovs {
+
+struct RuleLinks {
+  static Rule*& next(Rule& r) noexcept { return r.next_same_key_; }
+  static Rule* next(const Rule& r) noexcept { return r.next_same_key_; }
+  static void*& sub(Rule& r) noexcept { return r.sub_; }
+  static void* sub(const Rule& r) noexcept { return r.sub_; }
+  static uint64_t& key_hash(Rule& r) noexcept { return r.key_hash_; }
+  static uint64_t key_hash(const Rule& r) noexcept { return r.key_hash_; }
+
+  // Links `rule` (key_hash already set) into `rules`, keeping each same-key
+  // chain sorted by descending priority. Equal priorities append after
+  // existing rules, so replacement semantics stay with the caller.
+  static void chain_insert(HashBuckets<Rule*>& rules, Rule* rule) {
+    Rule** head = rules.find(rule->key_hash_, [&](Rule* r) {
+      return r->match().key == rule->match().key;
+    });
+    if (head == nullptr) {
+      rules.insert(rule->key_hash_, rule);
+      return;
+    }
+    if (rule->priority() > (*head)->priority()) {
+      rule->next_same_key_ = *head;
+      *head = rule;
+      return;
+    }
+    Rule* prev = *head;
+    while (prev->next_same_key_ != nullptr &&
+           prev->next_same_key_->priority() >= rule->priority())
+      prev = prev->next_same_key_;
+    rule->next_same_key_ = prev->next_same_key_;
+    prev->next_same_key_ = rule;
+  }
+
+  // Unlinks `rule` from its same-key chain (and the bucket, if it was the
+  // only rule with its key).
+  static void chain_remove(HashBuckets<Rule*>& rules, Rule* rule) noexcept {
+    Rule** head = rules.find(rule->key_hash_, [&](Rule* r) {
+      return r->match().key == rule->match().key;
+    });
+    assert(head != nullptr);
+    if (*head == rule) {
+      if (rule->next_same_key_ != nullptr) {
+        *head = rule->next_same_key_;
+      } else {
+        rules.erase(rule->key_hash_, [&](Rule* r) { return r == rule; });
+      }
+    } else {
+      Rule* prev = *head;
+      while (prev->next_same_key_ != rule) {
+        prev = prev->next_same_key_;
+        assert(prev != nullptr);
+      }
+      prev->next_same_key_ = rule->next_same_key_;
+    }
+    rule->next_same_key_ = nullptr;
+  }
+};
+
+}  // namespace ovs

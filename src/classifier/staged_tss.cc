@@ -1,0 +1,576 @@
+#include "classifier/staged_tss.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ovs {
+
+namespace {
+
+bool is_port_trie_field(FieldId f) noexcept {
+  return f == FieldId::kTpSrc || f == FieldId::kTpDst;
+}
+
+PrefixBits trie_value(const FlowKey& pkt, FieldId f) noexcept {
+  switch (f) {
+    case FieldId::kNwSrc:
+    case FieldId::kNwDst:
+      return PrefixBits::from_u32(static_cast<uint32_t>(pkt.get(f)));
+    case FieldId::kIpv6Src:
+      return PrefixBits::from_u128(pkt.w[10], pkt.w[11]);
+    case FieldId::kIpv6Dst:
+      return PrefixBits::from_u128(pkt.w[12], pkt.w[13]);
+    case FieldId::kTpSrc:
+    case FieldId::kTpDst:
+      return PrefixBits::from_u16(static_cast<uint16_t>(pkt.get(f)));
+    default:
+      return {};
+  }
+}
+
+PrefixBits trie_prefix(const Rule& rule, FieldId f, unsigned len) noexcept {
+  switch (f) {
+    case FieldId::kNwSrc:
+    case FieldId::kNwDst:
+      return PrefixBits::from_u32(
+          static_cast<uint32_t>(rule.match().key.get(f)), len);
+    case FieldId::kIpv6Src:
+      return PrefixBits::from_u128(rule.match().key.w[10],
+                                   rule.match().key.w[11], len);
+    case FieldId::kIpv6Dst:
+      return PrefixBits::from_u128(rule.match().key.w[12],
+                                   rule.match().key.w[13], len);
+    case FieldId::kTpSrc:
+    case FieldId::kTpDst:
+      return PrefixBits::from_u16(
+          static_cast<uint16_t>(rule.match().key.get(f)), len);
+    default:
+      return {};
+  }
+}
+
+// Is this rule an ICMP rule matching the shared tp_src/tp_dst fields? Such
+// rules triggered the production bug of §7.1 (see ClassifierConfig).
+bool is_icmp_port_rule(const Rule& rule) noexcept {
+  return rule.match().mask.is_exact(FieldId::kNwProto) &&
+         (rule.match().key.nw_proto() == ipproto::kIcmp ||
+          rule.match().key.nw_proto() == ipproto::kIcmpv6);
+}
+
+}  // namespace
+
+// --- Tuple ------------------------------------------------------------------
+
+Tuple::Tuple(const FlowMask& mask, bool gated)
+    : mask_(mask), schema_(mask), gated_(gated) {
+  n_stages_ = mask.last_stage() + 1;
+  partitions_metadata_ = mask.is_exact(FieldId::kMetadata);
+  for (size_t i = 0; i < kNumTrieFields; ++i)
+    trie_plen_[i] = mask.prefix_len(kTrieFields[i]);
+  if (gated_) {
+    gate_stage_ = schema_.first_active_stage();
+    gate_.assign(64, 0);
+    gate_mask_ = gate_.size() - 1;
+  }
+}
+
+void Tuple::gate_add(uint64_t gh) noexcept {
+  uint16_t& c = gate_[gh & gate_mask_];
+  if (c != 0xffff) ++c;
+}
+
+void Tuple::gate_remove(uint64_t gh) noexcept {
+  uint16_t& c = gate_[gh & gate_mask_];
+  if (c != 0xffff) {
+    assert(c > 0);
+    --c;
+  }
+}
+
+void Tuple::maybe_grow_gate() {
+  size_t target = 64;
+  while (target < 65536 && target < 4 * (n_rules_ + 1)) target <<= 1;
+  if (target <= gate_.size()) return;
+  gate_.assign(target, 0);
+  gate_mask_ = target - 1;
+  rules_.for_each([&](Rule* head) {
+    for (Rule* r = head; r != nullptr; r = RuleLinks::next(*r))
+      gate_add(gate_hash(r->match().key));
+  });
+}
+
+void Tuple::insert(Rule* rule) {
+  assert(rule->match().mask == mask_);
+  RuleLinks::key_hash(*rule) = full_hash(rule->match().key);
+
+  // Intermediate stage sets.
+  uint64_t h = 0;
+  for (size_t s = 0; s + 1 < n_stages_; ++s) {
+    h = hash_stage(rule->match().key, s, h);
+    stage_sets_[s].add(h);
+  }
+
+  if (partitions_metadata_)
+    metadata_values_.add(hash_mix64(rule->match().key.metadata()));
+
+  if (gated_) {
+    maybe_grow_gate();
+    gate_add(gate_hash(rule->match().key));
+  }
+
+  RuleLinks::chain_insert(rules_, rule);
+
+  ++n_rules_;
+  ++prio_counts_[rule->priority()];
+  recompute_pri_max();
+  RuleLinks::sub(*rule) = this;
+}
+
+void Tuple::remove(Rule* rule) noexcept {
+  assert(RuleLinks::sub(*rule) == this);
+  RuleLinks::chain_remove(rules_, rule);
+  RuleLinks::sub(*rule) = nullptr;
+
+  uint64_t h = 0;
+  for (size_t s = 0; s + 1 < n_stages_; ++s) {
+    h = hash_stage(rule->match().key, s, h);
+    stage_sets_[s].remove(h);
+  }
+  if (partitions_metadata_)
+    metadata_values_.remove(hash_mix64(rule->match().key.metadata()));
+  if (gated_) gate_remove(gate_hash(rule->match().key));
+
+  --n_rules_;
+  auto it = prio_counts_.find(rule->priority());
+  if (--it->second == 0) prio_counts_.erase(it);
+  recompute_pri_max();
+}
+
+void Tuple::recompute_pri_max() noexcept {
+  pri_max_ = prio_counts_.empty() ? 0 : prio_counts_.rbegin()->first;
+}
+
+const Rule* Tuple::lookup_from(const FlowKey& pkt, bool staged,
+                               size_t* stage_searched, size_t s,
+                               uint64_t h) const noexcept {
+  if (staged && n_stages_ > 1) {
+    while (s + 1 < n_stages_) {
+      if (!stage_sets_[s].contains(h)) {
+        *stage_searched = s;
+        return nullptr;
+      }
+      ++s;
+      h = schema_.hash_stage(pkt, s, h);
+    }
+    // h now covers stages [0, n_stages_-1]; later stages are empty for this
+    // mask, so h equals the full hash.
+  } else {
+    for (++s; s < kNumStages; ++s) h = schema_.hash_stage(pkt, s, h);
+  }
+  *stage_searched = n_stages_ - 1;
+  Rule* const* head = rules_.find(
+      h, [&](Rule* r) { return schema_.masked_equal(pkt, r->match().key); });
+  return head != nullptr ? *head : nullptr;
+}
+
+// --- StagedTssEngine --------------------------------------------------------
+
+struct StagedTssEngine::TrieCtx {
+  std::array<bool, kNumTrieFields> computed{};
+  std::array<PrefixTrie::LookupResult, kNumTrieFields> res;
+};
+
+StagedTssEngine::StagedTssEngine(const ClassifierConfig& cfg, bool gated)
+    : cfg_(cfg), gated_(gated) {}
+
+StagedTssEngine::~StagedTssEngine() = default;
+
+Tuple* StagedTssEngine::find_tuple(const FlowMask& mask) const noexcept {
+  Tuple* const* t =
+      tuples_by_mask_.find(flow_mask_hash(mask), [&](const Tuple* tp) {
+        return tp->mask() == mask;
+      });
+  return t != nullptr ? *t : nullptr;
+}
+
+Tuple* StagedTssEngine::get_tuple(const FlowMask& mask) {
+  if (Tuple* t = find_tuple(mask)) return t;
+  auto owned = std::make_unique<Tuple>(mask, gated_);
+  Tuple* t = owned.get();
+  tuples_.push_back(std::move(owned));
+  sorted_.push_back(t);
+  tuples_by_mask_.insert(flow_mask_hash(mask), t);
+  sort_dirty_ = true;
+  return t;
+}
+
+void StagedTssEngine::sort_tuples_if_dirty() noexcept {
+  if (!sort_dirty_) return;
+  std::stable_sort(sorted_.begin(), sorted_.end(),
+                   [](const Tuple* a, const Tuple* b) {
+                     return a->pri_max() > b->pri_max();
+                   });
+  sort_dirty_ = false;
+}
+
+void StagedTssEngine::trie_update(const Rule& rule, bool add) {
+  for (size_t i = 0; i < kNumTrieFields; ++i) {
+    const int plen = rule.match().mask.prefix_len(kTrieFields[i]);
+    if (plen <= 0) continue;
+    const PrefixBits p =
+        trie_prefix(rule, kTrieFields[i], static_cast<unsigned>(plen));
+    if (add) {
+      tries_[i].insert(p);
+      if (is_port_trie_field(kTrieFields[i]) && is_icmp_port_rule(rule))
+        ++trie_icmp_rules_[i];
+    } else {
+      tries_[i].remove(p);
+      if (is_port_trie_field(kTrieFields[i]) && is_icmp_port_rule(rule))
+        --trie_icmp_rules_[i];
+    }
+  }
+}
+
+void StagedTssEngine::insert(Rule* rule) {
+  Tuple* t = get_tuple(rule->match().mask);
+  const int32_t old_pri_max = t->pri_max();
+  t->insert(rule);
+  if (t->pri_max() != old_pri_max || t->size() == 1) sort_dirty_ = true;
+  trie_update(*rule, /*add=*/true);
+  ++n_rules_;
+  sort_tuples_if_dirty();
+}
+
+void StagedTssEngine::remove(Rule* rule) noexcept {
+  Tuple* t = static_cast<Tuple*>(RuleLinks::sub(*rule));
+  const int32_t old_pri_max = t->pri_max();
+  t->remove(rule);
+  trie_update(*rule, /*add=*/false);
+  --n_rules_;
+  if (t->empty()) {
+    tuples_by_mask_.erase(flow_mask_hash(t->mask()),
+                          [&](const Tuple* tp) { return tp == t; });
+    sorted_.erase(std::find(sorted_.begin(), sorted_.end(), t));
+    auto it = std::find_if(tuples_.begin(), tuples_.end(),
+                           [&](const auto& up) { return up.get() == t; });
+    tuples_.erase(it);
+  } else if (t->pri_max() != old_pri_max) {
+    sort_dirty_ = true;
+  }
+  sort_tuples_if_dirty();
+}
+
+Rule* StagedTssEngine::find_exact(const Match& match,
+                                  int32_t priority) const noexcept {
+  Match m = match;
+  m.normalize();
+  Tuple* t = find_tuple(m.mask);
+  if (t == nullptr) return nullptr;
+  const uint64_t h = t->full_hash(m.key);
+  Rule* const* head =
+      t->rules_.find(h, [&](Rule* r) { return r->match().key == m.key; });
+  if (head == nullptr) return nullptr;
+  for (Rule* r = *head; r != nullptr; r = RuleLinks::next(*r))
+    if (r->priority() == priority) return r;
+  return nullptr;
+}
+
+bool StagedTssEngine::check_tries(const Tuple& tuple, const FlowKey& pkt,
+                                  TrieCtx& ctx,
+                                  FlowWildcards* wc) const noexcept {
+  for (size_t i = 0; i < kNumTrieFields; ++i) {
+    const FieldId f = kTrieFields[i];
+    const bool port = is_port_trie_field(f);
+    if (port ? !cfg_.port_prefix_tracking : !cfg_.prefix_tracking) continue;
+    const int plen = tuple.trie_plen(i);
+    if (plen <= 0) continue;  // field unmatched, or a non-prefix mask
+    // §7.1 outlier bug injection: ICMP rules poison the port tries.
+    if (cfg_.icmp_port_trie_bug && port && trie_icmp_rules_[i] > 0) continue;
+    if (!ctx.computed[i]) {
+      ctx.res[i] = tries_[i].lookup(trie_value(pkt, f));
+      ctx.computed[i] = true;
+    }
+    const PrefixTrie::LookupResult& res = ctx.res[i];
+    if (!res.plens.test(static_cast<size_t>(plen))) {
+      // No rule anywhere in the classifier has a /plen prefix containing
+      // this packet's field value, so this tuple cannot match. The skip
+      // decision examined only min(nbits, plen) leading bits.
+      if (wc != nullptr)
+        wc->set_prefix(f, std::min(res.nbits, static_cast<unsigned>(plen)));
+      return true;
+    }
+  }
+  return false;
+}
+
+const Rule* StagedTssEngine::lookup(const FlowKey& pkt, FlowWildcards* wc,
+                                    uint32_t* n_searched) const noexcept {
+  // Per-call counters, flushed once into the shared atomics at the end so
+  // concurrent readers pay one relaxed RMW per counter instead of one per
+  // tuple.
+  uint32_t searched = 0, skipped = 0, stage_terms = 0, gate_probes = 0;
+  TrieCtx ctx;
+  const Rule* best = nullptr;
+  for (Tuple* t : sorted_) {
+    if (best != nullptr && cfg_.priority_sorting &&
+        best->priority() >= t->pri_max())
+      break;
+    if (cfg_.partitioning && t->partitions_metadata() &&
+        !t->partition_contains(pkt.metadata())) {
+      // The skip decision consulted (all of) the metadata field.
+      if (wc != nullptr) wc->set_exact(FieldId::kMetadata);
+      ++skipped;
+      continue;
+    }
+    if (check_tries(*t, pkt, ctx, wc)) {
+      ++skipped;
+      continue;
+    }
+    size_t stage_searched = 0;
+    const Rule* r;
+    if (gated_) {
+      const uint64_t gh = t->gate_hash(pkt);
+      ++gate_probes;
+      if (!t->gate_contains(gh)) {
+        // Gate miss: no rule in this subtable shares the packet's
+        // gate-stage bits, so only those words were consulted (exactly a
+        // stage miss at the gate stage).
+        if (wc != nullptr)
+          for (size_t i = 0; i < kStageEnd[t->gate_stage()]; ++i)
+            wc->w[i] |= t->mask().w[i];
+        ++skipped;
+        continue;
+      }
+      r = t->lookup_from(pkt, cfg_.staged_lookup, &stage_searched,
+                         t->gate_stage(), gh);
+    } else {
+      r = t->lookup(pkt, cfg_.staged_lookup, &stage_searched);
+    }
+    ++searched;
+    if (wc != nullptr) {
+      if (stage_searched + 1 < t->n_stages()) {
+        // Early stage miss: only the fields of stages [0, stage_searched]
+        // were consulted (paper §5.3).
+        for (size_t i = 0; i < kStageEnd[stage_searched]; ++i)
+          wc->w[i] |= t->mask().w[i];
+      } else {
+        wc->unite(t->mask());
+      }
+    }
+    if (stage_searched + 1 < t->n_stages()) ++stage_terms;
+    if (r != nullptr && (best == nullptr || r->priority() > best->priority())) {
+      best = r;
+      if (cfg_.first_match_only) break;
+    }
+  }
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  if (searched != 0)
+    stats_.tuples_searched.fetch_add(searched, std::memory_order_relaxed);
+  if (skipped != 0)
+    stats_.tuples_skipped.fetch_add(skipped, std::memory_order_relaxed);
+  if (stage_terms != 0)
+    stats_.stage_terminations.fetch_add(stage_terms,
+                                        std::memory_order_relaxed);
+  if (gate_probes != 0)
+    stats_.gate_probes.fetch_add(gate_probes, std::memory_order_relaxed);
+  if (n_searched != nullptr) *n_searched = searched;
+  return best;
+}
+
+void StagedTssEngine::lookup_batch(const FlowKey* keys, size_t n,
+                                   const Rule** out,
+                                   FlowWildcards* wcs) const noexcept {
+  if (!gated_) {
+    // The baseline engine keeps the scalar loop; the SoA pipeline below is
+    // the gated engine's batch path.
+    ClassifierBackend::lookup_batch(keys, n, out, wcs);
+    return;
+  }
+  for (size_t base = 0; base < n; base += kBatchBlock) {
+    const size_t m = std::min(kBatchBlock, n - base);
+    batch_block(keys + base, m, out + base,
+                wcs != nullptr ? wcs + base : nullptr);
+  }
+}
+
+// Structure-of-arrays batch classification over one block of keys. For each
+// subtable the block advances through probe rounds — gate hash, gate test,
+// per-stage membership, final rule probe — with all surviving keys hashed
+// word-at-a-time (mask word outer, keys inner) and the next round's table
+// slots prefetched for the whole block before any key probes. Every per-key
+// decision (priority cut, partition/trie/gate skip, stage miss, wildcard
+// accumulation) replicates the scalar gated lookup exactly, so out[i]/wcs[i]
+// are byte-identical to n scalar calls.
+void StagedTssEngine::batch_block(const FlowKey* keys, size_t m,
+                                  const Rule** out,
+                                  FlowWildcards* wcs) const noexcept {
+  uint32_t searched = 0, skipped = 0, stage_terms = 0, gate_probes = 0;
+  std::array<const Rule*, kBatchBlock> best{};
+  std::array<bool, kBatchBlock> done{};
+  std::array<TrieCtx, kBatchBlock> tctx{};
+  std::array<uint8_t, kBatchBlock> live;
+  std::array<uint64_t, kBatchBlock> gh;
+  size_t n_done = 0;
+
+  for (Tuple* t : sorted_) {
+    if (n_done == m) break;
+    const MiniflowSchema& sch = t->schema();
+
+    // Round 0: per-key priority cut and partition/trie skips (scalar
+    // decisions — they touch per-key lazily computed trie state).
+    size_t n_live = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (done[i]) continue;
+      if (best[i] != nullptr && cfg_.priority_sorting &&
+          best[i]->priority() >= t->pri_max()) {
+        done[i] = true;
+        ++n_done;
+        continue;
+      }
+      if (cfg_.partitioning && t->partitions_metadata() &&
+          !t->partition_contains(keys[i].metadata())) {
+        if (wcs != nullptr) wcs[i].set_exact(FieldId::kMetadata);
+        ++skipped;
+        continue;
+      }
+      if (check_tries(*t, keys[i], tctx[i],
+                      wcs != nullptr ? &wcs[i] : nullptr)) {
+        ++skipped;
+        continue;
+      }
+      live[n_live++] = static_cast<uint8_t>(i);
+    }
+    if (n_live == 0) continue;
+
+    // Round 1: SoA gate hashes, then gate prefetch + test for the block.
+    const size_t gs = t->gate_stage();
+    for (size_t j = 0; j < n_live; ++j) gh[j] = 0;
+    for (size_t wi = sch.stage_begin(gs); wi < sch.stage_end(gs); ++wi) {
+      const size_t w = sch.word(wi);
+      const uint64_t mw = sch.mask_word(wi);
+      for (size_t j = 0; j < n_live; ++j)
+        gh[j] = hash_add64(gh[j], keys[live[j]].w[w] & mw);
+    }
+    for (size_t j = 0; j < n_live; ++j) t->gate_prefetch(gh[j]);
+    size_t n_act = 0;
+    for (size_t j = 0; j < n_live; ++j) {
+      ++gate_probes;
+      const size_t i = live[j];
+      if (!t->gate_contains(gh[j])) {
+        if (wcs != nullptr)
+          for (size_t w = 0; w < kStageEnd[gs]; ++w)
+            wcs[i].w[w] |= t->mask().w[w];
+        ++skipped;
+        continue;
+      }
+      live[n_act] = static_cast<uint8_t>(i);
+      gh[n_act] = gh[j];
+      ++n_act;
+    }
+    if (n_act == 0) continue;
+
+    // Rounds 2..k: staged membership sets, prefetched per round; survivors'
+    // hashes are extended stage-by-stage in the same SoA shape.
+    size_t s = gs;
+    if (cfg_.staged_lookup && t->n_stages() > 1) {
+      while (s + 1 < t->n_stages() && n_act > 0) {
+        for (size_t j = 0; j < n_act; ++j) t->stage_sets_[s].prefetch(gh[j]);
+        size_t keep = 0;
+        for (size_t j = 0; j < n_act; ++j) {
+          const size_t i = live[j];
+          if (!t->stage_sets_[s].contains(gh[j])) {
+            ++searched;
+            ++stage_terms;
+            if (wcs != nullptr)
+              for (size_t w = 0; w < kStageEnd[s]; ++w)
+                wcs[i].w[w] |= t->mask().w[w];
+            continue;
+          }
+          live[keep] = static_cast<uint8_t>(i);
+          gh[keep] = gh[j];
+          ++keep;
+        }
+        n_act = keep;
+        if (n_act == 0) break;
+        ++s;
+        for (size_t wi = sch.stage_begin(s); wi < sch.stage_end(s); ++wi) {
+          const size_t w = sch.word(wi);
+          const uint64_t mw = sch.mask_word(wi);
+          for (size_t j = 0; j < n_act; ++j)
+            gh[j] = hash_add64(gh[j], keys[live[j]].w[w] & mw);
+        }
+      }
+      if (n_act == 0) continue;
+    } else {
+      for (size_t s2 = s + 1; s2 < kNumStages; ++s2) {
+        for (size_t wi = sch.stage_begin(s2); wi < sch.stage_end(s2); ++wi) {
+          const size_t w = sch.word(wi);
+          const uint64_t mw = sch.mask_word(wi);
+          for (size_t j = 0; j < n_act; ++j)
+            gh[j] = hash_add64(gh[j], keys[live[j]].w[w] & mw);
+        }
+      }
+    }
+
+    // Final round: rule-table probes, prefetched for the whole block.
+    for (size_t j = 0; j < n_act; ++j) t->rules_.prefetch(gh[j]);
+    for (size_t j = 0; j < n_act; ++j) {
+      const size_t i = live[j];
+      ++searched;
+      if (wcs != nullptr) wcs[i].unite(t->mask());
+      Rule* const* head = t->rules_.find(gh[j], [&](Rule* r) {
+        return sch.masked_equal(keys[i], r->match().key);
+      });
+      if (head != nullptr &&
+          (best[i] == nullptr || (*head)->priority() > best[i]->priority())) {
+        best[i] = *head;
+        if (cfg_.first_match_only) {
+          done[i] = true;
+          ++n_done;
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < m; ++i) out[i] = best[i];
+
+  stats_.lookups.fetch_add(m, std::memory_order_relaxed);
+  if (searched != 0)
+    stats_.tuples_searched.fetch_add(searched, std::memory_order_relaxed);
+  if (skipped != 0)
+    stats_.tuples_skipped.fetch_add(skipped, std::memory_order_relaxed);
+  if (stage_terms != 0)
+    stats_.stage_terminations.fetch_add(stage_terms,
+                                        std::memory_order_relaxed);
+  if (gate_probes != 0)
+    stats_.gate_probes.fetch_add(gate_probes, std::memory_order_relaxed);
+}
+
+ClassifierStats StagedTssEngine::stats() const noexcept {
+  ClassifierStats s;
+  s.lookups = stats_.lookups.load(std::memory_order_relaxed);
+  s.tuples_searched = stats_.tuples_searched.load(std::memory_order_relaxed);
+  s.tuples_skipped = stats_.tuples_skipped.load(std::memory_order_relaxed);
+  s.stage_terminations =
+      stats_.stage_terminations.load(std::memory_order_relaxed);
+  s.gate_probes = stats_.gate_probes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void StagedTssEngine::reset_stats() const noexcept {
+  stats_.lookups.store(0, std::memory_order_relaxed);
+  stats_.tuples_searched.store(0, std::memory_order_relaxed);
+  stats_.tuples_skipped.store(0, std::memory_order_relaxed);
+  stats_.stage_terminations.store(0, std::memory_order_relaxed);
+  stats_.gate_probes.store(0, std::memory_order_relaxed);
+}
+
+void StagedTssEngine::for_each_rule(
+    const std::function<void(Rule*)>& f) const {
+  for (const auto& t : tuples_)
+    t->rules_.for_each([&](Rule* head) {
+      for (Rule* r = head; r != nullptr; r = RuleLinks::next(*r)) f(r);
+    });
+}
+
+}  // namespace ovs

@@ -17,10 +17,7 @@ uint64_t table_key(uint64_t hash) noexcept { return hash | 1; }
 // --- MtTuple -----------------------------------------------------------------
 
 ShardedDatapath::MtTuple::MtTuple(const FlowMask& m, size_t capacity)
-    : mask(m), table(capacity) {
-  for (size_t w = 0; w < kFlowWords; ++w)
-    if (mask.w[w] != 0) active_words_.push_back(static_cast<uint8_t>(w));
-}
+    : mask(m), schema_(m), table(capacity) {}
 
 const MtMegaflow* ShardedDatapath::MtTuple::find(
     const FlowKey& pkt) const noexcept {

@@ -39,6 +39,7 @@
 #include "packet/match.h"
 #include "packet/packet.h"
 #include "util/cuckoo.h"
+#include "util/miniflow.h"
 #include "util/rng.h"
 
 namespace ovs {
@@ -275,22 +276,18 @@ class ShardedDatapath {
     explicit MtTuple(const FlowMask& mask, size_t capacity);
 
     uint64_t hash_key(const FlowWords& key) const noexcept {
-      uint64_t h = 0;
-      for (uint8_t w : active_words_) h = hash_add64(h, key.w[w] & mask.w[w]);
-      return h;
+      return schema_.full_hash(key);
     }
     bool masked_equal(const FlowKey& pkt, const FlowKey& stored)
         const noexcept {
-      for (uint8_t w : active_words_)
-        if ((pkt.w[w] & mask.w[w]) != stored.w[w]) return false;
-      return true;
+      return schema_.masked_equal(pkt, stored);
     }
 
     // Reader-side search of this tuple's hash table.
     const MtMegaflow* find(const FlowKey& pkt) const noexcept;
 
     FlowMask mask;
-    std::vector<uint8_t> active_words_;
+    MiniflowSchema schema_;
     CuckooMap64 table;                  // masked hash -> MtMegaflow chain
     std::atomic<size_t> n_rules{0};
     uint32_t dir_idx = 0;               // this tuple's directory slot

@@ -91,6 +91,18 @@ class FlowTable {
     return static_cast<const OfRule*>(cls_.lookup(pkt, wc));
   }
 
+  // Batched lookup: out[i] (and wcs[i], if given) receive exactly what
+  // lookup(keys[i], &wcs[i]) would produce, through the classifier engine's
+  // batch path. The temporary Rule* array exists because casting an
+  // OfRule** to Rule** would be UB; the per-element downcast is free.
+  void lookup_batch(const FlowKey* keys, size_t n, const OfRule** out,
+                    FlowWildcards* wcs = nullptr) const {
+    std::vector<const Rule*> tmp(n);
+    cls_.lookup_batch(keys, n, tmp.data(), wcs);
+    for (size_t i = 0; i < n; ++i)
+      out[i] = static_cast<const OfRule*>(tmp[i]);
+  }
+
   size_t flow_count() const noexcept { return cls_.rule_count(); }
   size_t tuple_count() const noexcept { return cls_.tuple_count(); }
 

@@ -120,14 +120,24 @@ void Pipeline::do_ct(XlateCtx& ctx, const OfCt& ct, int depth) {
   xlate_table(ctx, ct.next_table, depth + 1);
 }
 
-void Pipeline::xlate_table(XlateCtx& ctx, size_t table_id, int depth) {
+void Pipeline::xlate_table(XlateCtx& ctx, size_t table_id, int depth,
+                           const Prefetched* pre) {
   if (depth > kMaxResubmitDepth || table_id >= tables_.size()) {
     ctx.error = true;
     return;
   }
   FlowTable& table = *tables_[table_id];
   FlowWildcards consulted;
-  const OfRule* rule = table.lookup(ctx.key, &consulted);
+  const OfRule* rule;
+  if (pre != nullptr) {
+    // translate_batch already classified this packet against table 0; the
+    // key cannot have been rewritten before the first lookup, so the
+    // precomputed result is exactly what lookup() would return here.
+    rule = pre->rule;
+    consulted = *pre->consulted;
+  } else {
+    rule = table.lookup(ctx.key, &consulted);
+  }
   ctx.absorb(consulted);
   ++ctx.table_lookups;
 
@@ -223,6 +233,32 @@ void trim_wildcards_to_packet(const FlowKey& pkt, FlowWildcards& wc) {
 
 XlateResult Pipeline::translate(const FlowKey& pkt, uint64_t now_ns,
                                 bool side_effects) {
+  return translate_one(pkt, now_ns, side_effects, nullptr);
+}
+
+std::vector<XlateResult> Pipeline::translate_batch(std::span<const Packet> pkts,
+                                                   uint64_t now_ns,
+                                                   bool side_effects) {
+  std::vector<XlateResult> out;
+  out.reserve(pkts.size());
+  if (pkts.empty()) return out;
+
+  std::vector<FlowKey> keys;
+  keys.reserve(pkts.size());
+  for (const Packet& p : pkts) keys.push_back(p.key);
+  std::vector<const OfRule*> rules(pkts.size());
+  std::vector<FlowWildcards> wcs(pkts.size());
+  tables_[0]->lookup_batch(keys.data(), keys.size(), rules.data(), wcs.data());
+
+  for (size_t i = 0; i < pkts.size(); ++i) {
+    const Prefetched pre{rules[i], &wcs[i]};
+    out.push_back(translate_one(keys[i], now_ns, side_effects, &pre));
+  }
+  return out;
+}
+
+XlateResult Pipeline::translate_one(const FlowKey& pkt, uint64_t now_ns,
+                                    bool side_effects, const Prefetched* pre) {
   XlateCtx ctx;
   ctx.key = pkt;
   ctx.original = &pkt;
@@ -232,7 +268,7 @@ XlateResult Pipeline::translate(const FlowKey& pkt, uint64_t now_ns,
   // actions suppress hairpinning back out of in_port, so the forwarding
   // decision inherently depends on it.
   ctx.consult_field(FieldId::kInPort);
-  xlate_table(ctx, /*table_id=*/0, /*depth=*/0);
+  xlate_table(ctx, /*table_id=*/0, /*depth=*/0, pre);
 
   XlateResult res;
   trim_wildcards_to_packet(pkt, ctx.wc);

@@ -22,12 +22,14 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "datapath/dp_actions.h"
 #include "ofproto/conntrack.h"
 #include "ofproto/flow_table.h"
 #include "ofproto/mac_learning.h"
+#include "packet/packet.h"
 
 namespace ovs {
 
@@ -71,6 +73,19 @@ class Pipeline {
   XlateResult translate(const FlowKey& pkt, uint64_t now_ns,
                         bool side_effects = true);
 
+  // Translates a miss burst as a batch: the table-0 classification for all
+  // packets runs through the classifier engine's lookup_batch (one
+  // structure-of-arrays probe sweep with prefetching under kBloomGated)
+  // before the per-packet action walks run sequentially. Results are
+  // element-for-element identical to calling translate() in order: the
+  // batched stage only precomputes the first lookup each translation would
+  // perform anyway (table-0 state cannot change mid-batch, and rewrites
+  // that would change the lookup key only happen after that first lookup),
+  // while MAC learning and conntrack side effects stay in packet order.
+  std::vector<XlateResult> translate_batch(std::span<const Packet> pkts,
+                                           uint64_t now_ns,
+                                           bool side_effects = true);
+
   // Side-effect-free single-packet evaluation: what would this pipeline do
   // with `pkt` right now? Exactly translate(pkt, now_ns, side_effects=false)
   // — classifier, MAC and conntrack lookups only, no learning and no
@@ -102,7 +117,16 @@ class Pipeline {
 
  private:
   struct XlateCtx;
-  void xlate_table(XlateCtx& ctx, size_t table_id, int depth);
+  // A table-0 classification already performed by translate_batch; consumed
+  // by the first xlate_table call of the matching translation.
+  struct Prefetched {
+    const OfRule* rule;
+    const FlowWildcards* consulted;
+  };
+  XlateResult translate_one(const FlowKey& pkt, uint64_t now_ns,
+                            bool side_effects, const Prefetched* pre);
+  void xlate_table(XlateCtx& ctx, size_t table_id, int depth,
+                   const Prefetched* pre = nullptr);
   void do_normal(XlateCtx& ctx);
   void do_ct(XlateCtx& ctx, const OfCt& ct, int depth);
 

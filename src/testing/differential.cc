@@ -16,6 +16,7 @@ SwitchConfig DiffConfig::to_switch_config() const {
   c.rx_batch = rx_batch;
   c.reval_mode = reval_mode;
   c.revalidator_threads = revalidator_threads;
+  c.classifier.engine = engine;
   return c;
 }
 
@@ -35,6 +36,31 @@ std::vector<DiffConfig> standard_configs() {
         out.push_back(std::move(c));
       }
     }
+  }
+  return out;
+}
+
+std::vector<DiffConfig> engine_configs() {
+  std::vector<DiffConfig> out;
+  for (ClassifierEngine e :
+       {ClassifierEngine::kChainedTuple, ClassifierEngine::kBloomGated}) {
+    for (size_t rx : {size_t{1}, size_t{8}}) {
+      DiffConfig c;
+      c.name = std::string("engine-") + classifier_engine_name(e) +
+               (rx == 1 ? "/per-pkt" : "/batched");
+      c.rx_batch = rx;
+      c.engine = e;
+      out.push_back(std::move(c));
+    }
+    // One sharded point per engine: the engines' lookups must stay sound
+    // under the multi-worker datapath's upcall interleavings too.
+    DiffConfig c;
+    c.name = std::string("engine-") + classifier_engine_name(e) +
+             "/sharded/batched";
+    c.datapath_workers = 4;
+    c.rx_batch = 8;
+    c.engine = e;
+    out.push_back(std::move(c));
   }
   return out;
 }
@@ -78,7 +104,12 @@ std::optional<Divergence> DifferentialRunner::run(const Scenario& sc,
   SwitchConfig swc = cfg.to_switch_config();
   swc.fault = &fi;
   Switch sw(swc);
-  OracleSwitch oracle(swc.n_tables, swc.classifier);
+  // The oracle always runs the reference engine: when cfg selects an
+  // alternative engine the replay becomes an end-to-end differential test
+  // of that engine against the staged-TSS baseline.
+  ClassifierConfig oracle_cls = swc.classifier;
+  oracle_cls.engine = ClassifierEngine::kStagedTss;
+  OracleSwitch oracle(swc.n_tables, oracle_cls);
   ReplayClock clock(opts_.quanta);
 
   // id -> every action trace the switch emitted for that packet.

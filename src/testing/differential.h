@@ -45,6 +45,11 @@ struct DiffConfig {
   size_t rx_batch = 1;          // 1 = per-packet inject, >1 = inject_batch
   RevalidationMode reval_mode = RevalidationMode::kTwoTier;
   size_t revalidator_threads = 1;
+  // Classifier lookup engine the switch under test runs. The oracle is
+  // always pinned to the reference kStagedTss engine, so sweeping this
+  // field checks the alternative engines against the reference through
+  // full end-to-end replays, not just classifier-level unit diffs.
+  ClassifierEngine engine = ClassifierEngine::kStagedTss;
 
   SwitchConfig to_switch_config() const;
 };
@@ -52,6 +57,12 @@ struct DiffConfig {
 // The 8 sound configurations: {single, sharded} x {per-packet, batched}
 // x {kFull, kTwoTier}.
 std::vector<DiffConfig> standard_configs();
+
+// Non-reference classifier engines (chained-tuple, bloom-gated) crossed
+// with the datapath/batching variants that exercise their distinct lookup
+// paths: batched rx drives lookup_batch through translate_batch, per-pkt
+// drives the scalar path.
+std::vector<DiffConfig> engine_configs();
 
 // The deliberately unsound configuration: historical kTags revalidation,
 // whose Bloom tags track only MAC learning and therefore skip repairing

@@ -335,8 +335,14 @@ size_t Switch::handle_upcalls(uint64_t now_ns, size_t max_upcalls) {
     if (batch.empty()) break;
     // One kernel/user crossing per batch; batching amortizes it (§4.1).
     cpu_.user_cycles += m.upcall_syscall;
-    for (const Packet& pkt : batch) {
-      XlateResult xr = pipeline_.translate(pkt.key, now_ns);
+    // The whole miss burst classifies against table 0 in one batched sweep
+    // (classifier lookup_batch); per-packet action translation, install,
+    // and side effects then run in arrival order as before.
+    std::vector<XlateResult> xrs = pipeline_.translate_batch(
+        std::span<const Packet>(batch.data(), batch.size()), now_ns);
+    for (size_t bi = 0; bi < batch.size(); ++bi) {
+      const Packet& pkt = batch[bi];
+      XlateResult& xr = xrs[bi];
       cpu_.user_cycles +=
           m.upcall_fixed + m.per_table_lookup * xr.table_lookups;
       if (xr.error) ++counters_.xlate_errors;

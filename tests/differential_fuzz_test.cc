@@ -139,6 +139,42 @@ TEST(DifferentialFuzz, AllConfigsMatchOracle) {
   }();
 }
 
+// The classifier-engine matrix: the same seeded scenarios, but the switch
+// under test runs the chained-tuple or bloom-gated engine (per-packet,
+// batched, and sharded/batched variants) while the oracle stays pinned to
+// the staged-TSS reference. Zero divergences means the alternative engines
+// are end-to-end indistinguishable from the paper baseline — megaflow
+// generation included, since unsound wildcards surface as probe or trace
+// divergences here.
+TEST(DifferentialFuzz, EngineMatrixMatchesOracle) {
+  const size_t n_seeds = env_or("VSWITCH_FUZZ_SEEDS", 200);
+  const GeneratorConfig gcfg = generator_config();
+  const std::vector<DiffConfig> cfgs = fuzz::engine_configs();
+  ASSERT_EQ(6u, cfgs.size());
+  DifferentialRunner runner;
+
+  std::vector<std::string> failures;
+  for (uint64_t seed = 1; seed <= n_seeds; ++seed) {
+    const Scenario sc = fuzz::generate_scenario(seed, gcfg);
+    for (const DiffConfig& cfg : cfgs) {
+      std::optional<Divergence> d = runner.run(sc, cfg);
+      if (!d) continue;
+      const Scenario small = runner.shrink(sc, cfg);
+      const std::string path = repro_path(seed, cfg.name);
+      fuzz::save_scenario(path, small, d->to_string());
+      failures.push_back(d->to_string() + " (repro: " + path + ", " +
+                         std::to_string(small.events.size()) + " events)");
+      if (failures.size() >= 4) break;  // enough signal; stop burning time
+    }
+    if (failures.size() >= 4) break;
+  }
+  EXPECT_TRUE(failures.empty()) << [&] {
+    std::string all;
+    for (const std::string& f : failures) all += f + "\n";
+    return all;
+  }();
+}
+
 // The harness must have teeth: a switch with the historical tags-only
 // revalidator (which silently skips repairing flows staled by table
 // changes) must diverge, and the shrinker must cut the reproducer down to
@@ -211,6 +247,10 @@ TEST(DifferentialFuzz, CorpusTagsStaleActionsReplays) {
     std::optional<Divergence> dv = runner.run(sc, cfg);
     EXPECT_FALSE(dv.has_value()) << cfg.name << ": " << dv->to_string();
   }
+  for (const DiffConfig& cfg : fuzz::engine_configs()) {
+    std::optional<Divergence> dv = runner.run(sc, cfg);
+    EXPECT_FALSE(dv.has_value()) << cfg.name << ": " << dv->to_string();
+  }
 }
 
 // Regression corpus for a real bug this harness found: the revalidator kept
@@ -227,6 +267,10 @@ TEST(DifferentialFuzz, CorpusOverbroadDropMegaflowReplays) {
 
   DifferentialRunner runner;
   for (const DiffConfig& cfg : fuzz::standard_configs()) {
+    std::optional<Divergence> dv = runner.run(sc, cfg);
+    EXPECT_FALSE(dv.has_value()) << cfg.name << ": " << dv->to_string();
+  }
+  for (const DiffConfig& cfg : fuzz::engine_configs()) {
     std::optional<Divergence> dv = runner.run(sc, cfg);
     EXPECT_FALSE(dv.has_value()) << cfg.name << ": " << dv->to_string();
   }
