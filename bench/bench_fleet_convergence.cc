@@ -1,0 +1,298 @@
+// Fleet convergence bench (DESIGN.md §12): one active controller (plus a
+// standby) programs a rack-scale fleet of real switches over the lossy
+// control-plane wire, in three phases:
+//
+//   bootstrap — agents discover the controller by gossip and pull the
+//               baseline policy via resync (cold start, clean wire);
+//   change    — a fleet-wide policy change fans out while every link drops
+//               p% of messages (plus occasional connection resets);
+//   failover  — another change is pushed and the master is killed in the
+//               same instant, mid-fan-out; the standby takes over by
+//               discovery, agents roll the partial epoch back during
+//               resync, and the management layer re-issues the change.
+//
+// After each converged phase every switch is probed with live packets
+// against the policy it is supposed to hold.
+//
+// Gates (exit non-zero on failure, so CI can run this as a check):
+//   1. the lossy policy change converges within the deadline;
+//   2. flow-mod retransmissions under p% loss stay near the information-
+//      theoretic floor (bounded retries, no retransmit storms);
+//   3. zero misdelivered probe packets fleet-wide — including after the
+//      controller kill and standby takeover — and no stale rules;
+//   4. the whole scenario replays identically from the same seed.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ctrl/control_plane.h"
+#include "sim/clock.h"
+#include "util/fault.h"
+#include "vswitchd/switch.h"
+
+using namespace ovs;
+using namespace ovs::benchutil;
+
+namespace {
+
+struct Params {
+  size_t n_switches = 1024;
+  double drop_prob = 0.05;       // per-message wire loss in the change phase
+  double reset_prob = 0.002;     // per-send connection resets, change phase
+  double converge_deadline_s = 10.0;  // virtual, per phase
+  uint64_t seed = 21;
+};
+
+// Policy sequence: each epoch moves the 10.0.0.0/8 rule to a new priority
+// (so a partially applied epoch leaves a leftover the rollback must prune)
+// and flips the egress port (so probes can attribute delivery per epoch).
+const std::vector<FlowModPayload> kEpoch1 = {
+    {FlowModPayload::Op::kAdd,
+     "table=0, priority=10, ip, nw_dst=10.0.0.0/8, actions=output:2"}};
+const std::vector<FlowModPayload> kEpoch2 = {
+    {FlowModPayload::Op::kDelete, "ip, nw_dst=10.0.0.0/8"},
+    {FlowModPayload::Op::kAdd,
+     "table=0, priority=11, ip, nw_dst=10.0.0.0/8, actions=output:3"}};
+const std::vector<FlowModPayload> kEpoch3 = {
+    {FlowModPayload::Op::kDelete, "ip, nw_dst=10.0.0.0/8"},
+    {FlowModPayload::Op::kAdd,
+     "table=0, priority=12, ip, nw_dst=10.0.0.0/8, actions=output:2"}};
+
+struct Outcome {
+  bool converged[3] = {false, false, false};
+  uint64_t converge_ns[3] = {0, 0, 0};
+  uint64_t retx_change = 0;       // controller-side retransmits, change phase
+  uint64_t mods_sent_change = 0;  // channel sends, change phase
+  uint64_t wire_dropped = 0;
+  uint64_t misdelivered = 0;      // probe packets out the wrong port
+  uint64_t undelivered = 0;       // probe packets that died
+  uint64_t stale_rules = 0;       // switches holding != 1 rule at the end
+  uint64_t takeovers = 0;
+  uint64_t rules_pruned = 0;
+  uint64_t syncs = 0;
+  std::vector<uint64_t> fingerprint;
+};
+
+struct ControllerTotals {
+  uint64_t sent = 0;
+  uint64_t retransmits = 0;
+};
+
+ControllerTotals controller_totals(ControlPlane& cp) {
+  ControllerTotals t;
+  for (size_t j = 0; j < cp.n_controllers(); ++j) {
+    const CtrlChannel::Stats s = cp.controller(j).channel_totals();
+    t.sent += s.sent;
+    t.retransmits += s.retransmits;
+  }
+  return t;
+}
+
+// Probes one switch: a packet for the policy rule must leave on `expect`.
+void probe(Switch& sw, uint32_t expect, uint64_t base_ns, Outcome* out) {
+  size_t hits = 0;
+  sw.set_output_handler([&](uint32_t port, const Packet&) {
+    if (port == expect)
+      ++hits;
+    else
+      ++out->misdelivered;
+  });
+  Packet p;
+  p.key.set_in_port(1);
+  p.key.set_eth_type(ethertype::kIpv4);
+  p.key.set_nw_proto(ipproto::kTcp);
+  p.key.set_nw_src(Ipv4(1, 1, 1, 1));
+  p.key.set_nw_dst(Ipv4(10, 0, 0, 42));
+  p.key.set_tp_src(1234);
+  p.key.set_tp_dst(443);
+  p.size_bytes = 100;
+  sw.inject(p, base_ns);
+  sw.handle_upcalls(base_ns + kMillisecond);
+  sw.inject(p, base_ns + 2 * kMillisecond);
+  sw.handle_upcalls(base_ns + 3 * kMillisecond);
+  sw.set_output_handler(nullptr);
+  if (hits == 0) ++out->undelivered;
+}
+
+Outcome run_scenario(const Params& P) {
+  Outcome out;
+  std::vector<std::unique_ptr<Switch>> switches;
+  std::vector<Switch*> ptrs;
+  for (size_t i = 0; i < P.n_switches; ++i) {
+    auto sw = std::make_unique<Switch>();
+    sw->add_port(1);
+    sw->add_port(2);
+    sw->add_port(3);
+    ptrs.push_back(sw.get());
+    switches.push_back(std::move(sw));
+  }
+
+  FaultInjector fault(P.seed * 0x9E37 + 1);
+  ControlPlaneConfig cfg;
+  cfg.seed = P.seed;
+  cfg.n_controllers = 2;
+  cfg.fault = &fault;  // armed only during the change phase
+  ControlPlane cp(ptrs, cfg);
+  cp.start(0);
+  const auto deadline =
+      static_cast<uint64_t>(P.converge_deadline_s * 1e9);
+
+  // Phase 1: bootstrap — discovery + initial resync, clean wire.
+  uint64_t t0 = cp.now();
+  uint64_t epoch = cp.push_policy(kEpoch1);
+  uint64_t t = cp.run_until_converged(epoch, t0 + deadline);
+  out.converged[0] = t != UINT64_MAX;
+  out.converge_ns[0] = out.converged[0] ? t - t0 : 0;
+
+  // Phase 2: fleet-wide change under p% loss + occasional resets.
+  fault.set_probability(FaultPoint::kCtrlMsgDrop, P.drop_prob);
+  fault.set_probability(FaultPoint::kCtrlConnReset, P.reset_prob);
+  const ControllerTotals before = controller_totals(cp);
+  const uint64_t dropped_before = cp.net().stats().dropped;
+  t0 = cp.now();
+  epoch = cp.push_policy(kEpoch2);
+  t = cp.run_until_converged(epoch, t0 + deadline);
+  out.converged[1] = t != UINT64_MAX;
+  out.converge_ns[1] = out.converged[1] ? t - t0 : 0;
+  const ControllerTotals after = controller_totals(cp);
+  out.retx_change = after.retransmits - before.retransmits;
+  out.mods_sent_change = after.sent - before.sent;
+  out.wire_dropped = cp.net().stats().dropped - dropped_before;
+  fault.disarm_all();
+  // Probe after one revalidation period: flow-mods land in the tables at
+  // the barrier, and the periodic revalidator sweeps them into any cached
+  // megaflows (the OVS model — caches are revalidated, not invalidated).
+  if (out.converged[1]) {
+    for (auto& sw : switches) {
+      sw->run_maintenance(cp.now());
+      probe(*sw, 3, cp.now(), &out);
+    }
+  }
+
+  // Phase 3: push the next change and kill the master in the same instant
+  // (mid-fan-out); the standby takes over and the change is re-issued.
+  t0 = cp.now();
+  cp.push_policy(kEpoch3);
+  cp.kill_active();
+  cp.run_until(cp.now() + 5 * kSecond);  // discovery ages the master out
+  epoch = cp.push_policy(kEpoch3);       // management re-issues the intent
+  t = epoch == 0 ? UINT64_MAX : cp.run_until_converged(epoch, t0 + deadline);
+  out.converged[2] = t != UINT64_MAX;
+  out.converge_ns[2] = out.converged[2] ? t - t0 : 0;
+  if (out.converged[2]) {
+    for (auto& sw : switches) {
+      sw->run_maintenance(cp.now());
+      probe(*sw, 2, cp.now(), &out);
+      if (sw->pipeline().table(0).flow_count() != 1) ++out.stale_rules;
+    }
+  }
+
+  const Controller* master = cp.active_controller();
+  out.takeovers = master != nullptr ? master->role_generation() - 1 : 0;
+  const CtrlAgent::Stats a = cp.agent_stat_totals();
+  out.rules_pruned = a.rules_pruned;
+  out.syncs = a.syncs_completed;
+  const CtrlChannel::Stats ch = cp.agent_channel_totals();
+  const CtrlTransport::Stats& w = cp.net().stats();
+  out.fingerprint = {out.converge_ns[0], out.converge_ns[1],
+                     out.converge_ns[2], out.retx_change,
+                     out.mods_sent_change, out.wire_dropped,
+                     out.misdelivered,   out.undelivered,
+                     out.stale_rules,    out.takeovers,
+                     a.flow_mods_applied, a.rules_pruned,
+                     a.syncs_completed,  a.barriers_replied,
+                     a.stale_gen_fenced, a.standalone_entries,
+                     ch.retransmits,     ch.resets,
+                     w.sent,             w.delivered,
+                     cp.discovery().round(), cp.discovery().gossip_sent()};
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Params P;
+  if (flags.boolean("quick", false)) P.n_switches = 128;
+  P.n_switches = flags.u64("switches", P.n_switches);
+  P.drop_prob = flags.f64("drop", P.drop_prob);
+  P.reset_prob = flags.f64("reset", P.reset_prob);
+  P.converge_deadline_s = flags.f64("deadline", P.converge_deadline_s);
+  P.seed = flags.u64("seed", P.seed);
+
+  BenchReport report("fleet_convergence");
+  std::printf("Fleet convergence: %zu switches, 1 master + 1 standby; "
+              "change under %.1f%% loss / %.2f%% resets; kill mid-fan-out\n",
+              P.n_switches, 100 * P.drop_prob, 100 * P.reset_prob);
+  print_rule('=');
+
+  const Outcome o = run_scenario(P);
+  const Outcome r = run_scenario(P);
+
+  static const char* kPhases[3] = {"bootstrap", "lossy_change", "failover"};
+  std::printf("%-14s %12s %10s\n", "phase", "converged", "time_ms");
+  print_rule();
+  for (int i = 0; i < 3; ++i)
+    std::printf("%-14s %12s %10.1f\n", kPhases[i],
+                o.converged[i] ? "yes" : "NO",
+                static_cast<double>(o.converge_ns[i]) / 1e6);
+  print_rule();
+  std::printf("change-phase wire: %llu channel sends, %llu dropped, "
+              "%llu retransmits\n",
+              static_cast<unsigned long long>(o.mods_sent_change),
+              static_cast<unsigned long long>(o.wire_dropped),
+              static_cast<unsigned long long>(o.retx_change));
+  std::printf("failover: %llu takeover(s), %llu resyncs, %llu rules pruned\n",
+              static_cast<unsigned long long>(o.takeovers),
+              static_cast<unsigned long long>(o.syncs),
+              static_cast<unsigned long long>(o.rules_pruned));
+  std::printf("probes: %llu misdelivered, %llu undelivered, "
+              "%llu stale-rule switches\n",
+              static_cast<unsigned long long>(o.misdelivered),
+              static_cast<unsigned long long>(o.undelivered),
+              static_cast<unsigned long long>(o.stale_rules));
+
+  const bool gate_converged =
+      o.converged[0] && o.converged[1] && o.converged[2];
+  // Retries are bounded by the loss process itself: with per-message loss p
+  // (data or its ack) the expected retransmit fraction is ~2p/(1-2p); allow
+  // 3x that plus slack for reset-triggered resyncs before calling it a
+  // retransmit storm.
+  const double retx_ratio =
+      static_cast<double>(o.retx_change) /
+      std::max<double>(1.0, static_cast<double>(o.mods_sent_change));
+  const double retx_limit =
+      3.0 * 2.0 * P.drop_prob / (1.0 - 2.0 * P.drop_prob) + 0.05;
+  const bool gate_retx = retx_ratio <= retx_limit;
+  const bool gate_delivery =
+      o.misdelivered == 0 && o.undelivered == 0 && o.stale_rules == 0;
+  const bool deterministic = o.fingerprint == r.fingerprint;
+
+  std::printf("all phases converged within %.1fs: %s\n",
+              P.converge_deadline_s, gate_converged ? "PASS" : "FAIL");
+  std::printf("retransmit ratio %.3f  [gate <= %.3f: %s]\n", retx_ratio,
+              retx_limit, gate_retx ? "PASS" : "FAIL");
+  std::printf("zero misdelivery after takeover: %s\n",
+              gate_delivery ? "PASS" : "FAIL");
+  std::printf("deterministic replay from seed %llu: %s\n",
+              static_cast<unsigned long long>(P.seed),
+              deterministic ? "PASS" : "FAIL");
+
+  for (int i = 0; i < 3; ++i)
+    report.add("converge_ms", static_cast<double>(o.converge_ns[i]) / 1e6,
+               {{"phase", kPhases[i]}});
+  report.add("retx_ratio", retx_ratio);
+  report.add("wire_dropped", static_cast<double>(o.wire_dropped));
+  report.add("misdelivered", static_cast<double>(o.misdelivered));
+  report.add("stale_rules", static_cast<double>(o.stale_rules));
+  report.add("takeovers", static_cast<double>(o.takeovers));
+  report.add("rules_pruned", static_cast<double>(o.rules_pruned));
+  report.add("deterministic", deterministic ? 1 : 0);
+  report.write();
+
+  return gate_converged && gate_retx && gate_delivery && deterministic ? 0
+                                                                       : 1;
+}

@@ -1,0 +1,169 @@
+#include "ctrl/channel.h"
+
+#include <algorithm>
+
+#include "util/fault.h"
+
+namespace ovs {
+
+void CtrlChannel::do_reset(uint64_t now_ns, uint64_t new_epoch,
+                           bool injected) {
+  stats_.lost_to_reset += unacked_.size() + pending_.size();
+  if (injected)
+    ++stats_.resets;
+  else if (new_epoch > epoch_ + 1 || !unacked_.empty() || !pending_.empty() ||
+           expected_ != 1 || !ahead_.empty() || next_seq_ != 1)
+    ++stats_.peer_resets;
+  unacked_.clear();
+  pending_.clear();
+  ahead_.clear();
+  next_seq_ = 1;
+  expected_ = 1;
+  epoch_ = new_epoch;
+  dead_ = false;
+  if (on_reset_) on_reset_(now_ns);
+}
+
+void CtrlChannel::reconnect(uint64_t now_ns) {
+  // Same teardown as an injected reset, but initiated by the owner; the
+  // peer adopts the new epoch on first contact.
+  stats_.lost_to_reset += unacked_.size() + pending_.size();
+  unacked_.clear();
+  pending_.clear();
+  ahead_.clear();
+  next_seq_ = 1;
+  expected_ = 1;
+  ++epoch_;
+  dead_ = false;
+  (void)now_ns;
+}
+
+void CtrlChannel::transmit(const CtrlMsg& m, uint64_t now_ns) {
+  net_->send(m, now_ns);
+}
+
+void CtrlChannel::pump(uint64_t now_ns) {
+  while (!pending_.empty() && unacked_.size() < cfg_.window) {
+    CtrlMsg m = std::move(pending_.front());
+    pending_.pop_front();
+    m.seq = next_seq_++;
+    m.ack = expected_ - 1;
+    m.conn_epoch = epoch_;
+    ++stats_.sent;
+    unacked_.push_back({m, now_ns + cfg_.rto_ns, 1});
+    stats_.max_in_flight = std::max(stats_.max_in_flight, unacked_.size());
+    transmit(m, now_ns);
+  }
+}
+
+void CtrlChannel::send(CtrlMsg msg, uint64_t now_ns) {
+  if (fault_ != nullptr &&
+      fault_->should_fire(FaultPoint::kCtrlConnReset)) {
+    // The connection dies under this send: everything in flight or queued
+    // is lost; this message becomes the first of the new epoch.
+    do_reset(now_ns, epoch_ + 1, /*injected=*/true);
+  }
+  msg.src = self_;
+  msg.dst = peer_;
+  pending_.push_back(std::move(msg));
+  pump(now_ns);
+}
+
+void CtrlChannel::send_datagram(CtrlMsg msg, uint64_t now_ns) {
+  msg.src = self_;
+  msg.dst = peer_;
+  msg.seq = 0;
+  msg.ack = expected_ - 1;
+  msg.conn_epoch = epoch_;
+  transmit(msg, now_ns);
+}
+
+void CtrlChannel::process_ack(uint64_t ack, uint64_t now_ns) {
+  while (!unacked_.empty() && unacked_.front().msg.seq <= ack)
+    unacked_.pop_front();
+  pump(now_ns);
+}
+
+void CtrlChannel::send_ack(uint64_t now_ns) {
+  CtrlMsg a;
+  a.type = CtrlMsgType::kAck;
+  a.src = self_;
+  a.dst = peer_;
+  a.seq = 0;
+  a.ack = expected_ - 1;
+  a.conn_epoch = epoch_;
+  transmit(a, now_ns);
+}
+
+void CtrlChannel::on_receive(const CtrlMsg& m, uint64_t now_ns,
+                             std::vector<CtrlMsg>* out) {
+  if (m.conn_epoch < epoch_) {
+    // A straggler from before a reset: it was lost to that reset.
+    ++stats_.stale_discarded;
+    return;
+  }
+  if (m.conn_epoch > epoch_) {
+    // The peer reset the connection; adopt its epoch and drop our own
+    // stale state (our in-flight messages would be discarded over there).
+    do_reset(now_ns, m.conn_epoch, /*injected=*/false);
+  }
+
+  process_ack(m.ack, now_ns);
+
+  if (m.seq == 0) {
+    if (m.type != CtrlMsgType::kAck) {
+      ++stats_.delivered;
+      out->push_back(m);
+    }
+    return;
+  }
+
+  if (m.seq < expected_) {
+    // Duplicate (retransmission raced the ack, or a wire duplicate): the
+    // peer clearly missed our ack — repeat it.
+    ++stats_.dups_discarded;
+    send_ack(now_ns);
+    return;
+  }
+  if (m.seq > expected_) {
+    if (ahead_.size() < cfg_.reorder_buffer) ahead_.emplace(m.seq, m);
+    return;
+  }
+  // In order: deliver it and everything contiguous behind it.
+  ++stats_.delivered;
+  out->push_back(m);
+  ++expected_;
+  auto it = ahead_.begin();
+  while (it != ahead_.end() && it->first == expected_) {
+    ++stats_.delivered;
+    out->push_back(std::move(it->second));
+    it = ahead_.erase(it);
+    ++expected_;
+  }
+  ahead_.erase(ahead_.begin(), ahead_.lower_bound(expected_));
+  send_ack(now_ns);
+}
+
+void CtrlChannel::tick(uint64_t now_ns) {
+  for (Unacked& u : unacked_) {
+    if (u.next_retx_ns > now_ns) continue;
+    if (u.attempts >= cfg_.max_retx) {
+      dead_ = true;
+      continue;
+    }
+    // Exponential backoff: rto doubles per attempt up to the cap.
+    const uint64_t shift = std::min<uint64_t>(u.attempts, 32);
+    uint64_t rto = cfg_.rto_ns;
+    for (uint64_t i = 0; i < shift && rto < cfg_.rto_max_ns; ++i) rto *= 2;
+    rto = std::min(rto, cfg_.rto_max_ns);
+    ++u.attempts;
+    ++stats_.retransmits;
+    u.next_retx_ns = now_ns + rto;
+    CtrlMsg copy = u.msg;
+    copy.ack = expected_ - 1;  // piggyback the current cumulative ack
+    transmit(copy, now_ns);
+  }
+  pump(now_ns);
+}
+
+}  // namespace ovs

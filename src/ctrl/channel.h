@@ -1,0 +1,134 @@
+// Reliable, ordered control channel over the lossy wire (DESIGN.md §12).
+//
+// One CtrlChannel is one endpoint of a controller<->switch connection. Data
+// messages get per-connection sequence numbers and are delivered to the
+// application exactly once, in order, within a connection epoch:
+//
+//   * bounded in-flight window — at most cfg.window unacked messages on the
+//     wire; excess sends queue and drain as cumulative acks arrive;
+//   * retransmission — tick(now) re-sends overdue unacked messages with
+//     exponential backoff (rto_ns doubling per attempt up to rto_max_ns);
+//     a message exceeding max_retx marks the channel dead, which the owner
+//     maps to "peer is gone" (controller loss / switch loss);
+//   * dedup + reorder — the receiver buffers ahead-of-sequence arrivals up
+//     to a window and discards duplicates (redelivered or wire-duplicated),
+//     re-acking so the sender stops;
+//   * connection resets — each send consults FaultPoint::kCtrlConnReset;
+//     a firing tears the connection down mid-stream: every in-flight and
+//     queued message is LOST (not resent by the channel), the epoch bumps,
+//     and the on_reset callback tells the owner to re-handshake and
+//     redeliver at the application layer (idempotent flow-mod xids make
+//     that safe). The peer adopts the new epoch on first contact and drops
+//     everything stale, firing its own on_reset.
+//
+// Unsequenced datagrams (seq == 0: echo, gossip, pure acks) bypass all of
+// the above — liveness probes must not be masked by retransmission.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "ctrl/ctrl_msg.h"
+#include "ctrl/transport.h"
+
+namespace ovs {
+
+class FaultInjector;
+
+struct ChannelConfig {
+  size_t window = 32;                         // max unacked data messages
+  uint64_t rto_ns = 20 * kMillisecond;        // initial retransmit timeout
+  uint64_t rto_max_ns = 320 * kMillisecond;   // backoff cap
+  size_t max_retx = 10;                       // attempts before dead
+  size_t reorder_buffer = 64;                 // ahead-of-seq messages held
+};
+
+class CtrlChannel {
+ public:
+  // on_reset fires when the connection epoch changes under the owner's
+  // feet — locally (injected reset) or remotely (peer reset, adopted).
+  using ResetFn = std::function<void(uint64_t now_ns)>;
+
+  CtrlChannel(CtrlTransport* net, uint32_t self, uint32_t peer,
+              ChannelConfig cfg = {}, FaultInjector* fault = nullptr)
+      : net_(net), self_(self), peer_(peer), cfg_(cfg), fault_(fault) {}
+
+  void set_on_reset(ResetFn fn) { on_reset_ = std::move(fn); }
+
+  // Reliable, ordered send. Fills src/dst/seq/ack/conn_epoch. May trigger
+  // an injected connection reset *before* the message is assigned a
+  // sequence number, in which case this message is the first of the new
+  // epoch (everything older is lost).
+  void send(CtrlMsg msg, uint64_t now_ns);
+
+  // Fire-and-forget datagram (seq stays 0); still epoch-stamped so stale
+  // echoes from before a reset are ignored by the peer.
+  void send_datagram(CtrlMsg msg, uint64_t now_ns);
+
+  // Feed one wire message from the peer. Application-deliverable messages
+  // (in order, exactly once) are appended to *out; acks and duplicates are
+  // consumed internally.
+  void on_receive(const CtrlMsg& m, uint64_t now_ns,
+                  std::vector<CtrlMsg>* out);
+
+  // Timer pump: retransmit overdue messages, refill the window.
+  void tick(uint64_t now_ns);
+
+  // Administrative reconnect (after the owner noticed dead() or switched
+  // peers): new epoch, fresh state, not counted as an injected reset.
+  void reconnect(uint64_t now_ns);
+
+  bool dead() const { return dead_; }
+  uint64_t conn_epoch() const { return epoch_; }
+  size_t in_flight() const { return unacked_.size(); }
+  size_t queued() const { return pending_.size(); }
+  uint32_t peer() const { return peer_; }
+  void set_peer(uint32_t peer) { peer_ = peer; }
+
+  struct Stats {
+    uint64_t sent = 0;             // first transmissions of data messages
+    uint64_t retransmits = 0;      // re-sends after timeout
+    uint64_t delivered = 0;        // handed to the application
+    uint64_t dups_discarded = 0;   // below-window arrivals dropped
+    uint64_t stale_discarded = 0;  // old-epoch arrivals dropped
+    uint64_t resets = 0;           // injected connection resets taken here
+    uint64_t peer_resets = 0;      // epochs adopted from the peer
+    uint64_t lost_to_reset = 0;    // unacked+queued messages a reset killed
+    size_t max_in_flight = 0;      // high-water mark of the send window
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Unacked {
+    CtrlMsg msg;
+    uint64_t next_retx_ns = 0;
+    uint32_t attempts = 0;  // transmissions so far (1 = first send)
+  };
+
+  void do_reset(uint64_t now_ns, uint64_t new_epoch, bool injected);
+  void transmit(const CtrlMsg& m, uint64_t now_ns);
+  void pump(uint64_t now_ns);  // move pending_ into the window
+  void process_ack(uint64_t ack, uint64_t now_ns);
+  void send_ack(uint64_t now_ns);
+
+  CtrlTransport* net_;
+  uint32_t self_;
+  uint32_t peer_;
+  ChannelConfig cfg_;
+  FaultInjector* fault_;
+  ResetFn on_reset_;
+
+  uint64_t epoch_ = 1;
+  uint64_t next_seq_ = 1;              // next sequence number to assign
+  std::deque<Unacked> unacked_;        // in seq order
+  std::deque<CtrlMsg> pending_;        // waiting for window space
+  uint64_t expected_ = 1;              // next seq to deliver
+  std::map<uint64_t, CtrlMsg> ahead_;  // reorder buffer (seq -> msg)
+  bool dead_ = false;
+  Stats stats_;
+};
+
+}  // namespace ovs

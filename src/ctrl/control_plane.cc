@@ -1,0 +1,202 @@
+#include "ctrl/control_plane.h"
+
+#include <algorithm>
+
+#include "vswitchd/switch.h"
+
+namespace ovs {
+
+ControlPlane::ControlPlane(const std::vector<Switch*>& switches,
+                           ControlPlaneConfig cfg)
+    : n_switches_(switches.size()),
+      cfg_(cfg),
+      net_(cfg.transport),
+      disco_(&net_, cfg.discovery) {
+  if (cfg_.fault != nullptr) net_.set_fault(cfg_.fault);
+  std::vector<uint32_t> fleet;
+  fleet.reserve(n_switches_);
+  for (size_t i = 0; i < n_switches_; ++i) fleet.push_back(agent_id(i));
+
+  for (size_t j = 0; j < cfg_.n_controllers; ++j) {
+    ControllerConfig cc;
+    cc.id = controller_id(j);
+    // Controller 0 is the preferred master; standbys take over in order.
+    cc.priority = static_cast<uint32_t>(cfg_.n_controllers - j);
+    cc.channel = cfg_.channel;
+    cc.fault = cfg_.fault;
+    auto c = std::make_unique<Controller>(&net_, cc);
+    c->set_fleet(fleet);
+    c->set_discovery(&disco_);
+    controllers_.push_back(std::move(c));
+  }
+
+  for (size_t i = 0; i < n_switches_; ++i) {
+    CtrlAgentConfig ac;
+    ac.id = agent_id(i);
+    ac.channel = cfg_.channel;
+    ac.fault = (i < cfg_.agent_faults.size() && cfg_.agent_faults[i])
+                   ? cfg_.agent_faults[i]
+                   : cfg_.fault;
+    ac.echo_interval_ns = cfg_.echo_interval_ns;
+    ac.echo_miss_limit = cfg_.echo_miss_limit;
+    auto a = std::make_unique<CtrlAgent>(&net_, switches[i], ac);
+    a->set_discovery(&disco_);
+    agents_.push_back(std::move(a));
+  }
+}
+
+ControlPlane::~ControlPlane() = default;
+
+void ControlPlane::start(uint64_t now_ns) {
+  now_ = now_ns;
+  next_gossip_ns_ = now_ns;
+  saw_foreign_leader_.assign(controllers_.size(), 0);
+
+  // Discovery membership + the initial knowledge graph: agents in a ring
+  // with a few random chords (nobody starts knowing a controller — finding
+  // one IS the protocol); controllers know each other and a few random
+  // agents, which is how their heartbeats first leak into the agent graph.
+  Rng rng(cfg_.seed ^ 0xC0117201);
+  for (size_t i = 0; i < n_switches_; ++i) disco_.add_node(agent_id(i));
+  for (size_t j = 0; j < controllers_.size(); ++j)
+    disco_.add_controller(controller_id(j), controllers_[j]->priority());
+  for (size_t i = 0; i < n_switches_; ++i) {
+    disco_.add_link(agent_id(i), agent_id((i + 1) % n_switches_));
+    for (size_t k = 0; k < cfg_.seed_links; ++k)
+      disco_.add_link(agent_id(i),
+                      agent_id(static_cast<size_t>(rng.next() % n_switches_)));
+  }
+  for (size_t j = 0; j < controllers_.size(); ++j) {
+    for (size_t j2 = 0; j2 < controllers_.size(); ++j2)
+      if (j2 != j) disco_.add_link(controller_id(j), controller_id(j2));
+    for (size_t k = 0; k < cfg_.controller_seed_links && n_switches_ > 0; ++k)
+      disco_.add_link(controller_id(j),
+                      agent_id(static_cast<size_t>(rng.next() % n_switches_)));
+  }
+
+  for (size_t i = 0; i < cfg_.agent_faults.size() && i < n_switches_; ++i)
+    if (cfg_.agent_faults[i] != nullptr)
+      net_.set_node_fault(agent_id(i), cfg_.agent_faults[i]);
+  for (auto& c : controllers_) c->attach(now_ns);
+  for (auto& a : agents_) a->attach(now_ns);
+  controllers_[0]->activate(/*role_generation=*/1, now_ns);
+}
+
+void ControlPlane::step() {
+  now_ += cfg_.tick_ns;
+  net_.deliver_until(now_);
+  if (now_ >= next_gossip_ns_) {
+    disco_.run_round(now_);
+    next_gossip_ns_ = now_ + cfg_.gossip_interval_ns;
+  }
+  // Takeover: a standby whose belief in a foreign master has aged out —
+  // discovery now says the standby itself is the leader — activates
+  // itself, fenced one generation above what was replicated. The
+  // saw_foreign_leader_ arming keeps a freshly booted standby (whose
+  // belief defaults to itself until gossip delivers the master's
+  // heartbeat) from seizing mastership it was never ceded.
+  for (size_t j = 0; j < controllers_.size(); ++j) {
+    Controller& c = *controllers_[j];
+    if (c.crashed() || c.active()) continue;
+    const uint32_t belief = disco_.leader_of(c.id());
+    if (belief != c.id())
+      saw_foreign_leader_[j] = 1;
+    else if (saw_foreign_leader_[j])
+      c.activate(c.role_generation() + 1, now_);
+  }
+  for (auto& a : agents_) a->tick(now_);
+  for (auto& c : controllers_) c->tick(now_);
+}
+
+void ControlPlane::run_until(uint64_t t_ns) {
+  while (now_ < t_ns) step();
+}
+
+uint64_t ControlPlane::run_until_converged(uint64_t epoch,
+                                           uint64_t deadline_ns) {
+  if (policy_converged(epoch)) return now_;
+  while (now_ < deadline_ns) {
+    step();
+    if (policy_converged(epoch)) return now_;
+  }
+  return UINT64_MAX;
+}
+
+uint64_t ControlPlane::push_policy(const std::vector<FlowModPayload>& mods) {
+  Controller* a = active_controller();
+  if (a == nullptr) return 0;
+  if (cfg_.replicate_before_push) replicate_standbys();
+  return a->push_policy(mods, now_);
+}
+
+bool ControlPlane::policy_converged(uint64_t epoch) const {
+  const Controller* a = active_controller();
+  return a != nullptr && a->converged(epoch);
+}
+
+void ControlPlane::kill_active() {
+  Controller* a = active_controller();
+  if (a == nullptr) return;
+  a->crash(now_);
+  disco_.set_alive(a->id(), false);
+}
+
+void ControlPlane::replicate_standbys() {
+  Controller* a = active_controller();
+  if (a == nullptr) return;
+  for (auto& c : controllers_)
+    if (c.get() != a && !c->crashed()) c->replicate_from(*a);
+}
+
+Controller* ControlPlane::active_controller() {
+  Controller* best = nullptr;
+  for (auto& c : controllers_) {
+    if (c->crashed() || !c->active()) continue;
+    if (best == nullptr || c->role_generation() > best->role_generation())
+      best = c.get();
+  }
+  return best;
+}
+
+const Controller* ControlPlane::active_controller() const {
+  return const_cast<ControlPlane*>(this)->active_controller();
+}
+
+CtrlChannel::Stats ControlPlane::agent_channel_totals() const {
+  CtrlChannel::Stats t;
+  for (const auto& a : agents_) {
+    const CtrlChannel::Stats& c = a->channel().stats();
+    t.sent += c.sent;
+    t.retransmits += c.retransmits;
+    t.delivered += c.delivered;
+    t.dups_discarded += c.dups_discarded;
+    t.stale_discarded += c.stale_discarded;
+    t.resets += c.resets;
+    t.peer_resets += c.peer_resets;
+    t.lost_to_reset += c.lost_to_reset;
+    t.max_in_flight = std::max(t.max_in_flight, c.max_in_flight);
+  }
+  return t;
+}
+
+CtrlAgent::Stats ControlPlane::agent_stat_totals() const {
+  CtrlAgent::Stats t;
+  for (const auto& a : agents_) {
+    const CtrlAgent::Stats& s = a->stats();
+    t.flow_mods_applied += s.flow_mods_applied;
+    t.mod_errors += s.mod_errors;
+    t.dups_ignored += s.dups_ignored;
+    t.stale_gen_fenced += s.stale_gen_fenced;
+    t.foreign_dropped += s.foreign_dropped;
+    t.barriers_replied += s.barriers_replied;
+    t.syncs_completed += s.syncs_completed;
+    t.rules_pruned += s.rules_pruned;
+    t.echo_misses += s.echo_misses;
+    t.standalone_entries += s.standalone_entries;
+    t.connects += s.connects;
+    t.packet_ins_sent += s.packet_ins_sent;
+  }
+  return t;
+}
+
+}  // namespace ovs

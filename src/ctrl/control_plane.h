@@ -1,0 +1,128 @@
+// Whole-control-plane harness (DESIGN.md §12): transport + discovery +
+// controllers + per-switch agents, advanced in lockstep virtual time.
+//
+// The harness owns the composition and the clock, nothing else: protocol
+// behavior lives in the parts. One step() is
+//
+//   deliver due wire messages -> gossip round (if due) -> takeover check
+//   -> agent ticks -> controller ticks
+//
+// in deterministic order (ids ascending), so a run is a pure function of
+// (config, seed, fault schedules).
+//
+// Takeover is belief-driven: a standby activates itself the moment
+// discovery says it is the leader (the old master's heartbeats aged out),
+// with fencing generation replicated_generation + 1. Nothing tells the
+// agents — they follow their own leader belief, hello at the new master,
+// and get resynced. The deposed master, if still alive, keeps its sessions
+// but its generation no longer programs anything.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ctrl/controller.h"
+#include "ctrl/discovery.h"
+#include "ctrl/transport.h"
+#include "util/rng.h"
+#include "vswitchd/ctrl_agent.h"
+
+namespace ovs {
+
+class Switch;
+
+struct ControlPlaneConfig {
+  uint64_t seed = 1;
+  size_t n_controllers = 2;  // 1 active + standbys
+  TransportConfig transport;
+  ChannelConfig channel;
+  DiscoveryConfig discovery;
+  uint64_t tick_ns = 10 * kMillisecond;            // control loop period
+  uint64_t gossip_interval_ns = 20 * kMillisecond;  // discovery round pace
+  uint64_t echo_interval_ns = 50 * kMillisecond;
+  size_t echo_miss_limit = 4;
+  // Initial knowledge edges per node (ring + this many random peers).
+  size_t seed_links = 1;
+  size_t controller_seed_links = 8;  // random agents each controller knows
+  // Global wire/connection injector (kCtrlMsgDrop/Delay/Duplicate at the
+  // transport, kCtrlConnReset at the channels). Per-node injectors go
+  // through net().set_node_fault().
+  FaultInjector* fault = nullptr;
+  // Optional per-agent injectors (index = switch index; nullptr entries
+  // fall back to `fault`). Entry i becomes both the transport's node
+  // injector for agent i's links and agent i's channel (conn-reset)
+  // injector — how the fleet arms rack-correlated wire faults.
+  std::vector<FaultInjector*> agent_faults;
+  // Copy the active's policy store to standbys before each push, so the
+  // push in flight is exactly what a crash loses (realistic lag).
+  bool replicate_before_push = true;
+};
+
+class ControlPlane {
+ public:
+  // One agent per switch; switches are borrowed, not owned. Node ids:
+  // agent i -> i + 1, controller j -> n_switches + 1 + j (controllers get
+  // the largest ids so discovery's max-chasing pointers converge to them).
+  ControlPlane(const std::vector<Switch*>& switches, ControlPlaneConfig cfg);
+  ~ControlPlane();
+
+  uint32_t agent_id(size_t i) const { return static_cast<uint32_t>(i + 1); }
+  uint32_t controller_id(size_t j) const {
+    return static_cast<uint32_t>(n_switches_ + 1 + j);
+  }
+
+  // Attaches everyone, seeds discovery links, activates controller 0 with
+  // generation 1.
+  void start(uint64_t now_ns);
+
+  void step();
+  void run_until(uint64_t t_ns);
+  // Steps until the active controller reports converged(epoch) or the
+  // deadline passes; returns the convergence time, or UINT64_MAX.
+  uint64_t run_until_converged(uint64_t epoch, uint64_t deadline_ns);
+
+  // Fan a policy change out through the active controller (replicating to
+  // standbys first per config). Returns the new policy epoch, 0 if no
+  // active controller.
+  uint64_t push_policy(const std::vector<FlowModPayload>& mods);
+  bool policy_converged(uint64_t epoch) const;
+
+  // Crash the active controller (detach + stop heartbeating). Failover
+  // runs by itself: discovery ages it out, a standby takes over, agents
+  // re-hello and resync.
+  void kill_active();
+  void replicate_standbys();
+
+  Controller* active_controller();
+  const Controller* active_controller() const;
+  Controller& controller(size_t j) { return *controllers_[j]; }
+  CtrlAgent& agent(size_t i) { return *agents_[i]; }
+  size_t n_agents() const { return agents_.size(); }
+  size_t n_controllers() const { return controllers_.size(); }
+  CtrlTransport& net() { return net_; }
+  DiscoveryService& discovery() { return disco_; }
+  uint64_t now() const { return now_; }
+
+  // Aggregates for gates: channel stats summed over every agent.
+  CtrlChannel::Stats agent_channel_totals() const;
+  CtrlAgent::Stats agent_stat_totals() const;
+
+ private:
+  size_t n_switches_;
+  ControlPlaneConfig cfg_;
+  CtrlTransport net_;
+  DiscoveryService disco_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+  std::vector<std::unique_ptr<CtrlAgent>> agents_;
+  uint64_t now_ = 0;
+  uint64_t next_gossip_ns_ = 0;
+  // Takeover arming, per controller: a live controller's leader belief
+  // defaults to itself before gossip spreads, so a standby may only
+  // self-activate after it has believed in a FOREIGN master and watched
+  // that belief age out (otherwise every standby would seize mastership at
+  // boot, before ever hearing the real master's heartbeat).
+  std::vector<char> saw_foreign_leader_;
+};
+
+}  // namespace ovs

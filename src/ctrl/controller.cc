@@ -1,0 +1,255 @@
+#include "ctrl/controller.h"
+
+#include <algorithm>
+
+namespace ovs {
+
+Controller::Controller(CtrlTransport* net, ControllerConfig cfg)
+    : net_(net), cfg_(cfg) {}
+
+void Controller::set_fleet(const std::vector<uint32_t>& agents) {
+  fleet_ = agents;
+  for (uint32_t a : fleet_) history_[a];  // seed empty programs
+}
+
+void Controller::attach(uint64_t now_ns) {
+  attached_ = true;
+  crashed_ = false;
+  net_->attach(cfg_.id, [this](const CtrlMsg& m, uint64_t now) {
+    on_message(m, now);
+  });
+  (void)now_ns;
+}
+
+void Controller::crash(uint64_t now_ns) {
+  crashed_ = true;
+  attached_ = false;
+  active_ = false;
+  net_->detach(cfg_.id);
+  sessions_.clear();
+  (void)now_ns;
+}
+
+void Controller::activate(uint64_t role_generation, uint64_t now_ns) {
+  active_ = true;
+  role_generation_ = std::max(role_generation_ + 1, role_generation);
+  if (!attached_) attach(now_ns);
+  // Agents that hello'd while we were standby are connected but were never
+  // programmed (a standby answers hellos without resyncing); bring them up
+  // to the replicated history now that we own the fleet.
+  for (auto& [agent, s] : sessions_)
+    if (s.connected) send_resync(agent, s, now_ns);
+}
+
+void Controller::replicate_from(const Controller& primary) {
+  history_ = primary.history_;
+  fleet_ = primary.fleet_;
+  policy_epoch_ = primary.policy_epoch_;
+  next_xid_ = primary.next_xid_;
+  role_generation_ = std::max(role_generation_, primary.role_generation_);
+}
+
+CtrlMsg Controller::stamped(CtrlMsgType type) const {
+  CtrlMsg m;
+  m.type = type;
+  m.role = active_ ? CtrlRole::kMaster : CtrlRole::kSlave;
+  m.role_generation = role_generation_;
+  m.policy_epoch = policy_epoch_;
+  return m;
+}
+
+Controller::Session& Controller::session_for(uint32_t agent,
+                                             uint64_t now_ns) {
+  auto it = sessions_.find(agent);
+  if (it != sessions_.end()) return it->second;
+  Session& s = sessions_[agent];
+  s.channel = std::make_unique<CtrlChannel>(net_, cfg_.id, agent,
+                                            cfg_.channel, cfg_.fault);
+  // A reset (injected here or adopted from the agent) loses in-flight
+  // mods; queue the resync FIRST in the new epoch so anything the caller
+  // was about to send is sequenced after the replay of what was lost.
+  s.channel->set_on_reset([this, agent](uint64_t now) {
+    auto sit = sessions_.find(agent);
+    if (sit == sessions_.end()) return;
+    if (active_ && sit->second.connected) {
+      send_resync(agent, sit->second, now);
+    } else {
+      // Can't resync yet — but the session is known-disrupted, so its old
+      // barrier ack no longer certifies anything.
+      sit->second.resync_pending = true;
+      sit->second.barrier_acked = 0;
+    }
+  });
+  (void)now_ns;
+  return s;
+}
+
+void Controller::send_resync(uint32_t agent, Session& s, uint64_t now_ns) {
+  ++stats_.resyncs;
+  // A resync means the agent's state is suspect (reconnect, reset, or
+  // takeover); un-certify it until the sync barrier — stamped with the
+  // current policy epoch — is acked. Without this an agent that acked an
+  // epoch, then lost half a resync replay to a reset, would still count as
+  // converged while its tables are mid-rebuild.
+  s.barrier_acked = 0;
+  CtrlMsg begin = stamped(CtrlMsgType::kFlowMod);
+  begin.xid = next_xid_++;
+  begin.flow_mod.op = FlowModPayload::Op::kSyncBegin;
+  s.channel->send(std::move(begin), now_ns);
+  for (const ModRecord& rec : history_[agent]) {
+    CtrlMsg m = stamped(CtrlMsgType::kFlowMod);
+    m.xid = rec.xid;  // original xid: redelivery is idempotent at the agent
+    m.flow_mod = rec.mod;
+    ++stats_.flow_mods_sent;
+    s.channel->send(std::move(m), now_ns);
+  }
+  CtrlMsg b = stamped(CtrlMsgType::kBarrierRequest);
+  b.xid = next_xid_++;
+  s.last_barrier_xid = b.xid;
+  ++stats_.barriers_sent;
+  s.channel->send(std::move(b), now_ns);
+  s.connected = true;
+  s.resync_pending = false;
+}
+
+uint64_t Controller::push_policy(const std::vector<FlowModPayload>& mods,
+                                 uint64_t now_ns) {
+  if (!active_ || crashed_) return 0;
+  ++policy_epoch_;
+  for (uint32_t agent : fleet_) {
+    std::vector<ModRecord>& hist = history_[agent];
+    auto sit = sessions_.find(agent);
+    Session* s = (sit != sessions_.end() && sit->second.connected)
+                     ? &sit->second
+                     : nullptr;
+    for (const FlowModPayload& mod : mods) {
+      const uint64_t xid = next_xid_++;
+      hist.push_back({xid, mod});
+      if (s != nullptr) {
+        CtrlMsg m = stamped(CtrlMsgType::kFlowMod);
+        m.xid = xid;
+        m.flow_mod = mod;
+        ++stats_.flow_mods_sent;
+        s->channel->send(std::move(m), now_ns);
+      }
+    }
+    if (s != nullptr) {
+      CtrlMsg b = stamped(CtrlMsgType::kBarrierRequest);
+      b.xid = next_xid_++;
+      s->last_barrier_xid = b.xid;
+      ++stats_.barriers_sent;
+      s->channel->send(std::move(b), now_ns);
+    }
+    // Disconnected agents pick the whole epoch up from the resync that
+    // runs when they hello back in.
+  }
+  return policy_epoch_;
+}
+
+bool Controller::converged(uint64_t epoch) const {
+  for (uint32_t agent : fleet_) {
+    auto it = sessions_.find(agent);
+    if (it == sessions_.end() || it->second.barrier_acked < epoch)
+      return false;
+  }
+  return true;
+}
+
+uint64_t Controller::barrier_acked(uint32_t agent) const {
+  auto it = sessions_.find(agent);
+  return it == sessions_.end() ? 0 : it->second.barrier_acked;
+}
+
+void Controller::on_message(const CtrlMsg& m, uint64_t now_ns) {
+  if (crashed_) return;
+  if (m.type == CtrlMsgType::kGossip) {
+    if (disco_ != nullptr) disco_->on_gossip(cfg_.id, m, now_ns);
+    return;
+  }
+  Session& s = session_for(m.src, now_ns);
+  std::vector<CtrlMsg> out;
+  s.channel->on_receive(m, now_ns, &out);
+  for (const CtrlMsg& app : out) handle_app(m.src, s, app, now_ns);
+  if (s.resync_pending && active_ && s.connected)
+    send_resync(m.src, s, now_ns);
+}
+
+void Controller::handle_app(uint32_t agent, Session& s, const CtrlMsg& m,
+                            uint64_t now_ns) {
+  switch (m.type) {
+    case CtrlMsgType::kHello: {
+      ++stats_.hellos;
+      s.connected = true;
+      CtrlMsg h = stamped(CtrlMsgType::kHello);
+      h.xid = m.xid;
+      s.channel->send(std::move(h), now_ns);
+      if (active_) send_resync(agent, s, now_ns);
+      break;
+    }
+    case CtrlMsgType::kEchoRequest: {
+      ++stats_.echoes;
+      CtrlMsg e = stamped(CtrlMsgType::kEchoReply);
+      e.xid = m.xid;
+      s.channel->send_datagram(std::move(e), now_ns);
+      break;
+    }
+    case CtrlMsgType::kBarrierReply: {
+      ++stats_.barrier_replies;
+      // Only the reply to the newest barrier certifies. An older reply is
+      // truthful about the past, but when two resyncs were queued back to
+      // back (reset + pending, say) the first one's ack can land while the
+      // second's replay — transiently destructive — is still in flight;
+      // counting it would certify convergence mid-rebuild.
+      if (m.xid == s.last_barrier_xid)
+        s.barrier_acked = std::max(s.barrier_acked, m.policy_epoch);
+      else
+        ++stats_.superseded_acks;
+      break;
+    }
+    case CtrlMsgType::kPacketIn:
+      ++stats_.packet_ins;
+      break;
+    case CtrlMsgType::kRoleRequest: {
+      CtrlMsg r = stamped(CtrlMsgType::kRoleReply);
+      r.xid = m.xid;
+      s.channel->send(std::move(r), now_ns);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Controller::tick(uint64_t now_ns) {
+  if (crashed_) return;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    it->second.channel->tick(now_ns);
+    if (it->second.channel->dead()) {
+      // The agent stopped acking: assume it is gone. It re-hellos (and we
+      // resync) if it comes back.
+      ++stats_.sessions_dropped;
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+CtrlChannel::Stats Controller::channel_totals() const {
+  CtrlChannel::Stats t;
+  for (const auto& [id, s] : sessions_) {
+    const CtrlChannel::Stats& c = s.channel->stats();
+    t.sent += c.sent;
+    t.retransmits += c.retransmits;
+    t.delivered += c.delivered;
+    t.dups_discarded += c.dups_discarded;
+    t.stale_discarded += c.stale_discarded;
+    t.resets += c.resets;
+    t.peer_resets += c.peer_resets;
+    t.lost_to_reset += c.lost_to_reset;
+    t.max_in_flight = std::max(t.max_in_flight, c.max_in_flight);
+  }
+  return t;
+}
+
+}  // namespace ovs

@@ -1,0 +1,162 @@
+// The controller: policy fan-out, barriers, failover state (DESIGN.md §12).
+//
+// One Controller object is one controller process. The active (master)
+// instance owns the fleet's flow programs: push_policy() stamps a new policy
+// epoch, appends one xid'd mod record per (agent, mod) to the per-agent
+// history, fans the mods out over every connected session's reliable
+// channel, and closes each fan-out with a barrier carrying the epoch. An
+// agent's barrier reply certifies that every mod ordered before it was
+// applied, so converged(epoch) — every agent's acked barrier >= epoch — is
+// the fleet-wide "policy is live" predicate.
+//
+// Sessions are agent-initiated (hello), so a controller never needs to know
+// who is up: after a controller crash the agents gossip their way to a
+// standby (discovery.h), hello at it, and the standby replays its replicated
+// history. Recovery and reconnection share one mechanism, the full resync:
+//
+//   sync_begin; replay history[agent] with ORIGINAL xids; barrier(epoch)
+//
+// Replay with original xids makes redelivery idempotent (the agent dedups),
+// re-adds anything the agent lost, and the closing barrier has the agent
+// prune rules the history no longer produces — which also rolls back any
+// partial epoch a dead master managed to push beyond what it replicated.
+//
+// A connection reset (FaultPoint::kCtrlConnReset) loses every in-flight
+// message on the session. The channel's on_reset hook queues a resync as the
+// FIRST thing in the new connection epoch, so any message the caller was
+// sending when the reset fired — a barrier, say — is sequenced after the
+// replay of whatever was just lost: barrier certification survives resets.
+//
+// Stale-master fencing is OpenFlow 1.2-style: every hello/flow-mod/barrier
+// is stamped with the controller's role_generation; agents reject anything
+// below the highest generation they have seen, so a deposed master that is
+// still alive can talk but cannot program.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ctrl/channel.h"
+#include "ctrl/ctrl_msg.h"
+#include "ctrl/discovery.h"
+#include "ctrl/transport.h"
+
+namespace ovs {
+
+struct ControllerConfig {
+  uint32_t id = 0;
+  uint32_t priority = 1;
+  ChannelConfig channel;
+  // Consulted per session send for kCtrlConnReset (shared with the fleet's
+  // wire injector by the harness).
+  FaultInjector* fault = nullptr;
+};
+
+class Controller {
+ public:
+  Controller(CtrlTransport* net, ControllerConfig cfg);
+
+  // The agent ids this controller is responsible for. Seeds the per-agent
+  // history so policy pushed before an agent ever connects still reaches it
+  // via resync.
+  void set_fleet(const std::vector<uint32_t>& agents);
+
+  // Registers the transport handler; messages flow after this.
+  void attach(uint64_t now_ns);
+  // Gossip addressed to us is handed to the discovery service (which also
+  // carries our heartbeat while we are alive).
+  void set_discovery(DiscoveryService* d) { disco_ = d; }
+  // Process death: detaches from the wire and drops every session. In-flight
+  // state is gone; standbys carry on from their replicated history.
+  void crash(uint64_t now_ns);
+  bool crashed() const { return crashed_; }
+
+  // Become master with the given fencing generation (must exceed the dead
+  // master's). Does not contact agents — they hello at us via discovery.
+  void activate(uint64_t role_generation, uint64_t now_ns);
+  bool active() const { return active_; }
+  uint64_t role_generation() const { return role_generation_; }
+
+  // Standby replication: copy the primary's history, epoch, xid and role
+  // generation. Called by the harness on its replication schedule; anything
+  // the primary pushes after the last call is lost with it (and rolled back
+  // by resync after takeover).
+  void replicate_from(const Controller& primary);
+
+  // Fan out one policy change (a list of add/delete mods) to every agent.
+  // Returns the new policy epoch. No-op returning 0 unless active.
+  uint64_t push_policy(const std::vector<FlowModPayload>& mods,
+                       uint64_t now_ns);
+
+  // True when every fleet agent has acked a barrier at or beyond `epoch`.
+  bool converged(uint64_t epoch) const;
+  uint64_t policy_epoch() const { return policy_epoch_; }
+
+  // Timer pump: per-session retransmits; a dead channel drops the session
+  // (the agent re-hellos when it rediscovers us).
+  void tick(uint64_t now_ns);
+
+  uint32_t id() const { return cfg_.id; }
+  uint32_t priority() const { return cfg_.priority; }
+  size_t session_count() const { return sessions_.size(); }
+  uint64_t barrier_acked(uint32_t agent) const;
+
+  struct Stats {
+    uint64_t flow_mods_sent = 0;  // incremental + resync replays
+    uint64_t barriers_sent = 0;
+    uint64_t barrier_replies = 0;
+    uint64_t resyncs = 0;         // full resync streams queued
+    uint64_t packet_ins = 0;
+    uint64_t hellos = 0;
+    uint64_t echoes = 0;
+    uint64_t sessions_dropped = 0;  // channels declared dead
+    uint64_t superseded_acks = 0;   // replies to barriers we since re-sent
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Aggregate channel-level stats across live sessions (retransmits etc.).
+  CtrlChannel::Stats channel_totals() const;
+
+ private:
+  struct ModRecord {
+    uint64_t xid;
+    FlowModPayload mod;
+  };
+  struct Session {
+    std::unique_ptr<CtrlChannel> channel;
+    bool connected = false;       // hello seen / resync queued this epoch
+    bool resync_pending = false;  // queue a resync at the next opportunity
+    uint64_t barrier_acked = 0;   // highest policy epoch certified
+    // xid of the most recent barrier sent. Only a reply to THIS barrier may
+    // certify: a reply to a superseded barrier (an earlier resync whose
+    // follow-up is still replaying) describes a state we have since told
+    // the agent to rebuild.
+    uint64_t last_barrier_xid = 0;
+  };
+
+  Session& session_for(uint32_t agent, uint64_t now_ns);
+  void on_message(const CtrlMsg& m, uint64_t now_ns);
+  void handle_app(uint32_t agent, Session& s, const CtrlMsg& m,
+                  uint64_t now_ns);
+  void send_resync(uint32_t agent, Session& s, uint64_t now_ns);
+  CtrlMsg stamped(CtrlMsgType type) const;
+
+  CtrlTransport* net_;
+  ControllerConfig cfg_;
+  DiscoveryService* disco_ = nullptr;
+  bool attached_ = false;
+  bool crashed_ = false;
+  bool active_ = false;
+  uint64_t role_generation_ = 0;
+  uint64_t policy_epoch_ = 0;
+  uint64_t next_xid_ = 1;
+  std::vector<uint32_t> fleet_;
+  std::map<uint32_t, std::vector<ModRecord>> history_;  // per-agent program
+  std::map<uint32_t, Session> sessions_;
+  Stats stats_;
+};
+
+}  // namespace ovs

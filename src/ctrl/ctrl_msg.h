@@ -1,0 +1,114 @@
+// Controller<->switch wire vocabulary (DESIGN.md §12).
+//
+// An OpenFlow-ish control protocol, reduced to the messages the fault
+// tolerance story needs:
+//
+//   * hello           — session setup after (re)connect; carries the
+//                       controller's role generation for stale-master fencing
+//   * echo req/reply  — liveness probes in both directions; an agent that
+//                       misses enough replies declares the controller dead
+//                       and enters fail-standalone
+//   * flow_mod        — one add/delete in the ovs-ofctl text syntax
+//                       (ofproto/flow_parser.h), stamped with a globally
+//                       unique xid so redelivery after a reconnect is
+//                       idempotent; sync_begin brackets a full-state resync
+//   * barrier req/rep — fence: the reply certifies every flow_mod ordered
+//                       before it on the channel has been applied
+//   * packet_in       — the pipeline's controller action, forwarded upstream
+//   * role req/reply  — master/slave claim, fenced by role_generation
+//   * gossip          — discovery datagram (src/ctrl/discovery.h): the
+//                       sender's peer digest plus controller heartbeats
+//   * ack             — pure transport acknowledgement (channel.h)
+//
+// Messages are plain in-memory values; the "wire" is the deterministic
+// lossy transport in src/ctrl/transport.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ovs {
+
+enum class CtrlMsgType : uint8_t {
+  kHello = 0,
+  kEchoRequest,
+  kEchoReply,
+  kFlowMod,
+  kBarrierRequest,
+  kBarrierReply,
+  kPacketIn,
+  kRoleRequest,
+  kRoleReply,
+  kGossip,
+  kAck,
+};
+
+inline const char* ctrl_msg_name(CtrlMsgType t) noexcept {
+  switch (t) {
+    case CtrlMsgType::kHello: return "hello";
+    case CtrlMsgType::kEchoRequest: return "echo_request";
+    case CtrlMsgType::kEchoReply: return "echo_reply";
+    case CtrlMsgType::kFlowMod: return "flow_mod";
+    case CtrlMsgType::kBarrierRequest: return "barrier_request";
+    case CtrlMsgType::kBarrierReply: return "barrier_reply";
+    case CtrlMsgType::kPacketIn: return "packet_in";
+    case CtrlMsgType::kRoleRequest: return "role_request";
+    case CtrlMsgType::kRoleReply: return "role_reply";
+    case CtrlMsgType::kGossip: return "gossip";
+    case CtrlMsgType::kAck: return "ack";
+  }
+  return "?";
+}
+
+enum class CtrlRole : uint8_t { kMaster, kSlave };
+
+struct FlowModPayload {
+  enum class Op : uint8_t {
+    kAdd,        // spec in add_flow syntax
+    kDelete,     // spec in del_flows (loose-match) syntax
+    kSyncBegin,  // start of a full-state resync: adds that follow define the
+                 // complete desired program; at the closing barrier the agent
+                 // prunes any installed rule not re-sent, then forces a full
+                 // revalidation pass (reconcile after failover)
+  };
+  Op op = Op::kAdd;
+  std::string spec;
+};
+
+// One control message. Fields outside the common header are meaningful only
+// for the types that use them; unused ones stay zero so fingerprints and
+// dedup stay deterministic.
+struct CtrlMsg {
+  CtrlMsgType type = CtrlMsgType::kHello;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+
+  // Reliable-channel header (channel.h). seq == 0 marks an unsequenced
+  // datagram (acks, echoes, gossip); data messages get seq >= 1 within a
+  // connection epoch. ack is the cumulative receive high-water mark.
+  uint64_t seq = 0;
+  uint64_t ack = 0;
+  uint64_t conn_epoch = 0;
+
+  // Application header.
+  uint64_t xid = 0;           // flow_mod / barrier / role transaction id
+  uint64_t policy_epoch = 0;  // controller policy version being fanned out
+  CtrlRole role = CtrlRole::kSlave;
+  uint64_t role_generation = 0;  // stale-master fencing (OpenFlow 1.2-style)
+
+  FlowModPayload flow_mod;
+
+  // Discovery payload (discovery.h): the sender's bounded peer digest and
+  // the controller heartbeats it has heard, by (id, priority, round).
+  struct ControllerBeat {
+    uint32_t id = 0;
+    uint32_t priority = 0;
+    uint64_t round = 0;  // gossip round the controller last asserted itself
+  };
+  std::vector<uint32_t> gossip_peers;
+  std::vector<ControllerBeat> gossip_beats;
+  uint64_t gossip_round = 0;
+};
+
+}  // namespace ovs

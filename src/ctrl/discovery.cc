@@ -1,0 +1,135 @@
+#include "ctrl/discovery.h"
+
+#include <algorithm>
+
+namespace ovs {
+
+void DiscoveryService::add_node(uint32_t id) {
+  Node n;
+  n.rng = Rng(cfg_.seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)));
+  nodes_.emplace(id, std::move(n));
+}
+
+void DiscoveryService::add_controller(uint32_t id, uint32_t priority) {
+  add_node(id);
+  Node& n = nodes_.at(id);
+  n.is_controller = true;
+  n.priority = priority;
+}
+
+void DiscoveryService::set_alive(uint32_t id, bool alive) {
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.alive = alive;
+}
+
+void DiscoveryService::add_link(uint32_t who, uint32_t whom) {
+  if (who == whom) return;
+  auto it = nodes_.find(who);
+  if (it != nodes_.end()) it->second.known.insert(whom);
+}
+
+CtrlMsg DiscoveryService::make_digest(uint32_t self, const Node& n,
+                                      bool want_reply) const {
+  CtrlMsg m;
+  m.type = CtrlMsgType::kGossip;
+  m.xid = want_reply ? 1 : 0;
+  m.gossip_round = round_;
+  // Digest biased to the largest ids: those are the merge hubs (and the
+  // controllers), so propagating them is what makes pointers double.
+  m.gossip_peers.push_back(self);
+  for (auto it = n.known.rbegin();
+       it != n.known.rend() && m.gossip_peers.size() < cfg_.digest_cap; ++it)
+    m.gossip_peers.push_back(*it);
+  for (const auto& [id, beat] : n.beats) m.gossip_beats.push_back(beat);
+  return m;
+}
+
+void DiscoveryService::merge(Node& n, const CtrlMsg& m) {
+  n.known.insert(m.src);
+  for (uint32_t id : m.gossip_peers) n.known.insert(id);
+  for (const CtrlMsg::ControllerBeat& b : m.gossip_beats) {
+    auto [it, inserted] = n.beats.emplace(b.id, b);
+    if (!inserted && b.round > it->second.round) it->second = b;
+  }
+  // Evict from the small end: low ids are the least useful to remember —
+  // pointers chase maxima.
+  while (n.known.size() > cfg_.known_cap) n.known.erase(n.known.begin());
+}
+
+void DiscoveryService::run_round(uint64_t now_ns) {
+  ++round_;
+  for (auto& [id, n] : nodes_) {
+    if (!n.alive) continue;
+    if (n.is_controller)
+      n.beats[id] = CtrlMsg::ControllerBeat{id, n.priority, round_};
+    n.known.erase(id);
+    if (n.known.empty()) continue;
+    const uint32_t pointer = *n.known.rbegin();
+    uint32_t expander = pointer;
+    if (n.known.size() > 1) {
+      // Uniform pick over the known set; colliding with the pointer just
+      // means one message this round instead of two.
+      auto it = n.known.begin();
+      std::advance(it, static_cast<size_t>(n.rng.next() % n.known.size()));
+      expander = *it;
+    }
+    CtrlMsg d = make_digest(id, n, /*want_reply=*/true);
+    d.src = id;
+    d.dst = pointer;
+    ++gossip_sent_;
+    net_->send(d, now_ns);
+    if (expander != pointer) {
+      d.dst = expander;
+      ++gossip_sent_;
+      net_->send(d, now_ns);
+    }
+  }
+}
+
+void DiscoveryService::on_gossip(uint32_t self, const CtrlMsg& m,
+                                 uint64_t now_ns) {
+  auto it = nodes_.find(self);
+  if (it == nodes_.end() || !it->second.alive) return;
+  Node& n = it->second;
+  merge(n, m);
+  n.known.erase(self);
+  if (m.xid == 1) {
+    CtrlMsg r = make_digest(self, n, /*want_reply=*/false);
+    r.src = self;
+    r.dst = m.src;
+    ++gossip_sent_;
+    net_->send(r, now_ns);
+  }
+}
+
+uint32_t DiscoveryService::leader_of(uint32_t node) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return 0;
+  const Node& n = it->second;
+  uint32_t best = 0;
+  uint32_t best_prio = 0;
+  for (const auto& [id, beat] : n.beats) {
+    if (round_ - beat.round > cfg_.beat_ttl_rounds) continue;  // stale
+    if (best == 0 || beat.priority > best_prio ||
+        (beat.priority == best_prio && id > best)) {
+      best = id;
+      best_prio = beat.priority;
+    }
+  }
+  // A live controller always believes at least in itself.
+  if (n.is_controller && n.alive &&
+      (best == 0 || n.priority > best_prio ||
+       (n.priority == best_prio && node > best)))
+    best = node;
+  return best;
+}
+
+bool DiscoveryService::converged(uint32_t leader) const {
+  for (const auto& [id, n] : nodes_) {
+    if (!n.alive) continue;
+    if (leader_of(id) != leader) return false;
+  }
+  return true;
+}
+
+}  // namespace ovs

@@ -1,0 +1,107 @@
+// Sub-logarithmic controller discovery (DESIGN.md §12).
+//
+// After the active controller dies, a fleet of N agents must locate a live
+// standby without scanning a static list. We run a gossip/pointer-doubling
+// scheme in the spirit of Haeupler–Malkhi's sub-logarithmic resource
+// discovery (PODC 2015): every node keeps a bounded *digest* of peer ids it
+// knows, and each synchronous round
+//
+//   1. sends its digest to the LARGEST node it knows (its pointer) and to
+//      one pseudo-random known peer (the expander edge), and
+//   2. every contacted node merges what it received and replies with its
+//      own merged digest (push-pull).
+//
+// Large-id nodes act as merge hubs: a hub absorbs the digests of everyone
+// pointing at it and hands the union back, so the sets of a whole "star"
+// merge in one round and stars then merge by their maxima — knowledge grows
+// multiplicatively rather than additively, and all-to-all discovery
+// converges in far fewer than log2(N) rounds (EXPERIMENTS.md measures 5-7
+// rounds for N = 64-4096 from a ring + random-edge start, vs. log2(N) of
+// 6-12 — the growth with N is nearly flat). Controllers are
+// assigned the largest ids, so the pointer chase converges exactly toward
+// the nodes worth discovering.
+//
+// Liveness rides on the same messages: each controller stamps a heartbeat
+// (id, priority, round) into every digest it emits; a node believes the
+// highest-priority controller whose heartbeat is at most beat_ttl_rounds
+// old. A dead controller stops refreshing, its entries age out, and the
+// fleet's belief moves to the best live standby — the election is implicit
+// in the gossip.
+//
+// Gossip datagrams travel over the same lossy CtrlTransport as everything
+// else, so wire faults (drop/delay/duplicate) slow discovery instead of
+// being invisible to it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ctrl/ctrl_msg.h"
+#include "ctrl/transport.h"
+#include "util/rng.h"
+
+namespace ovs {
+
+struct DiscoveryConfig {
+  uint64_t seed = 0xD15C;
+  size_t digest_cap = 64;        // max peer ids per gossip message
+  size_t known_cap = 128;        // max peer ids retained per node
+  uint64_t beat_ttl_rounds = 6;  // heartbeat freshness window
+};
+
+class DiscoveryService {
+ public:
+  explicit DiscoveryService(CtrlTransport* net, DiscoveryConfig cfg = {})
+      : net_(net), cfg_(cfg) {}
+
+  // Membership. Controllers participate in gossip like everyone else but
+  // additionally assert a heartbeat each round while alive.
+  void add_node(uint32_t id);
+  void add_controller(uint32_t id, uint32_t priority);
+  // Dead nodes neither send nor merge; a dead controller stops beating.
+  void set_alive(uint32_t id, bool alive);
+  // Initial knowledge edge: `who` starts out knowing `whom`.
+  void add_link(uint32_t who, uint32_t whom);
+
+  // One synchronous gossip round: queues this round's requests on the
+  // transport. The caller then advances virtual time and calls
+  // net->deliver_until() far enough for the request and reply waves to
+  // land (2x wire latency covers both).
+  void run_round(uint64_t now_ns);
+
+  // Wire-in: the owner routes kGossip messages addressed to `self` here.
+  void on_gossip(uint32_t self, const CtrlMsg& m, uint64_t now_ns);
+
+  // Current belief of `node`: the live controller with the highest
+  // (priority, id) among fresh heartbeats; 0 = none known.
+  uint32_t leader_of(uint32_t node) const;
+  // True when every live node believes `leader`.
+  bool converged(uint32_t leader) const;
+
+  uint64_t round() const { return round_; }
+  uint64_t gossip_sent() const { return gossip_sent_; }
+
+ private:
+  struct Node {
+    bool alive = true;
+    bool is_controller = false;
+    uint32_t priority = 0;
+    std::set<uint32_t> known;  // ordered: *known.rbegin() is the pointer
+    // Freshest heartbeat heard per controller id.
+    std::map<uint32_t, CtrlMsg::ControllerBeat> beats;
+    Rng rng{0};
+  };
+
+  void merge(Node& n, const CtrlMsg& m);
+  CtrlMsg make_digest(uint32_t self, const Node& n, bool want_reply) const;
+
+  CtrlTransport* net_;
+  DiscoveryConfig cfg_;
+  std::map<uint32_t, Node> nodes_;  // ordered for deterministic iteration
+  uint64_t round_ = 0;
+  uint64_t gossip_sent_ = 0;
+};
+
+}  // namespace ovs

@@ -1,0 +1,58 @@
+#include "ctrl/transport.h"
+
+#include "util/fault.h"
+
+namespace ovs {
+
+FaultInjector* CtrlTransport::fault_for(const CtrlMsg& m) const {
+  auto it = node_faults_.find(m.dst);
+  if (it != node_faults_.end()) return it->second;
+  it = node_faults_.find(m.src);
+  if (it != node_faults_.end()) return it->second;
+  return global_fault_;
+}
+
+void CtrlTransport::send(CtrlMsg msg, uint64_t now_ns) {
+  ++stats_.sent;
+  FaultInjector* f = fault_for(msg);
+  if (f != nullptr && f->should_fire(FaultPoint::kCtrlMsgDrop)) {
+    ++stats_.dropped;
+    return;
+  }
+  uint64_t deliver_at = now_ns + cfg_.latency_ns;
+  if (f != nullptr && f->should_fire(FaultPoint::kCtrlMsgDelay)) {
+    deliver_at += cfg_.delay_extra_ns;
+    ++stats_.delayed;
+  }
+  const bool dup =
+      f != nullptr && f->should_fire(FaultPoint::kCtrlMsgDuplicate);
+  if (dup) {
+    // The duplicate trails the original by half a latency — close enough to
+    // land inside the same handler round, late enough to arrive second.
+    ++stats_.duplicated;
+    pq_.push({deliver_at + cfg_.latency_ns / 2, order_++, msg});
+  }
+  pq_.push({deliver_at, order_++, std::move(msg)});
+}
+
+size_t CtrlTransport::deliver_until(uint64_t now_ns) {
+  size_t n = 0;
+  while (!pq_.empty() && pq_.top().deliver_at <= now_ns) {
+    InFlight f = pq_.top();
+    pq_.pop();
+    auto it = nodes_.find(f.msg.dst);
+    if (it == nodes_.end()) {
+      ++stats_.to_dead;
+      continue;
+    }
+    ++stats_.delivered;
+    ++n;
+    // The handler may detach nodes or send more messages; take a copy of
+    // the callable so re-attachment mid-dispatch stays safe.
+    Handler h = it->second;
+    h(f.msg, f.deliver_at);
+  }
+  return n;
+}
+
+}  // namespace ovs

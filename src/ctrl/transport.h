@@ -1,0 +1,117 @@
+// Deterministic in-memory control-plane wire (DESIGN.md §12).
+//
+// The transport seam between controllers and switch agents: nodes attach a
+// receive handler under an integer id, send() queues a message for delivery
+// after the configured one-way latency, and deliver_until(now) dispatches
+// everything due, in (deliver_at, enqueue order) — a virtual-time event
+// loop, so every run is reproducible from its seeds.
+//
+// Robustness is injected, not emergent: each message consults a
+// FaultInjector (util/fault.h) for the wire fault points —
+//
+//   kCtrlMsgDrop       the message vanishes;
+//   kCtrlMsgDelay      delivery is postponed by delay_extra_ns;
+//   kCtrlMsgDuplicate  a second copy lands half a latency later;
+//
+// (kCtrlConnReset and kControllerCrash are consulted at the channel and
+// control-plane layers — they are not per-message events.) Injectors are
+// per-node with a global fallback, so a fleet can arm rack-correlated wire
+// faults on exactly the links of the faulted racks: a message is judged by
+// the injector of its non-controller endpoint when one is set.
+//
+// A detached node (crashed controller) silently eats anything addressed to
+// it — the sender finds out from its own timeouts, as on a real network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "ctrl/ctrl_msg.h"
+#include "sim/clock.h"
+
+namespace ovs {
+
+class FaultInjector;
+
+struct TransportConfig {
+  uint64_t latency_ns = 50 * kMicrosecond;     // one-way wire latency
+  uint64_t delay_extra_ns = 2 * kMillisecond;  // added by kCtrlMsgDelay
+};
+
+class CtrlTransport {
+ public:
+  using Handler = std::function<void(const CtrlMsg&, uint64_t now_ns)>;
+
+  explicit CtrlTransport(TransportConfig cfg = {}) : cfg_(cfg) {}
+
+  CtrlTransport(const CtrlTransport&) = delete;
+  CtrlTransport& operator=(const CtrlTransport&) = delete;
+
+  void attach(uint32_t node, Handler h) { nodes_[node] = std::move(h); }
+  void detach(uint32_t node) { nodes_.erase(node); }
+  bool attached(uint32_t node) const { return nodes_.count(node) != 0; }
+
+  // Wire faults. The global injector applies to every message; a per-node
+  // injector overrides it for messages whose src or dst is that node (the
+  // dst-side injector wins when both endpoints have one — by convention the
+  // fleet arms injectors on switch nodes only, so either direction of a
+  // faulted link is judged by the same stream).
+  void set_fault(FaultInjector* f) { global_fault_ = f; }
+  void set_node_fault(uint32_t node, FaultInjector* f) {
+    if (f == nullptr)
+      node_faults_.erase(node);
+    else
+      node_faults_[node] = f;
+  }
+
+  // Queues one message; delivery happens at a later deliver_until(). The
+  // src/dst must already be set by the caller.
+  void send(CtrlMsg msg, uint64_t now_ns);
+
+  // Dispatches every message due at or before now_ns. Handlers may send
+  // more messages; anything they enqueue lands strictly later, so the loop
+  // terminates. Returns the number of messages delivered.
+  size_t deliver_until(uint64_t now_ns);
+
+  // Earliest pending delivery time, or UINT64_MAX when idle.
+  uint64_t next_deliver_ns() const {
+    return pq_.empty() ? UINT64_MAX : pq_.top().deliver_at;
+  }
+  size_t pending() const { return pq_.size(); }
+
+  struct Stats {
+    uint64_t sent = 0;        // messages offered to the wire
+    uint64_t delivered = 0;   // handler invocations
+    uint64_t dropped = 0;     // eaten by kCtrlMsgDrop
+    uint64_t delayed = 0;     // postponed by kCtrlMsgDelay
+    uint64_t duplicated = 0;  // extra copies from kCtrlMsgDuplicate
+    uint64_t to_dead = 0;     // arrived at a detached node
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    uint64_t deliver_at;
+    uint64_t order;  // FIFO tie-break for equal delivery times
+    CtrlMsg msg;
+    bool operator>(const InFlight& o) const {
+      return deliver_at != o.deliver_at ? deliver_at > o.deliver_at
+                                        : order > o.order;
+    }
+  };
+
+  FaultInjector* fault_for(const CtrlMsg& m) const;
+
+  TransportConfig cfg_;
+  std::unordered_map<uint32_t, Handler> nodes_;
+  std::unordered_map<uint32_t, FaultInjector*> node_faults_;
+  FaultInjector* global_fault_ = nullptr;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> pq_;
+  uint64_t order_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ovs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ctrl/control_plane.h"
 #include "sim/clock.h"
 #include "util/fault.h"
 #include "util/stats.h"
@@ -199,6 +200,8 @@ class HypervisorSim {
     return out;
   }
 
+  Switch& sw() { return *sw_; }
+
   FleetHypervisor summary() const {
     FleetHypervisor h;
     h.outlier = outlier_;
@@ -310,21 +313,169 @@ FleetResults run_fleet(const FleetConfig& cfg) {
   const size_t first_crash_rack =
       first_fault_rack >= n_crash_racks ? first_fault_rack - n_crash_racks
                                         : 0;
+  std::vector<bool> hv_faulted(cfg.n_hypervisors, false);
+
+  if (!cfg.control_plane) {
+    for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
+      const bool outlier = hv < n_outliers;
+      // Stormed hypervisors are drawn from the top of the id range so the
+      // outlier and storm populations stay disjoint in small fleets.
+      const bool stormy = hv >= cfg.n_hypervisors - n_stormy;
+      const size_t rack = hv / rack_size;
+      const bool faulted = rack >= first_fault_rack &&
+                           rack < first_fault_rack + n_fault_racks;
+      const bool crashed = rack >= first_crash_rack &&
+                           rack < first_crash_rack + n_crash_racks;
+      HypervisorSim sim(cfg, master, outlier, stormy, faulted, crashed);
+      for (size_t i = 0; i < cfg.n_intervals; ++i)
+        results.intervals.push_back(sim.run_interval(hv, i));
+      results.hypervisors.push_back(sim.summary());
+    }
+    return results;
+  }
+
+  // Control-plane mode (DESIGN.md §12): all hypervisors live at once and
+  // the intervals run in lockstep, interleaved with the control plane's own
+  // virtual time. Sims are constructed in the same order as the legacy loop
+  // so every per-hypervisor Rng seed (drawn from `master`) is identical.
+  std::vector<std::unique_ptr<HypervisorSim>> sims;
+  sims.reserve(cfg.n_hypervisors);
   for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
     const bool outlier = hv < n_outliers;
-    // Stormed hypervisors are drawn from the top of the id range so the
-    // outlier and storm populations stay disjoint in small fleets.
     const bool stormy = hv >= cfg.n_hypervisors - n_stormy;
     const size_t rack = hv / rack_size;
     const bool faulted = rack >= first_fault_rack &&
                          rack < first_fault_rack + n_fault_racks;
     const bool crashed = rack >= first_crash_rack &&
                          rack < first_crash_rack + n_crash_racks;
-    HypervisorSim sim(cfg, master, outlier, stormy, faulted, crashed);
-    for (size_t i = 0; i < cfg.n_intervals; ++i)
-      results.intervals.push_back(sim.run_interval(hv, i));
-    results.hypervisors.push_back(sim.summary());
+    hv_faulted[hv] = faulted;
+    sims.push_back(std::make_unique<HypervisorSim>(cfg, master, outlier,
+                                                   stormy, faulted, crashed));
   }
+
+  std::vector<Switch*> switches;
+  switches.reserve(sims.size());
+  for (auto& s : sims) switches.push_back(&s->sw());
+
+  // Rack-correlated wire injectors: one per faulted hypervisor, armed only
+  // inside the fault window below. Each doubles as the agent's conn-reset
+  // stream and the transport's per-link stream.
+  std::vector<std::unique_ptr<FaultInjector>> wire_faults(cfg.n_hypervisors);
+  ControlPlaneConfig cpc;
+  cpc.seed = cfg.ctrl_seed;
+  cpc.n_controllers = 1 + cfg.standby_controllers;
+  cpc.agent_faults.assign(cfg.n_hypervisors, nullptr);
+  for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
+    if (!hv_faulted[hv]) continue;
+    wire_faults[hv] =
+        std::make_unique<FaultInjector>(cfg.fault_seed * 0x51ED + hv);
+    wire_faults[hv]->disarm_all();
+    cpc.agent_faults[hv] = wire_faults[hv].get();
+  }
+
+  ControlPlane cp(switches, cpc);
+  cp.start(0);
+
+  FleetControlStats& cs = results.control;
+
+  // Baseline policy: a fleet-wide ACL rule (a port the tenant workload
+  // never uses, so forwarding outcomes are identical to legacy mode), so
+  // hellos, resyncs and prunes all have real content from interval 0.
+  const std::vector<FlowModPayload> baseline = {
+      {FlowModPayload::Op::kAdd,
+       "table=2, priority=6, tcp, tp_dst=4444, actions=drop"}};
+  const std::vector<FlowModPayload> change = {
+      {FlowModPayload::Op::kDelete, "table=2, tcp, tp_dst=4444"},
+      {FlowModPayload::Op::kAdd,
+       "table=2, priority=6, tcp, tp_dst=4445, actions=drop"}};
+
+  uint64_t epoch = cp.push_policy(baseline);
+  ++cs.policy_pushes;
+  uint64_t push_time = cp.now();
+  (void)cp.run_until_converged(epoch, cp.now() + 30 * kSecond);
+
+  std::vector<FlowModPayload> pending = baseline;
+  const auto interval_ns = static_cast<uint64_t>(
+      cfg.sim_seconds_per_interval * static_cast<double>(kSecond));
+
+  results.intervals.resize(cfg.n_hypervisors * cfg.n_intervals);
+  for (size_t i = 0; i < cfg.n_intervals; ++i) {
+    const bool fault_on = i >= cfg.fault_first_interval &&
+                          i <= cfg.fault_last_interval;
+    for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
+      if (wire_faults[hv] == nullptr) continue;
+      wire_faults[hv]->disarm_all();
+      if (!fault_on) continue;
+      wire_faults[hv]->set_probability(FaultPoint::kCtrlMsgDrop,
+                                       cfg.ctrl_msg_drop_prob);
+      wire_faults[hv]->set_probability(FaultPoint::kCtrlMsgDelay,
+                                       cfg.ctrl_msg_delay_prob);
+      wire_faults[hv]->set_probability(FaultPoint::kCtrlMsgDuplicate,
+                                       cfg.ctrl_msg_dup_prob);
+      wire_faults[hv]->set_probability(FaultPoint::kCtrlConnReset,
+                                       cfg.ctrl_conn_reset_prob);
+    }
+    if (i == cfg.policy_change_interval) {
+      const uint64_t e = cp.push_policy(change);
+      if (e != 0) {
+        epoch = e;
+        pending = change;
+        push_time = cp.now();
+        ++cs.policy_pushes;
+      }
+    }
+    // Kill AFTER a same-interval push: the juicy case is a master dying
+    // mid-fan-out, holding an epoch it never replicated.
+    if (i == cfg.controller_crash_interval) {
+      cp.kill_active();
+      ++cs.controller_crashes;
+    }
+    cp.run_until(cp.now() + interval_ns);
+    for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv)
+      results.intervals[hv * cfg.n_intervals + i] =
+          sims[hv]->run_interval(hv, i);
+  }
+
+  // Drain: let failover finish, then re-issue the change if it died with
+  // the old master (the management layer retries intent until certified).
+  cp.run_until(cp.now() + 2 * kSecond);
+  Controller* act = cp.active_controller();
+  if (act != nullptr && act->policy_epoch() < epoch) {
+    epoch = cp.push_policy(pending);
+    push_time = cp.now();
+    ++cs.policy_repushes;
+  }
+  const uint64_t done = cp.run_until_converged(epoch, cp.now() + 30 * kSecond);
+  cs.final_converged = done != UINT64_MAX;
+  if (cs.final_converged && done > push_time)
+    cs.convergence_ns = done - push_time;
+
+  for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv)
+    results.hypervisors.push_back(sims[hv]->summary());
+
+  const CtrlAgent::Stats as = cp.agent_stat_totals();
+  cs.flow_mods_applied = as.flow_mods_applied;
+  cs.dups_ignored = as.dups_ignored;
+  cs.stale_gen_fenced = as.stale_gen_fenced;
+  cs.rules_pruned = as.rules_pruned;
+  cs.syncs_completed = as.syncs_completed;
+  cs.standalone_entries = as.standalone_entries;
+  CtrlChannel::Stats ch = cp.agent_channel_totals();
+  for (size_t j = 0; j < cp.n_controllers(); ++j) {
+    const CtrlChannel::Stats cc = cp.controller(j).channel_totals();
+    ch.retransmits += cc.retransmits;
+    ch.resets += cc.resets;
+  }
+  cs.retransmits = ch.retransmits;
+  cs.conn_resets = ch.resets + ch.peer_resets;
+  cs.wire_dropped = cp.net().stats().dropped;
+  cs.wire_delayed = cp.net().stats().delayed;
+  cs.wire_duplicated = cp.net().stats().duplicated;
+  cs.gossip_rounds = cp.discovery().round();
+  cs.gossip_messages = cp.discovery().gossip_sent();
+  act = cp.active_controller();
+  if (act != nullptr && act->role_generation() > 0)
+    cs.takeovers = act->role_generation() - 1;
   return results;
 }
 

@@ -91,6 +91,35 @@ struct FleetConfig {
   // post-reconciliation gate inside Switch::restart() runs regardless).
   bool self_check = false;
 
+  // Distributed control plane (DESIGN.md §12). When enabled the fleet runs
+  // interval-lockstep: every hypervisor's switch gets a control-plane agent
+  // connected over the lossy in-memory wire to one active controller plus
+  // standbys, with gossip discovery driving failover. A baseline policy is
+  // fanned out (and certified by barriers) before interval 0; optional
+  // events below exercise convergence under rack-correlated wire faults and
+  // a controller crash. The legacy per-hypervisor mode is bit-for-bit
+  // unchanged when this is off. Control-plane virtual time is its own
+  // clock, decoupled from the per-hypervisor traffic clocks (documented
+  // substitution: we interleave per interval, not per packet).
+  bool control_plane = false;
+  size_t standby_controllers = 1;
+  uint64_t ctrl_seed = 99;
+  // Wire fault probabilities armed on faulted racks' links during the fault
+  // window [fault_first_interval, fault_last_interval] (rack-correlated,
+  // like the install/upcall faults above).
+  double ctrl_msg_drop_prob = 0.0;
+  double ctrl_msg_delay_prob = 0.0;
+  double ctrl_msg_dup_prob = 0.0;
+  double ctrl_conn_reset_prob = 0.0;
+  // Interval at whose start the active controller fans out a fleet-wide
+  // policy change (SIZE_MAX = never).
+  size_t policy_change_interval = SIZE_MAX;
+  // Interval at whose start the active controller is killed (SIZE_MAX =
+  // never). If it dies holding an un-replicated policy epoch, the
+  // management layer re-issues the change through the standby that takes
+  // over, and agents roll back the partial epoch during resync.
+  size_t controller_crash_interval = SIZE_MAX;
+
   // Userspace housekeeping charged per simulated second (stats polling once
   // per second, §6, plus fixed daemon overhead).
   double daemon_fixed_cycles_per_sec = 2.5e7;
@@ -128,9 +157,33 @@ struct FleetHypervisor {
   double flows_max = 0;
 };
 
+// Control-plane outcome of a fleet run (all zero when control_plane=false).
+struct FleetControlStats {
+  uint64_t policy_pushes = 0;
+  uint64_t policy_repushes = 0;  // re-issued after dying with a master
+  bool final_converged = false;  // last pushed epoch certified fleet-wide
+  uint64_t convergence_ns = 0;   // virtual ns from last (re)push to converged
+  uint64_t controller_crashes = 0;
+  uint64_t takeovers = 0;        // final master's fencing generation - 1
+  uint64_t flow_mods_applied = 0;
+  uint64_t dups_ignored = 0;     // idempotent redeliveries fenced by xid
+  uint64_t stale_gen_fenced = 0;
+  uint64_t rules_pruned = 0;     // partial-epoch rollbacks at sync barriers
+  uint64_t syncs_completed = 0;
+  uint64_t standalone_entries = 0;
+  uint64_t retransmits = 0;      // both directions, all channels
+  uint64_t conn_resets = 0;
+  uint64_t wire_dropped = 0;
+  uint64_t wire_delayed = 0;
+  uint64_t wire_duplicated = 0;
+  uint64_t gossip_rounds = 0;
+  uint64_t gossip_messages = 0;
+};
+
 struct FleetResults {
   std::vector<FleetInterval> intervals;
   std::vector<FleetHypervisor> hypervisors;
+  FleetControlStats control;
 };
 
 FleetResults run_fleet(const FleetConfig& cfg);

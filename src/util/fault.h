@@ -44,6 +44,13 @@ enum class FaultPoint : uint8_t {
   kRevalidatorStall,   // a revalidation pass blocks past its deadline
   kUserspaceCrash,     // vswitchd dies; datapath keeps serving its cache
   kReconcileStall,     // restart reconciliation blocks for one round
+  // Control-plane wire faults (DESIGN.md §12): consulted by the
+  // controller<->switch transport (src/ctrl/) per message or per channel.
+  kCtrlMsgDrop,        // control message vanishes on the wire
+  kCtrlMsgDelay,       // control message delivered late
+  kCtrlMsgDuplicate,   // control message delivered twice
+  kCtrlConnReset,      // channel torn down; in-flight messages lost
+  kControllerCrash,    // the active controller process dies
   kNumPoints
 };
 
@@ -61,13 +68,18 @@ inline const char* fault_point_name(FaultPoint p) noexcept {
     case FaultPoint::kRevalidatorStall: return "revalidator_stall";
     case FaultPoint::kUserspaceCrash: return "userspace_crash";
     case FaultPoint::kReconcileStall: return "reconcile_stall";
+    case FaultPoint::kCtrlMsgDrop: return "ctrl_msg_drop";
+    case FaultPoint::kCtrlMsgDelay: return "ctrl_msg_delay";
+    case FaultPoint::kCtrlMsgDuplicate: return "ctrl_msg_duplicate";
+    case FaultPoint::kCtrlConnReset: return "ctrl_conn_reset";
+    case FaultPoint::kControllerCrash: return "controller_crash";
     default: return "?";
   }
 }
 
 class FaultInjector {
  public:
-  explicit FaultInjector(uint64_t seed = 0xFA117) noexcept {
+  explicit FaultInjector(uint64_t seed = 0xFA117) noexcept : seed_(seed) {
     for (size_t i = 0; i < kNumFaultPoints; ++i)
       points_[i].rng = Rng(seed + 0x9E3779B97F4A7C15ULL * (i + 1));
     victim_rng_ = Rng(seed ^ 0xBADF00D);
@@ -106,6 +118,28 @@ class FaultInjector {
   void disarm_all() {
     for (size_t i = 0; i < kNumFaultPoints; ++i)
       disarm(static_cast<FaultPoint>(i));
+  }
+
+  // Rewinds one point for replay: the occurrence/fired counters return to
+  // zero, the script cursor to its start, and the probability stream to its
+  // seed-derived origin. Schedules stay armed, so a reconnecting channel
+  // re-runs the same deterministic fault script it saw the first time.
+  void reset(FaultPoint p) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Point& pt = at(p);
+    pt.occurrences = 0;
+    pt.fired = 0;
+    pt.script_pos = 0;
+    pt.rng = Rng(seed_ + 0x9E3779B97F4A7C15ULL *
+                             (static_cast<size_t>(p) + 1));
+  }
+
+  // Rewinds every point and the victim stream (whole-injector replay).
+  void reset() {
+    for (size_t i = 0; i < kNumFaultPoints; ++i)
+      reset(static_cast<FaultPoint>(i));
+    std::lock_guard<std::mutex> lk(mu_);
+    victim_rng_ = Rng(seed_ ^ 0xBADF00D);
   }
 
   // The instrumented decision point: consumes one occurrence.
@@ -169,6 +203,7 @@ class FaultInjector {
   }
 
   mutable std::mutex mu_;
+  uint64_t seed_ = 0;  // construction seed, kept so reset() can rewind
   std::array<Point, kNumFaultPoints> points_;
   Rng victim_rng_{0};
 };

@@ -1,0 +1,245 @@
+#include "vswitchd/ctrl_agent.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ofproto/flow_parser.h"
+#include "ofproto/pipeline.h"
+#include "vswitchd/switch.h"
+
+namespace ovs {
+
+CtrlAgent::CtrlAgent(CtrlTransport* net, Switch* sw, CtrlAgentConfig cfg)
+    : net_(net),
+      sw_(sw),
+      cfg_(cfg),
+      channel_(net, cfg.id, /*peer=*/0, cfg.channel, cfg.fault) {}
+
+void CtrlAgent::attach(uint64_t now_ns) {
+  last_now_ns_ = now_ns;
+  net_->attach(cfg_.id, [this](const CtrlMsg& m, uint64_t now) {
+    if (m.type == CtrlMsgType::kGossip) {
+      if (disco_ != nullptr) disco_->on_gossip(cfg_.id, m, now);
+      return;
+    }
+    on_message(m, now);
+  });
+  sw_->set_controller_hook([this](const Packet& pkt) {
+    (void)pkt;
+    if (state_ != AgentState::kConnected) return;
+    CtrlMsg p;
+    p.type = CtrlMsgType::kPacketIn;
+    p.xid = next_xid_++;
+    ++stats_.packet_ins_sent;
+    // Datagram: packet-ins are best-effort under pressure, like the real
+    // controller queue.
+    channel_.send_datagram(std::move(p), last_now_ns_);
+  });
+}
+
+void CtrlAgent::connect(uint32_t leader, uint64_t now_ns) {
+  controller_ = leader;
+  channel_.set_peer(leader);
+  channel_.reconnect(now_ns);
+  outstanding_echoes_ = 0;
+  next_echo_ns_ = now_ns + cfg_.echo_interval_ns;
+  state_ = AgentState::kConnecting;
+  ++stats_.connects;
+  CtrlMsg h;
+  h.type = CtrlMsgType::kHello;
+  h.xid = next_xid_++;
+  channel_.send(std::move(h), now_ns);
+}
+
+void CtrlAgent::enter_standalone(uint64_t now_ns) {
+  // Fail-standalone: drop the session state, nothing else. The switch's
+  // tables and megaflow cache are untouched — forwarding continues.
+  state_ = AgentState::kStandalone;
+  controller_ = 0;
+  sync_active_ = false;
+  sync_ops_.clear();
+  outstanding_echoes_ = 0;
+  ++stats_.standalone_entries;
+  (void)now_ns;
+}
+
+void CtrlAgent::tick(uint64_t now_ns) {
+  last_now_ns_ = now_ns;
+  const uint32_t leader =
+      disco_ != nullptr ? disco_->leader_of(cfg_.id) : leader_hint_;
+
+  if (state_ == AgentState::kStandalone) {
+    if (leader != 0) connect(leader, now_ns);
+    return;
+  }
+
+  if (channel_.dead()) {
+    enter_standalone(now_ns);
+    return;
+  }
+  // Discovery moved the leadership (heartbeats aged out, or a
+  // higher-priority standby took over): follow it.
+  if (leader != 0 && leader != controller_) {
+    connect(leader, now_ns);
+    return;
+  }
+
+  if (state_ == AgentState::kConnected && now_ns >= next_echo_ns_) {
+    if (outstanding_echoes_ >= cfg_.echo_miss_limit) {
+      stats_.echo_misses += outstanding_echoes_;
+      enter_standalone(now_ns);
+      return;
+    }
+    CtrlMsg e;
+    e.type = CtrlMsgType::kEchoRequest;
+    e.xid = next_xid_++;
+    ++outstanding_echoes_;
+    channel_.send_datagram(std::move(e), now_ns);
+    next_echo_ns_ = now_ns + cfg_.echo_interval_ns;
+  }
+
+  channel_.tick(now_ns);
+}
+
+void CtrlAgent::on_message(const CtrlMsg& m, uint64_t now_ns) {
+  last_now_ns_ = now_ns;
+  if (state_ == AgentState::kStandalone || m.src != controller_) {
+    // Not our controller. A deposed master retransmitting into the void is
+    // the common case; fence by generation so the distinction is visible.
+    if (m.role_generation != 0 && m.role_generation < max_seen_gen_)
+      ++stats_.stale_gen_fenced;
+    else
+      ++stats_.foreign_dropped;
+    return;
+  }
+  std::vector<CtrlMsg> out;
+  channel_.on_receive(m, now_ns, &out);
+  for (const CtrlMsg& app : out) handle_app(app, now_ns);
+}
+
+void CtrlAgent::handle_app(const CtrlMsg& m, uint64_t now_ns) {
+  switch (m.type) {
+    case CtrlMsgType::kHello:
+    case CtrlMsgType::kFlowMod:
+    case CtrlMsgType::kBarrierRequest:
+      // Stale-master fencing: never honor programming below the highest
+      // generation we have seen.
+      if (m.role_generation < max_seen_gen_) {
+        ++stats_.stale_gen_fenced;
+        return;
+      }
+      max_seen_gen_ = m.role_generation;
+      break;
+    default:
+      break;
+  }
+
+  switch (m.type) {
+    case CtrlMsgType::kHello:
+      state_ = AgentState::kConnected;
+      break;
+    case CtrlMsgType::kEchoReply:
+      outstanding_echoes_ = 0;
+      break;
+    case CtrlMsgType::kFlowMod:
+      if (m.flow_mod.op == FlowModPayload::Op::kSyncBegin) {
+        sync_active_ = true;
+        sync_ops_.clear();
+        break;
+      }
+      if (sync_active_) {
+        // Resync replay: apply verbatim (adds replace, deletes of absent
+        // rules are no-ops) and record for the prune diff. Dedup must not
+        // skip here — a rule applied long ago may have been deleted since.
+        apply_mod(m.flow_mod, now_ns);
+        applied_xids_.insert(m.xid);
+        sync_ops_.push_back(m.flow_mod);
+      } else if (!applied_xids_.insert(m.xid).second) {
+        ++stats_.dups_ignored;
+      } else {
+        apply_mod(m.flow_mod, now_ns);
+      }
+      break;
+    case CtrlMsgType::kBarrierRequest: {
+      if (sync_active_) finish_sync(now_ns);
+      CtrlMsg r;
+      r.type = CtrlMsgType::kBarrierReply;
+      r.xid = m.xid;
+      r.policy_epoch = m.policy_epoch;
+      ++stats_.barriers_replied;
+      channel_.send(std::move(r), now_ns);
+      break;
+    }
+    case CtrlMsgType::kRoleReply:
+      break;
+    default:
+      break;
+  }
+}
+
+void CtrlAgent::apply_mod(const FlowModPayload& mod, uint64_t now_ns) {
+  std::string err;
+  if (mod.op == FlowModPayload::Op::kAdd) {
+    err = sw_->add_flow(mod.spec, now_ns);
+  } else {
+    err = sw_->del_flows(mod.spec, nullptr);
+  }
+  if (err.empty())
+    ++stats_.flow_mods_applied;
+  else
+    ++stats_.mod_errors;
+}
+
+void CtrlAgent::finish_sync(uint64_t now_ns) {
+  // Replay the sync stream into a scratch pipeline to compute the desired
+  // program, mirroring Switch::add_flow / del_flows semantics exactly.
+  Pipeline scratch(sw_->config().n_tables, sw_->config().classifier);
+  for (const FlowModPayload& mod : sync_ops_) {
+    if (mod.op == FlowModPayload::Op::kAdd) {
+      FlowParseResult res = parse_flow(mod.spec);
+      if (!res.ok || res.flow.table >= scratch.n_tables()) continue;
+      scratch.table(res.flow.table)
+          .add_flow(res.flow.match, res.flow.priority, res.flow.actions,
+                    res.flow.cookie, res.flow.timeouts, now_ns);
+    } else {
+      const std::string spec = mod.spec.empty()
+                                   ? "actions=drop"
+                                   : mod.spec + ", actions=drop";
+      FlowParseResult res = parse_flow(spec);
+      if (!res.ok) continue;
+      if (res.flow.has_table) {
+        if (res.flow.table < scratch.n_tables())
+          scratch.table(res.flow.table).delete_where(res.flow.match);
+      } else {
+        for (size_t t = 0; t < scratch.n_tables(); ++t)
+          scratch.table(t).delete_where(res.flow.match);
+      }
+    }
+  }
+  std::set<std::string> desired;
+  for (size_t t = 0; t < scratch.n_tables(); ++t)
+    scratch.table(t).for_each([&](const OfRule* r) {
+      desired.insert(format_flow(t, r->priority(), r->match(), r->actions()));
+    });
+
+  // Prune: installed rules the replayed program does not produce are
+  // leftovers from a partial epoch the dead master never replicated (or
+  // from mods lost with the old connection). Exact-delete each one.
+  for (const std::string& line : sw_->dump_flows()) {
+    if (desired.count(line) != 0) continue;
+    FlowParseResult res = parse_flow(line);
+    if (!res.ok) continue;
+    if (sw_->pipeline().table(res.flow.table)
+            .delete_flow(res.flow.match, res.flow.priority))
+      ++stats_.rules_pruned;
+  }
+
+  // Tables changed behind the datapath's back; re-derive every cached
+  // megaflow before certifying the sync with the barrier reply.
+  sw_->force_full_revalidation();
+  sync_active_ = false;
+  sync_ops_.clear();
+  ++stats_.syncs_completed;
+}
+
+}  // namespace ovs

@@ -1,0 +1,147 @@
+// Switch-side control-plane agent (DESIGN.md §12).
+//
+// One CtrlAgent connects one vswitchd::Switch to whichever controller the
+// discovery layer currently believes in. The agent owns the switch's half of
+// the reliable channel and implements the failure semantics the tests pin
+// down:
+//
+//   * fail-standalone — the agent's connection state NEVER gates the
+//     datapath: on controller loss (echo misses or a dead channel) the agent
+//     goes kStandalone and the switch keeps forwarding from its installed
+//     tables and megaflow cache, exactly like OVS's fail-mode=standalone.
+//     Reconnection is driven purely by discovery's leader belief.
+//
+//   * idempotent flow-mods — every applied flow-mod xid is remembered;
+//     redelivered mods (wire duplicates, or a resync replaying history after
+//     a reconnect) are applied at most once. During a resync the dedup is
+//     bypassed — replayed adds/deletes are re-applied verbatim (both are
+//     idempotent at the flow-table level), because a rule the agent once
+//     added may since have been deleted by an unreplicated mod and must come
+//     back.
+//
+//   * resync + prune — a sync_begin starts recording the replayed program;
+//     the closing barrier diffs the switch's installed rules against what
+//     the replay produces and deletes the extras (rules a dead master
+//     pushed beyond what it replicated to the standby), then forces a full
+//     revalidation pass so the datapath's megaflow cache is re-derived from
+//     the reconciled tables before the barrier is acked.
+//
+//   * stale-master fencing — hello/flow-mod/barrier below the highest
+//     role_generation ever seen are dropped, so a deposed-but-alive master
+//     cannot program the switch.
+//
+// Barrier replies are sent only after every earlier mod on the channel has
+// been applied (channel ordering + the handler being synchronous makes this
+// structural) — and after the prune/revalidation when the barrier closes a
+// resync.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ctrl/channel.h"
+#include "ctrl/ctrl_msg.h"
+#include "ctrl/discovery.h"
+#include "ctrl/transport.h"
+
+namespace ovs {
+
+class Switch;
+
+struct CtrlAgentConfig {
+  uint32_t id = 0;
+  ChannelConfig channel;
+  FaultInjector* fault = nullptr;          // kCtrlConnReset on our sends
+  uint64_t echo_interval_ns = 50 * kMillisecond;
+  size_t echo_miss_limit = 4;              // unanswered echoes -> standalone
+};
+
+enum class AgentState : uint8_t { kStandalone, kConnecting, kConnected };
+
+inline const char* agent_state_name(AgentState s) noexcept {
+  switch (s) {
+    case AgentState::kStandalone: return "standalone";
+    case AgentState::kConnecting: return "connecting";
+    case AgentState::kConnected: return "connected";
+  }
+  return "?";
+}
+
+class CtrlAgent {
+ public:
+  CtrlAgent(CtrlTransport* net, Switch* sw, CtrlAgentConfig cfg);
+
+  // Wires the transport handler for our node id (gossip is routed to the
+  // discovery service when one is set) and hooks the switch's controller
+  // action to emit packet-ins.
+  void attach(uint64_t now_ns);
+  void set_discovery(DiscoveryService* d) { disco_ = d; }
+  // Manual leader belief for unit tests without a discovery service.
+  void set_leader_hint(uint32_t id) { leader_hint_ = id; }
+
+  // Timer pump: follow the discovery leader, pace echoes, declare the
+  // controller dead after echo_miss_limit unanswered probes, retransmit.
+  void tick(uint64_t now_ns);
+
+  // Wire-in for non-gossip messages addressed to us (attach() installs a
+  // handler that calls this; exposed for direct-drive tests).
+  void on_message(const CtrlMsg& m, uint64_t now_ns);
+
+  AgentState state() const { return state_; }
+  uint32_t controller() const { return controller_; }
+  uint64_t max_seen_generation() const { return max_seen_gen_; }
+  bool sync_active() const { return sync_active_; }
+  const CtrlChannel& channel() const { return channel_; }
+
+  struct Stats {
+    uint64_t flow_mods_applied = 0;
+    uint64_t mod_errors = 0;         // parse/apply failures (bad specs)
+    uint64_t dups_ignored = 0;       // xid already applied (redelivery)
+    uint64_t stale_gen_fenced = 0;   // old-master messages rejected
+    uint64_t foreign_dropped = 0;    // from a node we have no session with
+    uint64_t barriers_replied = 0;
+    uint64_t syncs_completed = 0;
+    uint64_t rules_pruned = 0;       // stale rules removed at sync barriers
+    uint64_t echo_misses = 0;
+    uint64_t standalone_entries = 0;
+    uint64_t connects = 0;           // hellos sent
+    uint64_t packet_ins_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void connect(uint32_t leader, uint64_t now_ns);
+  void enter_standalone(uint64_t now_ns);
+  void handle_app(const CtrlMsg& m, uint64_t now_ns);
+  void apply_mod(const FlowModPayload& mod, uint64_t now_ns);
+  void finish_sync(uint64_t now_ns);
+
+  CtrlTransport* net_;
+  Switch* sw_;
+  CtrlAgentConfig cfg_;
+  DiscoveryService* disco_ = nullptr;
+  uint32_t leader_hint_ = 0;
+
+  AgentState state_ = AgentState::kStandalone;
+  uint32_t controller_ = 0;  // current peer, 0 when standalone
+  CtrlChannel channel_;
+  uint64_t max_seen_gen_ = 0;
+  uint64_t next_xid_ = 1;
+  uint64_t last_now_ns_ = 0;
+
+  // Echo keepalive state.
+  uint64_t next_echo_ns_ = 0;
+  size_t outstanding_echoes_ = 0;
+
+  // Idempotence + resync state.
+  std::unordered_set<uint64_t> applied_xids_;
+  bool sync_active_ = false;
+  std::vector<FlowModPayload> sync_ops_;
+
+  Stats stats_;
+};
+
+}  // namespace ovs

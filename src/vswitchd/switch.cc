@@ -101,6 +101,7 @@ void Switch::execute_actions(const DpActions& actions, const Packet& pkt) {
       if (output_) output_(t->port, out);
     } else if (std::get_if<UserspaceAction>(&a)) {
       ++counters_.to_controller;
+      if (controller_hook_) controller_hook_(out);
     }
   }
 }
@@ -153,6 +154,11 @@ void Switch::execute_actions_batch(std::span<const Packet> pkts,
       for (const DpAction& act : a->list)
         if (const auto* o = std::get_if<OutputAction>(&act))
           output_(o->port, pkts[i]);
+    }
+    if (controller_hook_) {
+      for (const DpAction& act : a->list)
+        if (std::holds_alternative<UserspaceAction>(act))
+          controller_hook_(pkts[i]);
     }
   }
 

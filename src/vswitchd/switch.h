@@ -206,6 +206,15 @@ class Switch {
   using OutputFn = std::function<void(uint32_t port, const Packet&)>;
   void set_output_handler(OutputFn fn) { output_ = std::move(fn); }
 
+  // Invoked for every packet the pipeline sends to the controller (the
+  // `controller` action): the control-plane agent (vswitchd/ctrl_agent.h)
+  // turns these into packet-in messages. Fires in addition to the
+  // to_controller counter, on both the scalar and batched action paths.
+  using ControllerFn = std::function<void(const Packet&)>;
+  void set_controller_hook(ControllerFn fn) {
+    controller_hook_ = std::move(fn);
+  }
+
   // Deterministic trace hook: fires exactly once per packet at the moment
   // its forwarding fate is decided — on a cache hit with the cached entry's
   // actions, or when its upcall is handled with the freshly translated
@@ -407,6 +416,7 @@ class Switch {
   std::unique_ptr<DpBackend> be_;
   std::unordered_map<DpBackend::FlowRef, Attribution> attribution_;
   OutputFn output_;
+  ControllerFn controller_hook_;
   TraceFn trace_;
   Counters counters_;
   std::unordered_map<uint32_t, PortStats> port_stats_;

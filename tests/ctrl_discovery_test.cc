@@ -1,0 +1,132 @@
+// Gossip discovery tests (DESIGN.md §12, Haeupler–Malkhi PODC 2015 spirit).
+//
+// The claims under test:
+//   * from a ring-plus-random-chords start, pointer-doubling push-pull
+//     gossip converges the whole fleet's controller belief in far fewer
+//     than log2(N) rounds, and the round count grows very slowly with N;
+//   * when the active controller dies its heartbeats age out and every
+//     node's belief moves to the best live standby — failover is implicit;
+//   * wire loss slows convergence but does not prevent it;
+//   * runs replay bit-identically from the same seeds.
+#include "ctrl/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "ctrl/transport.h"
+#include "sim/clock.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace ovs {
+namespace {
+
+struct Mesh {
+  CtrlTransport net;
+  DiscoveryService disco{&net};
+  uint64_t now = 0;
+  uint32_t c0, c1;  // controller ids (largest in the graph)
+
+  explicit Mesh(size_t n_agents, DiscoveryConfig cfg = {},
+                FaultInjector* fault = nullptr) : disco(&net, cfg) {
+    if (fault != nullptr) net.set_fault(fault);
+    c0 = static_cast<uint32_t>(n_agents + 1);
+    c1 = static_cast<uint32_t>(n_agents + 2);
+    Rng rng(cfg.seed ^ 0xABCD);
+    for (uint32_t id = 1; id <= n_agents; ++id) {
+      disco.add_node(id);
+      attach(id);
+      disco.add_link(id, 1 + id % static_cast<uint32_t>(n_agents));  // ring
+      disco.add_link(id, 1 + static_cast<uint32_t>(rng.uniform(n_agents)));
+    }
+    disco.add_controller(c0, /*priority=*/2);
+    disco.add_controller(c1, /*priority=*/1);
+    attach(c0);
+    attach(c1);
+    disco.add_link(c0, c1);
+    disco.add_link(c1, c0);
+    for (int k = 0; k < 8; ++k) {
+      disco.add_link(c0, 1 + static_cast<uint32_t>(rng.uniform(n_agents)));
+      disco.add_link(c1, 1 + static_cast<uint32_t>(rng.uniform(n_agents)));
+    }
+  }
+
+  void attach(uint32_t id) {
+    net.attach(id, [this, id](const CtrlMsg& m, uint64_t at) {
+      disco.on_gossip(id, m, at);
+    });
+  }
+
+  // One synchronous round: request wave + reply wave both land.
+  void round() {
+    disco.run_round(now);
+    now += 3 * TransportConfig{}.latency_ns;
+    net.deliver_until(now);
+    now += kMillisecond;
+  }
+
+  uint64_t rounds_to_converge(uint32_t leader, uint64_t max_rounds) {
+    for (uint64_t r = 1; r <= max_rounds; ++r) {
+      round();
+      if (disco.converged(leader)) return r;
+    }
+    return UINT64_MAX;
+  }
+};
+
+TEST(CtrlDiscovery, ConvergesInSubLogarithmicRounds) {
+  Mesh small(64);
+  const uint64_t r64 = small.rounds_to_converge(small.c0, 32);
+  Mesh big(512);
+  const uint64_t r512 = big.rounds_to_converge(big.c0, 32);
+
+  ASSERT_NE(r64, UINT64_MAX);
+  ASSERT_NE(r512, UINT64_MAX);
+  // Well under log2(N) rounds, and an 8x fleet costs at most a couple more
+  // rounds — the multiplicative-merge signature, not additive flooding.
+  EXPECT_LE(r64, static_cast<uint64_t>(std::log2(64)));
+  EXPECT_LE(r512, static_cast<uint64_t>(std::log2(512)));
+  EXPECT_LE(r512, r64 + 3);
+}
+
+TEST(CtrlDiscovery, LeaderBeliefMovesToStandbyAfterDeath) {
+  DiscoveryConfig cfg;
+  Mesh m(128, cfg);
+  ASSERT_NE(m.rounds_to_converge(m.c0, 32), UINT64_MAX);
+
+  m.disco.set_alive(m.c0, false);
+  // Heartbeats age out after beat_ttl_rounds; a few more rounds spread the
+  // standby's freshness everywhere.
+  const uint64_t r = m.rounds_to_converge(m.c1, cfg.beat_ttl_rounds + 16);
+  ASSERT_NE(r, UINT64_MAX);
+  EXPECT_EQ(m.disco.leader_of(1), m.c1);
+  EXPECT_EQ(m.disco.leader_of(m.c1), m.c1);
+}
+
+TEST(CtrlDiscovery, ConvergesUnderWireLoss) {
+  FaultInjector fault(41);
+  fault.set_probability(FaultPoint::kCtrlMsgDrop, 0.25);
+  Mesh m(128, DiscoveryConfig{}, &fault);
+  const uint64_t r = m.rounds_to_converge(m.c0, 64);
+  ASSERT_NE(r, UINT64_MAX);
+
+  FaultInjector none(41);
+  Mesh clean(128);
+  const uint64_t rc = clean.rounds_to_converge(clean.c0, 64);
+  EXPECT_GE(r, rc);  // loss can only slow it down
+}
+
+TEST(CtrlDiscovery, DeterministicReplay) {
+  auto episode = [] {
+    Mesh m(96);
+    const uint64_t r = m.rounds_to_converge(m.c0, 32);
+    return std::make_tuple(r, m.disco.gossip_sent(),
+                           m.net.stats().delivered);
+  };
+  EXPECT_EQ(episode(), episode());
+}
+
+}  // namespace
+}  // namespace ovs

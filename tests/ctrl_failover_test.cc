@@ -1,0 +1,334 @@
+// Controller-loss semantics, end to end (DESIGN.md §12): real Switches,
+// agents, controllers, gossip discovery and the lossy wire.
+//
+// The claims under test:
+//   * initial sync — a policy pushed before agents ever connected reaches
+//     every switch via resync, and converged(epoch) certifies it;
+//   * fail-standalone — losing the only controller never stops the
+//     datapath: installed rules keep forwarding, with zero misdelivery;
+//   * barrier certification — under drops and connection resets, once the
+//     fleet converges every switch holds the full policy (a barrier reply
+//     is never emitted for mods that were lost);
+//   * failover rollback — a master dying with an un-replicated epoch gets
+//     that partial epoch rolled back by the standby's resync prune, and the
+//     re-issued change converges under the new master's generation;
+//   * idempotent redelivery — wire duplicates and resync replays never
+//     double-install a rule;
+//   * stale-master fencing — a deposed master can talk but not program;
+//   * determinism — the whole scenario replays bit-identically.
+#include "ctrl/control_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/clock.h"
+#include "util/fault.h"
+#include "vswitchd/switch.h"
+
+namespace ovs {
+namespace {
+
+constexpr char kBaseSpec[] =
+    "table=0, priority=10, ip, nw_dst=10.0.0.0/8, actions=output:2";
+const std::vector<FlowModPayload> kBasePolicy = {
+    {FlowModPayload::Op::kAdd, kBaseSpec}};
+// The change moves the rule to a new priority: a partial application leaves
+// a leftover the rollback resync must PRUNE (same-priority replaces would
+// mask the prune path).
+const std::vector<FlowModPayload> kChangePolicy = {
+    {FlowModPayload::Op::kDelete, "ip, nw_dst=10.0.0.0/8"},
+    {FlowModPayload::Op::kAdd,
+     "table=0, priority=11, ip, nw_dst=10.0.0.0/8, actions=output:3"}};
+
+std::vector<std::unique_ptr<Switch>> make_switches(size_t k) {
+  std::vector<std::unique_ptr<Switch>> out;
+  for (size_t i = 0; i < k; ++i) {
+    auto sw = std::make_unique<Switch>();
+    sw->add_port(1);
+    sw->add_port(2);
+    sw->add_port(3);
+    out.push_back(std::move(sw));
+  }
+  return out;
+}
+
+std::vector<Switch*> raw(const std::vector<std::unique_ptr<Switch>>& v) {
+  std::vector<Switch*> out;
+  for (const auto& s : v) out.push_back(s.get());
+  return out;
+}
+
+bool has_rule(const Switch& sw, const std::string& needle) {
+  for (const std::string& line : sw.dump_flows())
+    if (line.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+// Sends a probe through the policy rule and returns the set of ports it
+// came out of (empty = dropped). Two injections so the second rides the
+// installed megaflow.
+std::vector<uint32_t> probe_ports(Switch& sw, VirtualClock& clk) {
+  std::vector<uint32_t> ports;
+  sw.set_output_handler([&](uint32_t port, const Packet&) {
+    ports.push_back(port);
+  });
+  Packet p;
+  p.key.set_in_port(1);
+  p.key.set_eth_type(ethertype::kIpv4);
+  p.key.set_nw_proto(ipproto::kTcp);
+  p.key.set_nw_src(Ipv4(1, 1, 1, 1));
+  p.key.set_nw_dst(Ipv4(10, 0, 0, 5));
+  p.key.set_tp_src(1234);
+  p.key.set_tp_dst(80);
+  p.size_bytes = 100;
+  sw.inject(p, clk.now());
+  clk.advance(kMillisecond);
+  sw.handle_upcalls(clk.now());
+  sw.inject(p, clk.now());
+  clk.advance(kMillisecond);
+  sw.handle_upcalls(clk.now());
+  sw.set_output_handler(nullptr);
+  return ports;
+}
+
+TEST(CtrlFailover, InitialSyncProgramsEverySwitch) {
+  auto switches = make_switches(6);
+  ControlPlaneConfig cfg;
+  cfg.seed = 5;
+  ControlPlane cp(raw(switches), cfg);
+  cp.start(0);
+
+  const uint64_t epoch = cp.push_policy(kBasePolicy);
+  ASSERT_NE(epoch, 0u);
+  ASSERT_NE(cp.run_until_converged(epoch, 60 * kSecond), UINT64_MAX);
+
+  VirtualClock clk;
+  for (auto& sw : switches) {
+    EXPECT_TRUE(has_rule(*sw, "nw_dst=10.0.0.0/8"));
+    const auto ports = probe_ports(*sw, clk);
+    ASSERT_FALSE(ports.empty());
+    for (uint32_t p : ports) EXPECT_EQ(p, 2u);  // zero misdelivery
+    DpCheckReport rep = sw->self_check();
+    EXPECT_EQ(rep.overlap_violations, 0u);
+    EXPECT_EQ(rep.duplicate_keys, 0u);
+  }
+  for (size_t i = 0; i < cp.n_agents(); ++i)
+    EXPECT_EQ(cp.agent(i).state(), AgentState::kConnected);
+}
+
+TEST(CtrlFailover, FailStandaloneKeepsForwarding) {
+  auto switches = make_switches(4);
+  ControlPlaneConfig cfg;
+  cfg.seed = 6;
+  cfg.n_controllers = 1;  // nobody to fail over to
+  ControlPlane cp(raw(switches), cfg);
+  cp.start(0);
+  const uint64_t epoch = cp.push_policy(kBasePolicy);
+  ASSERT_NE(cp.run_until_converged(epoch, 60 * kSecond), UINT64_MAX);
+
+  cp.kill_active();
+  cp.run_until(cp.now() + 10 * kSecond);
+  ASSERT_EQ(cp.active_controller(), nullptr);
+
+  VirtualClock clk;
+  for (size_t i = 0; i < cp.n_agents(); ++i) {
+    EXPECT_EQ(cp.agent(i).state(), AgentState::kStandalone);
+    Switch& sw = *switches[i];
+    EXPECT_EQ(sw.lifecycle(), LifecycleState::kServing);
+    const auto ports = probe_ports(sw, clk);
+    ASSERT_FALSE(ports.empty());  // forwarding survived controller loss
+    for (uint32_t p : ports) EXPECT_EQ(p, 2u);
+  }
+  EXPECT_GT(cp.agent_stat_totals().standalone_entries, 0u);
+}
+
+TEST(CtrlFailover, BarrierCertifiesAppliedModsUnderFaults) {
+  auto switches = make_switches(4);
+  FaultInjector fault(77);
+  fault.set_probability(FaultPoint::kCtrlMsgDrop, 0.10);
+  fault.set_probability(FaultPoint::kCtrlConnReset, 0.02);
+  ControlPlaneConfig cfg;
+  cfg.seed = 7;
+  cfg.fault = &fault;
+  ControlPlane cp(raw(switches), cfg);
+  cp.start(0);
+
+  const uint64_t epoch = cp.push_policy(kBasePolicy);
+  ASSERT_NE(cp.run_until_converged(epoch, 300 * kSecond), UINT64_MAX);
+
+  // Faults really happened...
+  EXPECT_GT(cp.net().stats().dropped, 0u);
+  // ...yet convergence certifies the full program on every switch: the
+  // barrier semantics ("no reply for lost mods") make this implication
+  // sound even with connection resets in the mix.
+  for (auto& sw : switches) {
+    EXPECT_TRUE(has_rule(*sw, "nw_dst=10.0.0.0/8"));
+    EXPECT_EQ(sw->pipeline().table(0).flow_count(), 1u);
+  }
+}
+
+TEST(CtrlFailover, FailoverRollsBackPartialEpochThenReconverges) {
+  auto switches = make_switches(6);
+  ControlPlaneConfig cfg;
+  cfg.seed = 8;
+  cfg.n_controllers = 2;
+  ControlPlane cp(raw(switches), cfg);
+  cp.start(0);
+  const uint64_t epoch1 = cp.push_policy(kBasePolicy);
+  ASSERT_NE(cp.run_until_converged(epoch1, 60 * kSecond), UINT64_MAX);
+  const Controller* old_master = cp.active_controller();
+
+  // Push a change (standbys replicated only up to epoch1), then kill the
+  // master before anyone can be sure of it: the epoch dies with it.
+  const uint64_t epoch2 = cp.push_policy(kChangePolicy);
+  ASSERT_GT(epoch2, epoch1);
+  cp.kill_active();
+  cp.run_until(cp.now() + 30 * kSecond);
+
+  // A standby took over with a higher fencing generation...
+  Controller* master = cp.active_controller();
+  ASSERT_NE(master, nullptr);
+  ASSERT_NE(master, old_master);
+  EXPECT_EQ(master->role_generation(), 2u);
+  // ...and its resync rolled the partial epoch back on every switch.
+  EXPECT_GE(cp.agent_stat_totals().rules_pruned, switches.size());
+  for (auto& sw : switches) {
+    EXPECT_TRUE(has_rule(*sw, "output:2"));
+    EXPECT_FALSE(has_rule(*sw, "output:3"));
+  }
+
+  // The management layer re-issues the change through the new master.
+  const uint64_t epoch2b = cp.push_policy(kChangePolicy);
+  ASSERT_NE(epoch2b, 0u);
+  ASSERT_NE(cp.run_until_converged(epoch2b, 60 * kSecond), UINT64_MAX);
+  VirtualClock clk;
+  for (auto& sw : switches) {
+    EXPECT_TRUE(has_rule(*sw, "output:3"));
+    EXPECT_FALSE(has_rule(*sw, "output:2"));
+    EXPECT_EQ(sw->pipeline().table(0).flow_count(), 1u);
+    const auto ports = probe_ports(*sw, clk);
+    ASSERT_FALSE(ports.empty());
+    for (uint32_t p : ports) EXPECT_EQ(p, 3u);  // new policy, 0 misdelivered
+  }
+  for (size_t i = 0; i < cp.n_agents(); ++i)
+    EXPECT_EQ(cp.agent(i).max_seen_generation(), 2u);
+}
+
+TEST(CtrlFailover, DuplicatesAndResyncReplaysAreIdempotent) {
+  auto switches = make_switches(3);
+  FaultInjector fault(91);
+  fault.set_probability(FaultPoint::kCtrlMsgDuplicate, 1.0);
+  fault.set_probability(FaultPoint::kCtrlConnReset, 0.05);
+  ControlPlaneConfig cfg;
+  cfg.seed = 9;
+  cfg.fault = &fault;
+  ControlPlane cp(raw(switches), cfg);
+  cp.start(0);
+
+  const uint64_t epoch = cp.push_policy(kBasePolicy);
+  ASSERT_NE(cp.run_until_converged(epoch, 300 * kSecond), UINT64_MAX);
+  // Every wire message was duplicated and resets forced resync replays of
+  // already-applied xids — still exactly one installed copy everywhere.
+  for (auto& sw : switches)
+    EXPECT_EQ(sw->pipeline().table(0).flow_count(), 1u);
+  EXPECT_GT(cp.agent_channel_totals().dups_discarded, 0u);
+}
+
+TEST(CtrlFailover, StaleMasterCannotProgram) {
+  // Manual wiring (no discovery): one switch, two controllers, the agent's
+  // leader belief driven by hand so we can point it at the new master while
+  // the deposed one is still talking.
+  auto sw = std::make_unique<Switch>();
+  sw->add_port(1);
+  sw->add_port(2);
+  sw->add_port(3);
+  CtrlTransport net;
+  ControllerConfig ca;
+  ca.id = 100;
+  Controller old_master(&net, ca);
+  ControllerConfig cb;
+  cb.id = 101;
+  Controller new_master(&net, cb);
+  old_master.set_fleet({1});
+  new_master.set_fleet({1});
+  CtrlAgentConfig ac;
+  ac.id = 1;
+  CtrlAgent agent(&net, sw.get(), ac);
+
+  uint64_t now = 0;
+  auto pump = [&](uint64_t until) {
+    while (now < until) {
+      now += 10 * kMillisecond;
+      net.deliver_until(now);
+      agent.tick(now);
+      old_master.tick(now);
+      new_master.tick(now);
+    }
+  };
+
+  old_master.attach(now);
+  new_master.attach(now);
+  agent.attach(now);
+  old_master.activate(1, now);
+  agent.set_leader_hint(100);
+  const uint64_t e1 = old_master.push_policy(kBasePolicy, now);
+  pump(5 * kSecond);
+  ASSERT_TRUE(old_master.converged(e1));
+  ASSERT_EQ(agent.max_seen_generation(), 1u);
+
+  // Takeover with a higher generation; the agent follows its belief.
+  new_master.replicate_from(old_master);
+  new_master.activate(5, now);
+  agent.set_leader_hint(101);
+  pump(now + 5 * kSecond);
+  ASSERT_EQ(agent.controller(), 101u);
+  ASSERT_GE(agent.max_seen_generation(), 5u);
+
+  // The deposed master, never told, pushes a new policy. Fenced: the rule
+  // never lands.
+  const uint64_t stale_before = agent.stats().stale_gen_fenced;
+  old_master.push_policy(
+      {{FlowModPayload::Op::kAdd,
+        "table=0, priority=20, tcp, tp_dst=22, actions=drop"}},
+      now);
+  pump(now + 5 * kSecond);
+  EXPECT_GT(agent.stats().stale_gen_fenced, stale_before);
+  EXPECT_FALSE(has_rule(*sw, "tp_dst=22"));
+  EXPECT_EQ(sw->pipeline().table(0).flow_count(), 1u);
+}
+
+TEST(CtrlFailover, DeterministicScenarioReplay) {
+  auto episode = [] {
+    auto switches = make_switches(4);
+    FaultInjector fault(55);
+    fault.set_probability(FaultPoint::kCtrlMsgDrop, 0.05);
+    ControlPlaneConfig cfg;
+    cfg.seed = 10;
+    cfg.n_controllers = 2;
+    cfg.fault = &fault;
+    ControlPlane cp(raw(switches), cfg);
+    cp.start(0);
+    uint64_t epoch = cp.push_policy(kBasePolicy);
+    cp.run_until_converged(epoch, 120 * kSecond);
+    cp.push_policy(kChangePolicy);
+    cp.kill_active();
+    cp.run_until(cp.now() + 20 * kSecond);
+    epoch = cp.push_policy(kChangePolicy);
+    cp.run_until_converged(epoch, 120 * kSecond);
+    std::vector<std::string> dump;
+    for (auto& sw : switches)
+      for (const std::string& l : sw->dump_flows()) dump.push_back(l);
+    const CtrlAgent::Stats s = cp.agent_stat_totals();
+    return std::make_tuple(dump, s.flow_mods_applied, s.rules_pruned,
+                           s.syncs_completed, cp.net().stats().sent,
+                           cp.discovery().round());
+  };
+  EXPECT_EQ(episode(), episode());
+}
+
+}  // namespace
+}  // namespace ovs

@@ -109,6 +109,61 @@ TEST(FaultInjectorTest, DisarmStopsFiringButKeepsCounters) {
   EXPECT_EQ(f.occurrences(FaultPoint::kEntryCorrupt), 20u);
 }
 
+TEST(FaultInjectorTest, ResetReplaysTheIdenticalFaultSchedule) {
+  // reset() rewinds the occurrence counters, script cursors, and the
+  // seed-derived probability streams while leaving schedules armed, so a
+  // second run over the same decision points sees bit-identical faults
+  // (replayable fault schedules for reconnect/recovery tests).
+  FaultInjector f(0x5EED);
+  f.set_probability(FaultPoint::kCtrlMsgDrop, 0.35);
+  f.script(FaultPoint::kCtrlConnReset, {3, 7, 11});
+  f.arm_window(FaultPoint::kCtrlMsgDelay, 5, 9);
+
+  auto episode = [&f] {
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(f.should_fire(FaultPoint::kCtrlMsgDrop));
+      out.push_back(f.should_fire(FaultPoint::kCtrlConnReset));
+      out.push_back(f.should_fire(FaultPoint::kCtrlMsgDelay));
+    }
+    return out;
+  };
+
+  const std::vector<bool> first = episode();
+  // Counters advanced and the script cursor is spent...
+  EXPECT_EQ(f.occurrences(FaultPoint::kCtrlMsgDrop), 64u);
+  EXPECT_EQ(f.fired(FaultPoint::kCtrlConnReset), 3u);
+  ASSERT_NE(f.fired(FaultPoint::kCtrlMsgDrop), 0u);
+
+  // ...until reset() rewinds everything to the origin.
+  f.reset();
+  EXPECT_EQ(f.occurrences(FaultPoint::kCtrlMsgDrop), 0u);
+  EXPECT_EQ(f.fired(FaultPoint::kCtrlConnReset), 0u);
+  EXPECT_EQ(episode(), first);
+
+  // Per-point reset rewinds only that point: the drop stream replays while
+  // the (un-reset) script stays spent.
+  f.reset(FaultPoint::kCtrlMsgDrop);
+  std::vector<bool> drops, resets;
+  for (int i = 0; i < 64; ++i) {
+    drops.push_back(f.should_fire(FaultPoint::kCtrlMsgDrop));
+    resets.push_back(f.should_fire(FaultPoint::kCtrlConnReset));
+    (void)f.should_fire(FaultPoint::kCtrlMsgDelay);
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(drops[static_cast<size_t>(i)], first[static_cast<size_t>(3 * i)]);
+    EXPECT_FALSE(resets[static_cast<size_t>(i)]);
+  }
+
+  // Victim selection rewinds with the whole-injector reset too.
+  f.reset();
+  std::vector<uint64_t> picks1, picks2;
+  for (int i = 0; i < 16; ++i) picks1.push_back(f.pick(1000));
+  f.reset();
+  for (int i = 0; i < 16; ++i) picks2.push_back(f.pick(1000));
+  EXPECT_EQ(picks1, picks2);
+}
+
 // --- Fault matrix: convergence after every fault class ---------------------
 
 class FaultMatrixTest : public ::testing::TestWithParam<FaultPoint> {};

@@ -232,6 +232,59 @@ TEST(FleetTest, MultiWorkerFleetMatchesCachingExpectations) {
     EXPECT_EQ(r.intervals[i].flows, r2.intervals[i].flows);
 }
 
+TEST(FleetTest, CtrlPlaneFleetConvergesThroughFaultsAndFailover) {
+  // Control-plane lockstep mode (DESIGN.md §12): a policy change fans out
+  // mid-run while one rack's wire is lossy, then the active controller is
+  // killed holding the fleet and a standby takes over. The run must still
+  // certify the final policy epoch fleet-wide.
+  FleetConfig cfg = tiny_config();
+  cfg.n_hypervisors = 8;
+  cfg.rack_size = 4;
+  cfg.control_plane = true;
+  cfg.standby_controllers = 1;
+  cfg.fault_rack_fraction = 0.5;
+  cfg.fault_first_interval = 1;
+  cfg.fault_last_interval = 2;
+  cfg.ctrl_msg_drop_prob = 0.15;
+  cfg.ctrl_conn_reset_prob = 0.02;
+  cfg.policy_change_interval = 1;
+  cfg.controller_crash_interval = 1;  // dies right after the fan-out starts
+  FleetResults r = run_fleet(cfg);
+
+  EXPECT_TRUE(r.control.final_converged);
+  EXPECT_EQ(r.control.controller_crashes, 1u);
+  EXPECT_EQ(r.control.takeovers, 1u);
+  EXPECT_GE(r.control.policy_pushes, 2u);  // baseline + change
+  EXPECT_GT(r.control.flow_mods_applied, 0u);
+  EXPECT_GT(r.control.syncs_completed, 0u);
+  EXPECT_GT(r.control.gossip_messages, 0u);
+  // The traffic plane is untouched by control-plane events: per-interval
+  // figures still come out one per (hypervisor, interval).
+  EXPECT_EQ(r.intervals.size(), cfg.n_hypervisors * cfg.n_intervals);
+
+  // And the whole scenario — wire faults, crash, takeover, re-push — is
+  // bit-identical on replay.
+  FleetResults r2 = run_fleet(cfg);
+  EXPECT_EQ(r2.control.final_converged, r.control.final_converged);
+  EXPECT_EQ(r2.control.convergence_ns, r.control.convergence_ns);
+  EXPECT_EQ(r2.control.flow_mods_applied, r.control.flow_mods_applied);
+  EXPECT_EQ(r2.control.retransmits, r.control.retransmits);
+  EXPECT_EQ(r2.control.wire_dropped, r.control.wire_dropped);
+  ASSERT_EQ(r.intervals.size(), r2.intervals.size());
+  for (size_t i = 0; i < r.intervals.size(); ++i)
+    EXPECT_EQ(r.intervals[i].flows, r2.intervals[i].flows);
+}
+
+TEST(FleetTest, CtrlPlaneOffIsBitForBitLegacy) {
+  // The lockstep refactor must not perturb the legacy mode: control_plane
+  // defaults to off and produces identical figures to the seed path.
+  FleetConfig cfg = tiny_config();
+  FleetResults legacy = run_fleet(cfg);
+  EXPECT_FALSE(legacy.control.final_converged);
+  EXPECT_EQ(legacy.control.policy_pushes, 0u);
+  EXPECT_EQ(legacy.control.flow_mods_applied, 0u);
+}
+
 TEST(FleetTest, DeterministicForFixedSeed) {
   FleetResults a = run_fleet(tiny_config());
   FleetResults b = run_fleet(tiny_config());
