@@ -27,6 +27,8 @@ Packet make_tcp(uint32_t in_port, Ipv4 src, Ipv4 dst, uint16_t sport,
 
 const char* path_name(Datapath::Path p) {
   switch (p) {
+    case Datapath::Path::kOffloadHit:
+      return "NIC offload hit";
     case Datapath::Path::kMicroflowHit:
       return "microflow (EMC) hit";
     case Datapath::Path::kMegaflowHit:

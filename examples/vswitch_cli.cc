@@ -103,7 +103,7 @@ struct Cli {
       p.key.set_tp_dst(dport);
       auto path = sw.inject(p, clock.now());
       sw.handle_upcalls(clock.now());
-      const char* names[] = {"microflow hit", "megaflow hit",
+      const char* names[] = {"offload hit", "microflow hit", "megaflow hit",
                              "miss -> flow setup"};
       std::printf("%s\n", names[static_cast<int>(path)]);
     } else if (cmd == "tick") {

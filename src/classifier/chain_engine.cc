@@ -1,6 +1,7 @@
 #include "classifier/chain_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <map>
 
@@ -248,6 +249,129 @@ out:
     stats_.guide_probes.fetch_add(guide_probes, std::memory_order_relaxed);
   if (n_searched != nullptr) *n_searched = searched;
   return best;
+}
+
+void ChainedTupleEngine::lookup_batch(const FlowKey* keys, size_t n,
+                                      const Rule** out,
+                                      FlowWildcards* wcs) const noexcept {
+  for (size_t base = 0; base < n; base += kBatchBlock) {
+    const size_t m = std::min(kBatchBlock, n - base);
+    batch_block(keys + base, m, out + base,
+                wcs != nullptr ? wcs + base : nullptr);
+  }
+}
+
+// Structure-of-arrays batch classification over one block of keys. Chains
+// are walked in the same priority order as the scalar lookup, but each
+// level processes the whole block per probe round: level hashes are built
+// word-at-a-time (mask word outer, keys inner), then the guide slots for
+// every surviving key are prefetched before any membership test, then the
+// rule-table slots likewise before any final probe — so the n independent
+// cache misses of a round overlap instead of serializing. Every per-key
+// decision (priority suffix cut, guide cut, wildcard accumulation,
+// first-match exit) replicates the scalar lookup exactly, so out[i]/wcs[i]
+// are byte-identical to n scalar calls.
+void ChainedTupleEngine::batch_block(const FlowKey* keys, size_t m,
+                                     const Rule** out,
+                                     FlowWildcards* wcs) const noexcept {
+  uint32_t searched = 0, skipped = 0, guide_probes = 0;
+  std::array<const Rule*, kBatchBlock> best{};
+  std::array<bool, kBatchBlock> done{};
+  std::array<uint8_t, kBatchBlock> live;
+  std::array<uint64_t, kBatchBlock> gh;
+  size_t n_done = 0;
+
+  for (const Chain* c : sorted_) {
+    if (n_done == m) break;
+    // Keys still walking this chain. The scalar chain-level cut
+    // (best->priority() >= c->pri_max()) is identical to the level-0
+    // suffix cut because pri_max() IS the front level's suffix_pri_max,
+    // so the per-level round below subsumes it.
+    size_t n_live = 0;
+    for (size_t i = 0; i < m; ++i)
+      if (!done[i]) live[n_live++] = static_cast<uint8_t>(i);
+
+    for (const Sub* s : c->levels) {
+      if (n_live == 0) break;
+      const MiniflowSchema& sch = s->schema;
+
+      // Round 0: per-key priority cut against this level's suffix bound —
+      // a cut key leaves the chain but stays eligible for later chains.
+      size_t keep = 0;
+      for (size_t j = 0; j < n_live; ++j) {
+        const size_t i = live[j];
+        if (best[i] != nullptr && cfg_.priority_sorting &&
+            best[i]->priority() >= s->suffix_pri_max)
+          continue;
+        live[keep++] = static_cast<uint8_t>(i);
+      }
+      n_live = keep;
+      if (n_live == 0) break;
+
+      // Round 1: SoA level hashes (full_hash, word loop outermost), then
+      // guide prefetch + membership for the block. The wildcard union and
+      // the guide-probe tally happen for every probed key, hit or miss,
+      // exactly as in the scalar walk.
+      for (size_t j = 0; j < n_live; ++j) gh[j] = 0;
+      for (size_t wi = 0; wi < sch.n_words(); ++wi) {
+        const size_t w = sch.word(wi);
+        const uint64_t mw = sch.mask_word(wi);
+        for (size_t j = 0; j < n_live; ++j)
+          gh[j] = hash_add64(gh[j], keys[live[j]].w[w] & mw);
+      }
+      for (size_t j = 0; j < n_live; ++j) s->guide.prefetch(gh[j]);
+      keep = 0;
+      for (size_t j = 0; j < n_live; ++j) {
+        const size_t i = live[j];
+        ++guide_probes;
+        if (wcs != nullptr) wcs[i].unite(s->mask);
+        if (!s->guide.contains(gh[j])) {
+          ++skipped;  // chain suffix cut for this key
+          continue;
+        }
+        live[keep] = static_cast<uint8_t>(i);
+        gh[keep] = gh[j];
+        ++keep;
+      }
+      n_live = keep;
+      if (n_live == 0) break;
+
+      // Round 2: rule-table probes, prefetched for the whole block.
+      for (size_t j = 0; j < n_live; ++j) s->rules.prefetch(gh[j]);
+      keep = 0;
+      for (size_t j = 0; j < n_live; ++j) {
+        const size_t i = live[j];
+        ++searched;
+        Rule* const* head = s->rules.find(gh[j], [&](Rule* r) {
+          return sch.masked_equal(keys[i], r->match().key);
+        });
+        if (head != nullptr &&
+            (best[i] == nullptr ||
+             (*head)->priority() > best[i]->priority())) {
+          best[i] = *head;
+          if (cfg_.first_match_only) {
+            done[i] = true;
+            ++n_done;
+            continue;  // out of this chain AND every later one
+          }
+        }
+        live[keep] = static_cast<uint8_t>(i);
+        gh[keep] = gh[j];
+        ++keep;
+      }
+      n_live = keep;
+    }
+  }
+
+  for (size_t i = 0; i < m; ++i) out[i] = best[i];
+
+  stats_.lookups.fetch_add(m, std::memory_order_relaxed);
+  if (searched != 0)
+    stats_.tuples_searched.fetch_add(searched, std::memory_order_relaxed);
+  if (skipped != 0)
+    stats_.tuples_skipped.fetch_add(skipped, std::memory_order_relaxed);
+  if (guide_probes != 0)
+    stats_.guide_probes.fetch_add(guide_probes, std::memory_order_relaxed);
 }
 
 ClassifierStats ChainedTupleEngine::stats() const noexcept {

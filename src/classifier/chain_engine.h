@@ -43,6 +43,8 @@ class ChainedTupleEngine final : public ClassifierBackend {
       override;
   const Rule* lookup(const FlowKey& pkt, FlowWildcards* wc,
                      uint32_t* n_searched) const noexcept override;
+  void lookup_batch(const FlowKey* keys, size_t n, const Rule** out,
+                    FlowWildcards* wcs) const noexcept override;
 
   size_t rule_count() const noexcept override { return n_rules_; }
   size_t mask_count() const noexcept override { return subs_.size(); }
@@ -56,9 +58,16 @@ class ChainedTupleEngine final : public ClassifierBackend {
   size_t chain_count() const noexcept { return chains_.size(); }
   size_t max_chain_length() const noexcept;
 
+  // SoA batch slice width (see batch_block); matches StagedTssEngine's.
+  static constexpr size_t kBatchBlock = 16;
+
  private:
   struct Sub;
   struct Chain;
+
+  // One <= kBatchBlock slice of the SoA batch pipeline.
+  void batch_block(const FlowKey* keys, size_t m, const Rule** out,
+                   FlowWildcards* wcs) const noexcept;
 
   Sub* find_sub(const FlowMask& mask) const noexcept;
   Sub* get_sub(const FlowMask& mask);

@@ -29,6 +29,8 @@ Datapath::Datapath(DatapathConfig cfg)
   if (cfg_.use_concurrent_emc)
     cemc_ = std::make_unique<ConcurrentEmc>(cfg_.microflow_sets *
                                             cfg_.microflow_ways);
+  if (cfg_.offload_slots > 0)
+    off_ = std::make_unique<OffloadTable>(cfg_.offload_slots);
 }
 
 Datapath::~Datapath() = default;
@@ -135,6 +137,24 @@ Datapath::RxResult Datapath::receive(const Packet& pkt, uint64_t now_ns) {
   ++stats_.packets;
   RxResult res;
 
+  // NIC offload tier, consulted before any software cache (§13). A hit
+  // forwards from the slot's action *snapshot* — exactly what programmed
+  // hardware would do — and still credits the owning megaflow's statistics
+  // so idle expiry and the placement EWMA see the traffic.
+  if (off_ != nullptr) {
+    if (const OffloadTable::Entry* oe = off_->probe(pkt.key)) {
+      oe->counters->hits.fetch_add(1, std::memory_order_relaxed);
+      oe->counters->bytes.fetch_add(pkt.size_bytes,
+                                    std::memory_order_relaxed);
+      auto* e = static_cast<MegaflowEntry*>(oe->owner);
+      e->packets_ += 1;
+      e->bytes_ += pkt.size_bytes;
+      e->used_ns_ = now_ns;
+      ++stats_.offload_hits;
+      return {Path::kOffloadHit, &oe->actions, 0};
+    }
+  }
+
   const uint64_t hash = pkt.key.hash();
   if (cfg_.microflow_enabled) {
     if (MegaflowEntry* e = microflow_lookup(pkt.key, hash)) {
@@ -186,6 +206,7 @@ void Datapath::process_chunk(const Packet* pkts, size_t n, uint64_t now_ns,
   uint64_t hashes[kMaxBatch];
   uint16_t leader[kMaxBatch];         // index of the packet's group leader
   MegaflowEntry* entry[kMaxBatch];    // leader slots: matched megaflow
+  const OffloadTable::Entry* offl[kMaxBatch];  // leader slots: NIC slot hit
   uint16_t leaders[kMaxBatch];        // indices of unique microflow leaders
   size_t n_leaders = 0;
 
@@ -214,6 +235,14 @@ void Datapath::process_chunk(const Packet* pkts, size_t n, uint64_t now_ns,
   for (size_t i = 0; i < n; ++i) {
     if (leader[i] != i) {
       const RxResult& lr = results[leader[i]];
+      if (lr.path == Path::kOffloadHit) {
+        // Hardware would have matched this packet the same way; no software
+        // cache is consulted.
+        ++stats_.offload_hits;
+        ++summary.offload_hits;
+        results[i] = {Path::kOffloadHit, lr.actions, 0};
+        continue;
+      }
       if (entry[leader[i]] != nullptr) {
         if (cfg_.microflow_enabled) {
           // Sequentially this packet would have hit the EMC entry the
@@ -236,6 +265,20 @@ void Datapath::process_chunk(const Packet* pkts, size_t n, uint64_t now_ns,
     }
 
     entry[i] = nullptr;
+    offl[i] = nullptr;
+    if (off_ != nullptr) {
+      ++summary.offload_probes;
+      if (const OffloadTable::Entry* oe = off_->probe(pkts[i].key)) {
+        ++stats_.offload_hits;
+        ++summary.offload_hits;
+        // The owning megaflow's stats are bumped in the group pass below,
+        // via entry[]; the slot's own counters are credited there too.
+        offl[i] = oe;
+        entry[i] = static_cast<MegaflowEntry*>(oe->owner);
+        results[i] = {Path::kOffloadHit, &oe->actions, 0};
+        continue;
+      }
+    }
     if (cfg_.microflow_enabled) {
       ++summary.emc_probes;
       if (MegaflowEntry* e = microflow_lookup(pkts[i].key, hashes[i])) {
@@ -293,6 +336,12 @@ void Datapath::process_chunk(const Packet* pkts, size_t n, uint64_t now_ns,
     e->packets_ += pkt_count;
     e->bytes_ += byte_count;
     e->used_ns_ = now_ns;  // matches receive(): last write wins
+    // An offload-absorbed group also credits its NIC slot's counters (one
+    // slot per megaflow, so the group's first leader identifies it).
+    if (const OffloadTable::Entry* oe = offl[leaders[l]]) {
+      oe->counters->hits.fetch_add(pkt_count, std::memory_order_relaxed);
+      oe->counters->bytes.fetch_add(byte_count, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -337,6 +386,10 @@ MegaflowEntry* Datapath::install(const Match& match, DpActions actions,
 
 void Datapath::remove(MegaflowEntry* entry) {
   assert(!entry->dead());
+  // Shadow coherence (§13): a megaflow may not die while its NIC copy keeps
+  // forwarding. Evicting here covers every deletion path — revalidator
+  // idle/stale deletes, hard eviction, quarantine — in the same step.
+  if (off_ != nullptr) off_->evict(entry);
   mega_.remove(entry);
   entry->dead_ = true;
   const size_t i = entry->index_;
@@ -351,6 +404,17 @@ void Datapath::remove(MegaflowEntry* entry) {
 
 void Datapath::update_actions(MegaflowEntry* entry, DpActions actions) {
   entry->set_actions(std::move(actions));
+  // Reprogram the NIC copy in the same step (revalidator repair, §13).
+  if (off_ != nullptr) off_->sync_actions(entry, entry->actions());
+}
+
+bool Datapath::offload_install(MegaflowEntry* e, uint64_t now_ns) {
+  return off_ != nullptr &&
+         off_->install(e->match(), e->actions(), e, now_ns);
+}
+
+bool Datapath::offload_evict(MegaflowEntry* e) {
+  return off_ != nullptr && off_->evict(e);
 }
 
 void Datapath::purge_dead() {

@@ -26,6 +26,7 @@
 #include "datapath/concurrent_emc.h"
 #include "datapath/dp_actions.h"
 #include "datapath/dp_shared.h"
+#include "datapath/offload_table.h"
 #include "packet/packet.h"
 #include "util/rng.h"
 
@@ -92,6 +93,10 @@ struct DatapathConfig {
   // churn, OVS's emc-insert-inv-prob): insert a missed microflow into the
   // EMC with probability 1/N. 1 = always insert.
   uint32_t emc_insert_inv_prob = dpdefault::kEmcInsertInvProb;
+  // Simulated NIC offload table capacity (DESIGN.md §13). 0 disables the
+  // tier entirely: no table is allocated and the packet path is bit-for-bit
+  // the two-level EMC -> megaflow hierarchy.
+  size_t offload_slots = 0;
   uint64_t seed = dpdefault::kDpSeed;  // pseudo-random replacement (§6)
 };
 
@@ -103,7 +108,12 @@ class Datapath {
   Datapath(const Datapath&) = delete;
   Datapath& operator=(const Datapath&) = delete;
 
-  enum class Path : uint8_t { kMicroflowHit, kMegaflowHit, kMiss };
+  enum class Path : uint8_t {
+    kOffloadHit,  // NIC offload slot (DESIGN.md §13); never reaches the CPU
+    kMicroflowHit,
+    kMegaflowHit,
+    kMiss,
+  };
 
   struct RxResult {
     Path path = Path::kMiss;
@@ -126,6 +136,8 @@ class Datapath {
   // only the burst's unique microflows that missed the EMC.
   struct BatchSummary {
     uint32_t packets = 0;
+    uint32_t offload_probes = 0;    // NIC table probes after dedup
+    uint32_t offload_hits = 0;      // packets absorbed by the NIC tier
     uint32_t emc_probes = 0;        // EMC probes after intra-burst dedup
     uint32_t megaflow_lookups = 0;  // classifier searches (dedup leaders)
     uint32_t tuples_searched = 0;   // megaflow hash tables probed
@@ -134,6 +146,8 @@ class Datapath {
 
     void operator+=(const BatchSummary& o) noexcept {
       packets += o.packets;
+      offload_probes += o.offload_probes;
+      offload_hits += o.offload_hits;
       emc_probes += o.emc_probes;
       megaflow_lookups += o.megaflow_lookups;
       tuples_searched += o.tuples_searched;
@@ -229,8 +243,25 @@ class Datapath {
     cfg_.emc_insert_inv_prob = inv == 0 ? 1 : inv;
   }
 
+  // --- Simulated NIC offload tier (DESIGN.md §13) --------------------------
+  //
+  // Null when cfg.offload_slots == 0. Placement policy (which megaflows earn
+  // a slot) lives in vswitchd; the datapath's own responsibility is shadow
+  // coherence: remove() evicts the owner's slot and update_actions()
+  // rewrites its action snapshot, so any revalidation/reconciliation pass
+  // that touches a megaflow repairs its offloaded copy in the same step.
+  const OffloadTable* offload() const noexcept { return off_.get(); }
+  // Programs a slot with a copy of e's match and actions. False when the
+  // tier is off, the table is full, or e already holds a slot.
+  bool offload_install(MegaflowEntry* e, uint64_t now_ns);
+  bool offload_evict(MegaflowEntry* e);
+  bool offload_corrupt(size_t idx, OffloadTable::Corruption kind) {
+    return off_ != nullptr && off_->corrupt(idx, kind);
+  }
+
   struct Stats {
     uint64_t packets = 0;
+    uint64_t offload_hits = 0;      // absorbed by the NIC tier (§13)
     uint64_t microflow_hits = 0;
     uint64_t megaflow_hits = 0;
     uint64_t misses = 0;
@@ -280,6 +311,7 @@ class Datapath {
   std::vector<std::unique_ptr<MegaflowEntry>> graveyard_;
   std::vector<MicroSlot> micro_;                // inline EMC
   std::unique_ptr<ConcurrentEmc> cemc_;         // cfg.use_concurrent_emc
+  std::unique_ptr<OffloadTable> off_;           // cfg.offload_slots > 0
   std::deque<Packet> upcalls_;
   std::vector<Packet> delayed_;                 // delay-fault parking lot
   UpcallSink sink_;

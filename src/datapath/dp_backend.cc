@@ -2,6 +2,30 @@
 
 namespace ovs {
 
+namespace {
+
+std::vector<DpBackend::OffloadSlot> dump_offload(const OffloadTable* t) {
+  std::vector<DpBackend::OffloadSlot> out;
+  if (t == nullptr) return out;
+  out.reserve(t->size());
+  t->for_each([&](const OffloadTable::Entry& e) {
+    out.push_back({e.owner, &e.mask, &e.key, &e.actions,
+                   e.counters->hits.load(std::memory_order_relaxed),
+                   e.counters->bytes.load(std::memory_order_relaxed)});
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<DpBackend::OffloadSlot> SingleDpBackend::offload_dump() const {
+  return dump_offload(dp_.offload());
+}
+
+std::vector<DpBackend::OffloadSlot> MtDpBackend::offload_dump() const {
+  return dump_offload(dp_.offload());
+}
+
 std::vector<DpBackend::FlowRef> SingleDpBackend::dump() const {
   std::vector<FlowRef> out;
   std::vector<MegaflowEntry*> flows = dp_.dump();
@@ -42,6 +66,7 @@ Datapath::Stats MtDpBackend::stats() const {
   const ShardedDatapath::Stats s = dp_.stats();
   Datapath::Stats out;
   out.packets = s.packets;
+  out.offload_hits = s.offload_hits;
   out.microflow_hits = s.microflow_hits;
   out.megaflow_hits = s.megaflow_hits;
   out.misses = s.misses;
@@ -69,6 +94,7 @@ std::unique_ptr<DpBackend> make_dp_backend(const DatapathConfig& cfg,
   mt.max_upcall_queue = cfg.max_upcall_queue;
   mt.max_flows = cfg.max_flows;
   mt.emc_insert_inv_prob = cfg.emc_insert_inv_prob;
+  mt.offload_slots = cfg.offload_slots;
   mt.seed = cfg.seed;
   return std::make_unique<MtDpBackend>(mt);
 }

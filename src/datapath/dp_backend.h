@@ -80,6 +80,37 @@ class DpBackend {
   virtual uint64_t flow_tags(FlowRef flow) const = 0;
   virtual void set_flow_tags(FlowRef flow, uint64_t tags) = 0;
 
+  // --- Simulated NIC offload tier (DESIGN.md §13) --------------------------
+  //
+  // The control plane earns/revokes slots here; the backend keeps the slot
+  // coherent with its owner on remove()/update_actions() automatically.
+  // offload_commit() makes pending control-plane slot changes visible to the
+  // fast path (a republish on the sharded backend; a no-op on the single
+  // one, whose fast path reads the master directly). purge_dead() commits
+  // too, so the revalidator's end-of-pass purge doubles as the publish.
+
+  // One dumped slot. Pointers reach into the backend's master table and stay
+  // valid until the next offload mutation (control thread only).
+  struct OffloadSlot {
+    FlowRef owner;
+    const FlowMask* mask;
+    const FlowKey* key;
+    const DpActions* actions;  // the slot's snapshot, not the owner's
+    uint64_t hits;
+    uint64_t bytes;
+  };
+
+  virtual bool offload_enabled() const = 0;
+  virtual size_t offload_size() const = 0;
+  virtual size_t offload_capacity() const = 0;
+  virtual bool offload_contains(FlowRef flow) const = 0;
+  virtual bool offload_install(FlowRef flow, uint64_t now_ns) = 0;
+  virtual bool offload_evict(FlowRef flow) = 0;
+  virtual void offload_commit() = 0;
+  virtual std::vector<OffloadSlot> offload_dump() const = 0;
+  // Test-only slot desynchronization for the invariant checker.
+  virtual bool offload_corrupt(size_t idx, OffloadTable::Corruption kind) = 0;
+
   // --- Upcalls -------------------------------------------------------------
 
   virtual std::vector<Packet> take_upcalls(size_t max_batch) = 0;
@@ -144,6 +175,28 @@ class SingleDpBackend final : public DpBackend {
   std::vector<FlowRef> dump() const override;
   size_t flow_count() const override { return dp_.flow_count(); }
   size_t mask_count() const override { return dp_.mask_count(); }
+
+  bool offload_enabled() const override { return dp_.offload() != nullptr; }
+  size_t offload_size() const override {
+    return dp_.offload() != nullptr ? dp_.offload()->size() : 0;
+  }
+  size_t offload_capacity() const override {
+    return dp_.offload() != nullptr ? dp_.offload()->capacity() : 0;
+  }
+  bool offload_contains(FlowRef flow) const override {
+    return dp_.offload() != nullptr && dp_.offload()->contains(flow);
+  }
+  bool offload_install(FlowRef flow, uint64_t now_ns) override {
+    return dp_.offload_install(as(flow), now_ns);
+  }
+  bool offload_evict(FlowRef flow) override {
+    return dp_.offload_evict(as(flow));
+  }
+  void offload_commit() override {}  // fast path reads the master directly
+  std::vector<OffloadSlot> offload_dump() const override;
+  bool offload_corrupt(size_t idx, OffloadTable::Corruption kind) override {
+    return dp_.offload_corrupt(idx, kind);
+  }
 
   const Match& flow_match(FlowRef flow) const override {
     return as(flow)->match();
@@ -240,6 +293,28 @@ class MtDpBackend final : public DpBackend {
   std::vector<FlowRef> dump() const override;
   size_t flow_count() const override { return dp_.flow_count(); }
   size_t mask_count() const override { return dp_.mask_count(); }
+
+  bool offload_enabled() const override { return dp_.offload() != nullptr; }
+  size_t offload_size() const override {
+    return dp_.offload() != nullptr ? dp_.offload()->size() : 0;
+  }
+  size_t offload_capacity() const override {
+    return dp_.offload() != nullptr ? dp_.offload()->capacity() : 0;
+  }
+  bool offload_contains(FlowRef flow) const override {
+    return dp_.offload() != nullptr && dp_.offload()->contains(flow);
+  }
+  bool offload_install(FlowRef flow, uint64_t now_ns) override {
+    return dp_.offload_install(as(flow), now_ns);
+  }
+  bool offload_evict(FlowRef flow) override {
+    return dp_.offload_evict(as(flow));
+  }
+  void offload_commit() override { dp_.offload_commit(); }
+  std::vector<OffloadSlot> offload_dump() const override;
+  bool offload_corrupt(size_t idx, OffloadTable::Corruption kind) override {
+    return dp_.offload_corrupt(idx, kind);
+  }
 
   const Match& flow_match(FlowRef flow) const override {
     return as(flow)->match();

@@ -129,13 +129,52 @@ DpCheckReport run_dp_check(const DpBackend& be, const DpCheckConfig& cfg) {
                " dangling hint(s)");
   }
 
+  if (cfg.check_offload && be.offload_enabled()) {
+    // Shadow coherence (DESIGN.md §13): the offload table holds COPIES, so
+    // each slot is checked against its owner — live owner, identical action
+    // snapshot, and hits <= owner packets (every slot hit also bumps the
+    // owner, so a slot claiming more traffic than its owner ever saw has a
+    // corrupted counter). Repair is always the same: flush the slot.
+    std::unordered_map<const void*, size_t> live;
+    live.reserve(flows.size());
+    for (size_t i = 0; i < flows.size(); ++i) live.emplace(flows[i], i);
+    for (const DpBackend::OffloadSlot& s : be.offload_dump()) {
+      ++report.offload_checked;
+      const auto it = live.find(s.owner);
+      if (it == live.end()) {
+        ++report.offload_dangling;
+        report.offload_flush.push_back(s.owner);
+        note(report, cfg, "offload: slot owner not among live flows");
+        continue;
+      }
+      if (!(*s.actions == be.flow_actions(flows[it->second]))) {
+        ++report.offload_stale_actions;
+        report.offload_flush.push_back(s.owner);
+        note(report, cfg,
+             "offload: stale action snapshot for " +
+                 be.flow_match(flows[it->second]).to_string());
+        continue;
+      }
+      if (s.hits > be.flow_packets(flows[it->second])) {
+        ++report.offload_stat_violations;
+        report.offload_flush.push_back(s.owner);
+        note(report, cfg,
+             "offload: slot hits=" + std::to_string(s.hits) +
+                 " > owner packets=" +
+                 std::to_string(be.flow_packets(flows[it->second])));
+      }
+    }
+  }
+
   if (cfg.check_stats) {
     const Datapath::Stats s = be.stats();
-    if (s.packets != s.microflow_hits + s.megaflow_hits + s.misses) {
+    if (s.packets !=
+        s.offload_hits + s.microflow_hits + s.megaflow_hits + s.misses) {
       ++report.stats_violations;
       note(report, cfg,
            "stats: packets=" + std::to_string(s.packets) +
-               " != emc=" + std::to_string(s.microflow_hits) +
+               " != offload=" + std::to_string(s.offload_hits) +
+               " + emc=" + std::to_string(s.microflow_hits) +
                " + mega=" + std::to_string(s.megaflow_hits) +
                " + miss=" + std::to_string(s.misses));
     }
@@ -151,6 +190,8 @@ DpCheckReport run_dp_check(const DpBackend& be, const DpCheckConfig& cfg) {
 }
 
 size_t quarantine_flows(DpBackend& be, const DpCheckReport& report) {
+  for (DpBackend::FlowRef o : report.offload_flush) be.offload_evict(o);
+  if (!report.offload_flush.empty()) be.offload_commit();
   for (DpBackend::FlowRef f : report.quarantine) be.remove(f);
   if (!report.quarantine.empty()) be.purge_dead();
   return report.quarantine.size();

@@ -37,6 +37,12 @@ struct DpCheckConfig {
   bool check_disjointness = true;
   bool check_emc = true;
   bool check_stats = true;
+  // Offload shadow coherence (DESIGN.md §13): every offload slot's owner
+  // must be a live dumped flow, the slot's action snapshot must equal the
+  // owner's current actions, and the slot cannot claim more hits than its
+  // owner has packets (every offload hit also bumps the owner). No-op when
+  // the tier is disabled.
+  bool check_offload = true;
   // Benign overlaps (identical actions) forward correctly either way; only
   // quarantine them when a caller wants the strict invariant restored.
   bool quarantine_benign_overlaps = false;
@@ -53,15 +59,27 @@ struct DpCheckReport {
   uint64_t emc_dangling_hints = 0;
   uint64_t stats_violations = 0;
 
+  // Offload shadow coherence (slots examined and the three violation
+  // classes, mirroring OffloadTable::Corruption).
+  uint64_t offload_checked = 0;
+  uint64_t offload_stale_actions = 0;  // snapshot != owner's actions
+  uint64_t offload_dangling = 0;       // owner not among live flows
+  uint64_t offload_stat_violations = 0;  // slot hits > owner packets
+
   // Entries to delete, in dump order: the later entry of each offending
   // pair (the earlier one is what first-match semantics already serve) and
   // every duplicate beyond the first.
   std::vector<DpBackend::FlowRef> quarantine;
+  // Offload slots to invalidate (listed by owner ref — possibly dangling,
+  // compared by address only): the repair for every offload violation is
+  // evicting the slot, letting traffic fall back to the megaflow path.
+  std::vector<DpBackend::FlowRef> offload_flush;
   std::vector<std::string> details;  // capped at cfg.max_details
 
   uint64_t violations() const noexcept {
     return overlap_violations + duplicate_keys + emc_dangling_hints +
-           stats_violations;
+           stats_violations + offload_stale_actions + offload_dangling +
+           offload_stat_violations;
   }
   bool ok() const noexcept { return violations() == 0; }
 };

@@ -49,6 +49,14 @@ ShardedDatapath::ShardedDatapath(ShardedDatapathConfig cfg)
     s->rng = Rng(cfg_.seed + 0x9E3779B97F4A7C15ULL * (i + 1));
     slots_.push_back(std::move(s));
   }
+  if (cfg_.offload_slots > 0) {
+    off_ = std::make_unique<OffloadTable>(cfg_.offload_slots);
+    // Publish an (empty) view right away: a non-null view is what tells
+    // workers the tier exists, so probe accounting matches the
+    // single-threaded backend even before the first slot is earned.
+    off_current_ = off_->clone();
+    off_view_.store(off_current_.get(), std::memory_order_release);
+  }
 }
 
 ShardedDatapath::~ShardedDatapath() { stop(); }
@@ -76,12 +84,18 @@ void ShardedDatapath::process_chunk(WorkerSlot& slot, const Packet* pkts,
   uint64_t hashes[kMaxBatch];
   uint16_t leader[kMaxBatch];
   const MtMegaflow* entry[kMaxBatch];  // leader slots: matched megaflow
+  const OffloadTable::Entry* offl[kMaxBatch];  // leader slots: offload slot
   uint16_t leaders[kMaxBatch];
   size_t n_leaders = 0;
 
   // Local tallies, flushed to the shared atomics once per chunk.
+  uint64_t off_hits = 0;
   uint64_t micro_hits = 0, mega_hits = 0, misses = 0, stale = 0, searched = 0;
   uint64_t emc_ins = 0, emc_skips = 0;
+
+  // One acquire load per chunk: the whole chunk probes a single consistent
+  // published view (clones retired by the control thread outlive the epoch).
+  const OffloadTable* off = off_view_.load(std::memory_order_acquire);
 
   sum.packets += static_cast<uint32_t>(n);
 
@@ -104,6 +118,13 @@ void ShardedDatapath::process_chunk(WorkerSlot& slot, const Packet* pkts,
   for (size_t i = 0; i < n; ++i) {
     if (leader[i] != i) {
       const RxResult& lr = results[leader[i]];
+      if (lr.path == Path::kOffloadHit) {
+        // Same microflow as an offloaded leader: the NIC forwards it too.
+        ++off_hits;
+        ++sum.offload_hits;
+        results[i] = {Path::kOffloadHit, lr.actions, 0};
+        continue;
+      }
       if (entry[leader[i]] != nullptr) {
         if (slot.emc != nullptr) {
           ++micro_hits;
@@ -122,6 +143,22 @@ void ShardedDatapath::process_chunk(WorkerSlot& slot, const Packet* pkts,
     }
 
     entry[i] = nullptr;
+    offl[i] = nullptr;
+    // NIC offload tier: probed before the EMC, the way hardware sees the
+    // packet before the CPU does. A hit forwards from the slot's own action
+    // snapshot; the owning megaflow is still credited (entry[i]) so idle
+    // expiry and the revalidator's hit-rate EWMA see offloaded traffic.
+    if (off != nullptr) {
+      ++sum.offload_probes;
+      if (const OffloadTable::Entry* oe = off->probe(pkts[i].key)) {
+        ++off_hits;
+        ++sum.offload_hits;
+        offl[i] = oe;
+        entry[i] = static_cast<const MtMegaflow*>(oe->owner);
+        results[i] = {Path::kOffloadHit, &oe->actions, 0};
+        continue;
+      }
+    }
     uint32_t skip = UINT32_MAX;  // tuple already probed via the EMC hint
     uint32_t probed = 0;
     if (slot.emc != nullptr) {
@@ -199,9 +236,14 @@ void ShardedDatapath::process_chunk(WorkerSlot& slot, const Packet* pkts,
       }
     }
     const_cast<MtMegaflow*>(e)->bump(pkt_count, byte_count, now_ns);
+    if (const OffloadTable::Entry* oe = offl[leaders[l]]) {
+      oe->counters->hits.fetch_add(pkt_count, std::memory_order_relaxed);
+      oe->counters->bytes.fetch_add(byte_count, std::memory_order_relaxed);
+    }
   }
 
   slot.packets.fetch_add(n, std::memory_order_relaxed);
+  slot.offload_hits.fetch_add(off_hits, std::memory_order_relaxed);
   slot.microflow_hits.fetch_add(micro_hits, std::memory_order_relaxed);
   slot.megaflow_hits.fetch_add(mega_hits, std::memory_order_relaxed);
   slot.misses.fetch_add(misses, std::memory_order_relaxed);
@@ -387,6 +429,10 @@ MtMegaflow* ShardedDatapath::install(const Match& match, DpActions actions,
 
 void ShardedDatapath::remove(MtMegaflow* entry) {
   assert(!entry->dead());
+  // The megaflow's offload slot dies with it — same pass, master first;
+  // workers keep forwarding from the old view until the republish that
+  // purge_dead() performs before it frees this entry.
+  if (off_ != nullptr && off_->evict(entry)) off_dirty_ = true;
   // Dead first: readers that still reach the entry (via a chain they are
   // mid-walk on, or a retired cuckoo snapshot) skip it from here on.
   entry->dead_.store(true, std::memory_order_release);
@@ -434,6 +480,10 @@ void ShardedDatapath::update_actions(MtMegaflow* entry, DpActions actions) {
   // A worker mid-batch may still be executing `old`; retire it until the
   // next grace period.
   retired_actions_.emplace_back(old);
+  // Reprogram the slot's snapshot (revalidator repair reaches hardware in
+  // the same pass it reaches the megaflow).
+  if (off_ != nullptr && off_->sync_actions(entry, *entry->actions()))
+    off_dirty_ = true;
 }
 
 void ShardedDatapath::corrupt_entry(size_t idx) {
@@ -465,7 +515,12 @@ void ShardedDatapath::synchronize() {
 }
 
 void ShardedDatapath::purge_dead() {
-  if (graveyard_.empty() && retired_actions_.empty()) {
+  // Republish the offload view BEFORE waiting out the grace period: once
+  // synchronize() returns, no worker can still probe a view that names an
+  // entry this call is about to free.
+  if (off_dirty_) publish_offload();
+  if (graveyard_.empty() && retired_actions_.empty() &&
+      retired_off_.empty()) {
     // Still reclaim cuckoo arrays retired by growth.
     bool any = false;
     for (const auto& t : tuples_)
@@ -475,7 +530,40 @@ void ShardedDatapath::purge_dead() {
   synchronize();
   graveyard_.clear();
   retired_actions_.clear();
+  retired_off_.clear();
   for (const auto& t : tuples_) t->table.free_retired();
+}
+
+void ShardedDatapath::publish_offload() {
+  retired_off_.push_back(std::move(off_current_));
+  off_current_ = off_->clone();
+  off_view_.store(off_current_.get(), std::memory_order_release);
+  off_dirty_ = false;
+}
+
+bool ShardedDatapath::offload_install(MtMegaflow* e, uint64_t now_ns) {
+  if (off_ == nullptr ||
+      !off_->install(e->match(), *e->actions(), e, now_ns))
+    return false;
+  off_dirty_ = true;
+  return true;
+}
+
+bool ShardedDatapath::offload_evict(MtMegaflow* e) {
+  if (off_ == nullptr || !off_->evict(e)) return false;
+  off_dirty_ = true;
+  return true;
+}
+
+void ShardedDatapath::offload_commit() {
+  if (off_ != nullptr && off_dirty_) publish_offload();
+}
+
+bool ShardedDatapath::offload_corrupt(size_t idx,
+                                      OffloadTable::Corruption kind) {
+  if (off_ == nullptr || !off_->corrupt(idx, kind)) return false;
+  off_dirty_ = true;
+  return true;
 }
 
 std::vector<MtMegaflow*> ShardedDatapath::dump() const {
@@ -526,6 +614,7 @@ ShardedDatapath::Stats ShardedDatapath::stats() const {
   Stats s;
   for (const auto& sp : slots_) {
     s.packets += sp->packets.load(std::memory_order_relaxed);
+    s.offload_hits += sp->offload_hits.load(std::memory_order_relaxed);
     s.microflow_hits += sp->microflow_hits.load(std::memory_order_relaxed);
     s.megaflow_hits += sp->megaflow_hits.load(std::memory_order_relaxed);
     s.misses += sp->misses.load(std::memory_order_relaxed);

@@ -36,6 +36,7 @@
 #include "datapath/concurrent_emc.h"
 #include "datapath/datapath.h"
 #include "datapath/dp_shared.h"
+#include "datapath/offload_table.h"
 #include "packet/match.h"
 #include "packet/packet.h"
 #include "util/cuckoo.h"
@@ -119,6 +120,9 @@ struct ShardedDatapathConfig {
   // Probabilistic EMC insertion (§7.3, OVS emc-insert-inv-prob): each shard
   // inserts a missed microflow with probability 1/N. 1 = always insert.
   uint32_t emc_insert_inv_prob = dpdefault::kEmcInsertInvProb;
+  // Simulated NIC offload table capacity (DESIGN.md §13). 0 disables the
+  // tier entirely: no table is allocated and workers never probe.
+  size_t offload_slots = 0;
   uint64_t seed = dpdefault::kDpSeed;  // per-shard insertion RNG seeds
 };
 
@@ -221,6 +225,25 @@ class ShardedDatapath {
     emc_insert_inv_prob_.store(inv == 0 ? 1 : inv, std::memory_order_relaxed);
   }
 
+  // --- Simulated NIC offload tier (control thread; DESIGN.md §13) ----------
+  //
+  // The control thread owns a *master* OffloadTable and publishes immutable
+  // clones to workers through an atomic pointer (the same RCU discipline as
+  // actions): remove()/update_actions() repair the master in the same call
+  // that touches the megaflow, then the next purge_dead() — or an explicit
+  // offload_commit() — republishes. Workers mid-batch may briefly forward
+  // from a retired view; the view is only freed after a grace period, and
+  // per-slot counters are shared across clones so no hit is lost.
+
+  // Authoritative (master) table, or nullptr when the tier is off. The view
+  // workers currently probe may lag it by one commit.
+  const OffloadTable* offload() const noexcept { return off_.get(); }
+  bool offload_install(MtMegaflow* e, uint64_t now_ns);
+  bool offload_evict(MtMegaflow* e);
+  // Publishes the master to workers if it changed since the last publish.
+  void offload_commit();
+  bool offload_corrupt(size_t idx, OffloadTable::Corruption kind);
+
   // Releases upcalls parked by the delay fault into the shared queue
   // (where the global cap may still drop them). Returns the count released.
   size_t flush_delayed_upcalls();
@@ -228,6 +251,7 @@ class ShardedDatapath {
 
   struct Stats {
     uint64_t packets = 0;
+    uint64_t offload_hits = 0;     // NIC offload slot resolved the packet
     uint64_t microflow_hits = 0;   // EMC-hinted tuple resolved the packet
     uint64_t megaflow_hits = 0;    // full tuple-space search resolved it
     uint64_t misses = 0;
@@ -301,6 +325,7 @@ class ShardedDatapath {
     Rng rng{0};  // probabilistic EMC insertion; owner worker only
     // Owner-written relaxed counters, aggregated by stats().
     std::atomic<uint64_t> packets{0};
+    std::atomic<uint64_t> offload_hits{0};
     std::atomic<uint64_t> microflow_hits{0};
     std::atomic<uint64_t> megaflow_hits{0};
     std::atomic<uint64_t> misses{0};
@@ -337,6 +362,9 @@ class ShardedDatapath {
 
   MtTuple* writer_find_tuple(const FlowMask& mask, bool create);
   void worker_loop(size_t w);
+  // Clones the master, swings off_view_, retires the old clone (freed by
+  // purge_dead after the next grace period). Control thread only.
+  void publish_offload();
 
   ShardedDatapathConfig cfg_;
 
@@ -352,6 +380,14 @@ class ShardedDatapath {
   std::vector<std::unique_ptr<MtMegaflow>> graveyard_;
   std::vector<std::unique_ptr<const DpActions>> retired_actions_;
   std::atomic<size_t> n_flows_{0};
+
+  // Offload tier: master (control thread), the published clone workers
+  // probe, and clones retired but not yet past a grace period.
+  std::unique_ptr<OffloadTable> off_;               // master
+  std::unique_ptr<const OffloadTable> off_current_; // published clone
+  std::atomic<const OffloadTable*> off_view_{nullptr};
+  std::vector<std::unique_ptr<const OffloadTable>> retired_off_;
+  bool off_dirty_ = false;
 
   // Shared upcall queue (one lock per burst flush). The optional sink is
   // invoked under the same lock, serializing concurrent worker flushes.

@@ -36,6 +36,16 @@ struct CostModel {
   double emc_insert = 300;       // EMC slot write + eviction bookkeeping
   double miss_kernel = 1200;     // enqueue upcall, context mgmt
 
+  // Simulated NIC hardware-offload tier (DESIGN.md §13). A probe models the
+  // on-NIC TCAM/exact-match lookup the host CPU never sees: the only
+  // software cost is reading the match result out of the descriptor, an
+  // order of magnitude under the EMC's hash-probe-and-compare. Install and
+  // evict are slow-path control operations (descriptor write + doorbell over
+  // PCIe), charged to the control thread at placement time, not per packet.
+  double offload_probe = 15;     // descriptor match-result read
+  double offload_install = 500;  // slot program: PCIe write + doorbell
+  double offload_evict = 300;    // slot invalidate + counter readback
+
   // Batched (PMD-style) receive path. A burst pays one fixed cost plus a
   // reduced per-packet cost (amortized rx/prefetch/icache, as in OVS-DPDK);
   // cache probes are then charged per *deduplicated* probe from the

@@ -8,6 +8,7 @@
 #include "util/fault.h"
 #include "util/stats.h"
 #include "vswitchd/switch.h"
+#include "workload/skew.h"
 #include "workload/table_gen.h"
 
 namespace ovs {
@@ -34,6 +35,7 @@ class HypervisorSim {
     cfg.degradation.enabled = fleet.degradation;
     cfg.datapath_workers = fleet.datapath_workers;
     cfg.revalidator_threads = fleet.revalidator_threads;
+    cfg.offload_slots = fleet.offload_slots;
     if (faulted_ || crashed_) {
       // The injector starts disarmed; run_interval arms it only inside the
       // rack's fault window. Seeded per hypervisor so fault *timing* varies
@@ -73,7 +75,7 @@ class HypervisorSim {
 
     conns_.reserve(n_conns_);
     for (size_t i = 0; i < n_conns_; ++i) conns_.push_back(new_connection());
-    zipf_ = std::make_unique<ZipfSampler>(n_conns_, 1.02);
+    skew_ = std::make_unique<SkewSampler>(n_conns_, fleet.zipf_s);
   }
 
   FleetInterval run_interval(size_t hv, size_t idx) {
@@ -164,7 +166,8 @@ class HypervisorSim {
     sw_->cpu().user_cycles += fleet_.flow_setup_user_cycles *
                               static_cast<double>(dp1.misses - dp0.misses);
     const uint64_t pkts = dp1.packets - dp0.packets;
-    const uint64_t hits = (dp1.microflow_hits - dp0.microflow_hits) +
+    const uint64_t hits = (dp1.offload_hits - dp0.offload_hits) +
+                          (dp1.microflow_hits - dp0.microflow_hits) +
                           (dp1.megaflow_hits - dp0.megaflow_hits);
     const uint64_t misses = dp1.misses - dp0.misses;
 
@@ -241,7 +244,7 @@ class HypervisorSim {
   }
 
   Packet pick_packet() {
-    const Connection& c = conns_[zipf_->sample(rng_)];
+    const Connection& c = conns_[skew_->sample(rng_)];
     const NvpVm& a = topo_.vms[c.src_vm];
     const NvpVm& b = topo_.vms[c.dst_vm];
     const bool fwd = rng_.chance(0.55);
@@ -259,7 +262,7 @@ class HypervisorSim {
   std::unique_ptr<FaultInjector> fault_;  // created only for faulted racks
   std::unique_ptr<Switch> sw_;
   NvpTopology topo_;
-  std::unique_ptr<ZipfSampler> zipf_;
+  std::unique_ptr<SkewSampler> skew_;
   std::vector<Connection> conns_;
   size_t n_conns_ = 0;
   double base_pps_ = 0;

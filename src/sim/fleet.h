@@ -39,6 +39,9 @@ struct FleetConfig {
   double conns_log_sigma = 1.3;   // 99th pct of max flows ~ few thousand
   double interval_sigma = 0.5;    // per-interval load wobble
   double churn_per_second = 0.35; // fraction of connections replaced / s
+  // Per-tenant connection popularity skew (SkewSampler exponent; 0 =
+  // uniform). The historical fleet default is a mild Zipf.
+  double zipf_s = 1.02;
 
   // Outliers (§7.1: six hypervisors with the prefix-tracking ICMP bug).
   double outlier_fraction = 0.008;
@@ -63,6 +66,10 @@ struct FleetConfig {
   // backend) and this many revalidator plan threads (§4.3).
   size_t datapath_workers = 0;
   size_t revalidator_threads = 1;
+
+  // Simulated NIC offload tier (DESIGN.md §13): per-hypervisor offload
+  // table capacity; 0 leaves the tier off (bit-for-bit legacy behavior).
+  size_t offload_slots = 0;
 
   // Per-hypervisor fault schedules, correlated at rack granularity: every
   // hypervisor in a faulted rack sees the same install-failure / upcall-drop
@@ -138,7 +145,7 @@ struct FleetInterval {
   bool faulted = false;      // rack fault schedule active this interval
   bool crashed = false;      // userspace crash/reconcile touched this interval
   double offered_pps = 0;
-  double hit_rate = 0;       // (EMC + megaflow hits) / packets
+  double hit_rate = 0;       // (offload + EMC + megaflow hits) / packets
   double hit_pps = 0;
   double miss_pps = 0;       // flow setups entering userspace per second
   double drop_pps = 0;       // upcalls refused by the bounded queue / s

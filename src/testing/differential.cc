@@ -17,6 +17,7 @@ SwitchConfig DiffConfig::to_switch_config() const {
   c.reval_mode = reval_mode;
   c.revalidator_threads = revalidator_threads;
   c.classifier.engine = engine;
+  c.offload_slots = offload_slots;
   return c;
 }
 
@@ -36,6 +37,19 @@ std::vector<DiffConfig> standard_configs() {
         out.push_back(std::move(c));
       }
     }
+  }
+  // Offload-on points, one per backend: a small table (16 slots) keeps
+  // placement churning (install/evict/challenge) even in short scenarios,
+  // which is where a stale or dangling slot would show up as a trace or
+  // probe divergence against the cache-free oracle.
+  for (size_t workers : {size_t{0}, size_t{4}}) {
+    DiffConfig c;
+    c.name = std::string(workers == 0 ? "single" : "sharded") +
+             "/batched/two-tier/offload";
+    c.datapath_workers = workers;
+    c.rx_batch = 8;
+    c.offload_slots = 16;
+    out.push_back(std::move(c));
   }
   return out;
 }

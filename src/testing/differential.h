@@ -50,12 +50,17 @@ struct DiffConfig {
   // field checks the alternative engines against the reference through
   // full end-to-end replays, not just classifier-level unit diffs.
   ClassifierEngine engine = ClassifierEngine::kStagedTss;
+  // NIC offload tier capacity (DESIGN.md §13); 0 = off. The oracle is
+  // cache-free, so offload-on replays check that slot placement, eviction,
+  // and crash/restart reconciliation never change which actions a packet
+  // receives — only which tier served them.
+  size_t offload_slots = 0;
 
   SwitchConfig to_switch_config() const;
 };
 
-// The 8 sound configurations: {single, sharded} x {per-packet, batched}
-// x {kFull, kTwoTier}.
+// The 10 sound configurations: {single, sharded} x {per-packet, batched}
+// x {kFull, kTwoTier}, plus one offload-on point per backend.
 std::vector<DiffConfig> standard_configs();
 
 // Non-reference classifier engines (chained-tuple, bloom-gated) crossed

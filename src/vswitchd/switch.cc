@@ -1,19 +1,34 @@
 #include "vswitchd/switch.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "ofproto/flow_parser.h"
 #include "util/fault.h"
 
 namespace ovs {
 
+namespace {
+
+// The switch-level offload knob and the datapath-level one are kept equal:
+// setting either enables the tier, and config() tells one story.
+SwitchConfig merge_offload(SwitchConfig cfg) {
+  if (cfg.offload_slots > 0)
+    cfg.datapath.offload_slots = cfg.offload_slots;
+  else
+    cfg.offload_slots = cfg.datapath.offload_slots;
+  return cfg;
+}
+
+}  // namespace
+
 Switch::Switch(SwitchConfig cfg)
-    : cfg_(cfg),
-      pipeline_(cfg.n_tables, cfg.classifier),
-      be_(make_dp_backend(cfg.datapath, cfg.datapath_workers)),
-      effective_limit_(cfg.flow_limit),
-      queue_(cfg.upcall_queue),
-      fault_(cfg.fault) {
+    : cfg_(merge_offload(std::move(cfg))),
+      pipeline_(cfg_.n_tables, cfg_.classifier),
+      be_(make_dp_backend(cfg_.datapath, cfg_.datapath_workers)),
+      effective_limit_(cfg_.flow_limit),
+      queue_(cfg_.upcall_queue),
+      fault_(cfg_.fault) {
   // Misses land in the bounded per-port fair queue at enqueue time; a
   // refusal here is counted by the datapath as an upcall drop (preserving
   // its misses == delivered + dropped conservation) and by the switch as
@@ -189,6 +204,7 @@ size_t Switch::inject_batch(std::span<const Packet> pkts, uint64_t now_ns) {
   const CostModel& m = cfg_.cost;
   cpu_.kernel_cycles += m.batch_fixed +
                         m.per_packet_batched * sum.packets +
+                        m.offload_probe * sum.offload_probes +
                         m.microflow_probe * sum.emc_probes +
                         m.per_tuple * sum.tuples_searched +
                         m.miss_kernel * sum.misses;
@@ -205,17 +221,25 @@ size_t Switch::inject_batch(std::span<const Packet> pkts, uint64_t now_ns) {
 Datapath::Path Switch::inject(const Packet& pkt, uint64_t now_ns) {
   const Datapath::RxResult rx = be_->receive(pkt, now_ns);
 
-  // Kernel-side cycle accounting.
+  // Kernel-side cycle accounting. An offload hit never reaches the CPU
+  // cache hierarchy: it pays the per-packet descriptor cost and the slot
+  // probe, nothing else. The CPU paths additionally pay the (cheap) slot
+  // probe whenever the tier is enabled — the NIC looked and missed.
   const CostModel& m = cfg_.cost;
   double cycles = m.per_packet;
-  if (be_->microflow_enabled()) cycles += m.microflow_probe;
+  if (be_->offload_enabled()) cycles += m.offload_probe;
   switch (rx.path) {
+    case Datapath::Path::kOffloadHit:
+      break;
     case Datapath::Path::kMicroflowHit:
+      if (be_->microflow_enabled()) cycles += m.microflow_probe;
       break;
     case Datapath::Path::kMegaflowHit:
+      if (be_->microflow_enabled()) cycles += m.microflow_probe;
       cycles += m.per_tuple * rx.tuples_searched;
       break;
     case Datapath::Path::kMiss:
+      if (be_->microflow_enabled()) cycles += m.microflow_probe;
       cycles += m.per_tuple * rx.tuples_searched + m.miss_kernel;
       break;
   }
@@ -539,7 +563,14 @@ void Switch::revalidate(uint64_t now_ns) {
     }
   }
 
-  be_->purge_dead();  // grace period
+  // Offload placement rides the same dump cadence as revalidation: the
+  // EWMAs fold in this interval's measured per-flow traffic, then slots are
+  // earned/revoked. Runs on the post-eviction survivor set, and before
+  // purge_dead() so the sharded backend's republish makes the slot changes
+  // visible in the same pass.
+  if (be_->offload_enabled()) offload_placement(be_->dump(), now_ns);
+
+  be_->purge_dead();  // grace period (also publishes offload changes)
 
   // Deadline check: AIMD the flow limit. A pass that blew the deadline
   // halves the table it will tolerate next time; a clean pass wins a
@@ -558,6 +589,147 @@ void Switch::revalidate(uint64_t now_ns) {
           std::min(1.0, limit_scale_ + cfg_.degradation.limit_recovery);
     }
   }
+}
+
+void Switch::offload_placement(const std::vector<DpBackend::FlowRef>& flows,
+                               uint64_t now_ns) {
+  if (!be_->offload_enabled()) return;
+  const CostModel& m = cfg_.cost;
+  const double alpha = cfg_.offload_ewma_alpha;
+
+  // Fold this dump interval's per-flow packet deltas into the EWMAs. A
+  // flow first seen this pass scores its lifetime count (it has exactly one
+  // interval of history). The delta guard covers FlowRef address reuse: a
+  // recycled pointer inheriting a stale record must not wrap.
+  for (DpBackend::FlowRef f : flows) {
+    const uint64_t pkts = be_->flow_packets(f);
+    auto [it, fresh] = offload_state_.try_emplace(f);
+    OffloadState& st = it->second;
+    const uint64_t delta =
+        fresh || pkts < st.last_packets ? pkts : pkts - st.last_packets;
+    st.ewma = fresh ? static_cast<double>(delta)
+                    : alpha * static_cast<double>(delta) +
+                          (1.0 - alpha) * st.ewma;
+    st.last_packets = pkts;
+    st.offloaded = be_->offload_contains(f);
+  }
+  // Drop records for flows that died since the last pass (idle/stale
+  // deletion, limit eviction, quarantine); the backend already invalidated
+  // their slots when it removed them.
+  {
+    std::unordered_set<DpBackend::FlowRef> live(flows.begin(), flows.end());
+    for (auto it = offload_state_.begin(); it != offload_state_.end();) {
+      if (live.count(it->first) == 0)
+        it = offload_state_.erase(it);
+      else
+        ++it;
+    }
+  }
+
+  struct Ranked {
+    DpBackend::FlowRef f;
+    double ewma;
+  };
+  std::vector<Ranked> incumbents, challengers;
+
+  // Rank by walking the dump (deterministic order), not the pointer-keyed
+  // state map: with EWMA ties — common in a long Zipf tail — the map's
+  // iteration order would leak heap-address noise into which flows win
+  // slots, and identical runs would place differently.
+  //
+  // Decayed-cold incumbents lose their slot even with no challenger: a slot
+  // earning fewer than offload_min_ewma packets per interval is dead NIC
+  // capacity.
+  for (DpBackend::FlowRef f : flows) {
+    OffloadState& st = offload_state_[f];
+    if (st.offloaded && st.ewma < cfg_.offload_min_ewma) {
+      if (be_->offload_evict(f)) {
+        st.offloaded = false;
+        ++counters_.offload_evicts;
+        cpu_.user_cycles += m.offload_evict;
+      }
+    }
+  }
+  for (DpBackend::FlowRef f : flows) {
+    const OffloadState& st = offload_state_[f];
+    if (st.offloaded)
+      incumbents.push_back({f, st.ewma});
+    else if (st.ewma >= cfg_.offload_min_ewma)
+      challengers.push_back({f, st.ewma});
+  }
+  std::stable_sort(
+      challengers.begin(), challengers.end(),
+      [](const Ranked& a, const Ranked& b) { return a.ewma > b.ewma; });
+
+  // Free slots go to the hottest challengers outright.
+  size_t ci = 0;
+  while (ci < challengers.size() &&
+         be_->offload_size() < be_->offload_capacity()) {
+    if (be_->offload_install(challengers[ci].f, now_ns)) {
+      offload_state_[challengers[ci].f].offloaded = true;
+      ++counters_.offload_installs;
+      cpu_.user_cycles += m.offload_install;
+    }
+    ++ci;
+  }
+  if (ci >= challengers.size()) return;
+
+  // Hysteresis (churn damping): a remaining challenger takes the coldest
+  // incumbent's slot only when clearly hotter — beating its EWMA by
+  // offload_challenge_factor — so two flows trading rank near the boundary
+  // do not thrash install/evict every pass.
+  std::stable_sort(
+      incumbents.begin(), incumbents.end(),
+      [](const Ranked& a, const Ranked& b) { return a.ewma < b.ewma; });
+  size_t ii = 0;
+  while (ci < challengers.size() && ii < incumbents.size()) {
+    if (challengers[ci].ewma <=
+        incumbents[ii].ewma * cfg_.offload_challenge_factor)
+      break;  // sorted: no later pair can succeed either
+    if (be_->offload_evict(incumbents[ii].f)) {
+      offload_state_[incumbents[ii].f].offloaded = false;
+      ++counters_.offload_evicts;
+      cpu_.user_cycles += m.offload_evict;
+    }
+    if (be_->offload_install(challengers[ci].f, now_ns)) {
+      offload_state_[challengers[ci].f].offloaded = true;
+      ++counters_.offload_installs;
+      cpu_.user_cycles += m.offload_install;
+    }
+    ++ci;
+    ++ii;
+  }
+}
+
+void Switch::offload_reconcile() {
+  if (!be_->offload_enabled()) return;
+  const CostModel& m = cfg_.cost;
+  // Adopt-or-flush (DESIGN.md §13): the restarted daemon walks the NIC
+  // state it did not program. A slot is adopted when its owner survived the
+  // reconciliation ladder AND its snapshot matches the owner's (repaired)
+  // actions — which the backend's coherence hooks guarantee for every
+  // surviving owner, so a flush here means the coherence machinery failed
+  // or the hardware state was tampered with. Adopted slots seed the
+  // placement EWMA with their lifetime hit counts, so hot hardware flows
+  // are not displaced by the first post-restart pass.
+  std::unordered_set<DpBackend::FlowRef> live;
+  for (DpBackend::FlowRef f : be_->dump()) live.insert(f);
+  for (const DpBackend::OffloadSlot& s : be_->offload_dump()) {
+    const bool coherent = live.count(s.owner) != 0 &&
+                          *s.actions == be_->flow_actions(s.owner);
+    if (coherent) {
+      OffloadState& st = offload_state_[s.owner];
+      st.offloaded = true;
+      st.last_packets = be_->flow_packets(s.owner);
+      st.ewma = std::max(st.ewma, static_cast<double>(s.hits));
+      ++counters_.offload_adopted;
+    } else {
+      be_->offload_evict(s.owner);
+      cpu_.user_cycles += m.offload_evict;
+      ++counters_.offload_flushed;
+    }
+  }
+  be_->offload_commit();
 }
 
 void Switch::update_emc_policy() {
@@ -628,6 +800,10 @@ void Switch::crash() {
   // restores the configured policy, like a fresh daemon would.
   pipeline_ = Pipeline(cfg_.n_tables, cfg_.classifier);
   attribution_.clear();
+  // Placement memory is process state; the offload table itself is NIC
+  // state and survives, still forwarding, until restart() adopts or
+  // flushes it.
+  offload_state_.clear();
   limit_scale_ = 1.0;
   effective_limit_ = cfg_.flow_limit;
   emc_degraded_ = false;
@@ -729,6 +905,10 @@ bool Switch::restart(uint64_t now_ns) {
   }
   be_->purge_dead();
 
+  // Adopt-or-flush the surviving offload table through the same ladder
+  // (DESIGN.md §13) before the invariant gate judges it.
+  offload_reconcile();
+
   // Post-reconciliation gate: only a cache that passes the megaflow
   // invariants may serve installs again; anything still violating after
   // the full re-translation is quarantined rather than left to misdeliver.
@@ -753,6 +933,16 @@ DpCheckReport Switch::self_check() {
   DpCheckReport rep = run_dp_check(*be_);
   cpu_.user_cycles +=
       cfg_.cost.dp_check_per_flow * static_cast<double>(rep.flows_checked);
+  // Incoherent offload slots are flushed (the megaflow path serves the
+  // traffic correctly); quarantined flows below drop their slots through
+  // the backend's remove() hook.
+  for (DpBackend::FlowRef o : rep.offload_flush) {
+    if (be_->offload_evict(o)) {
+      ++counters_.offload_evicts;
+      cpu_.user_cycles += cfg_.cost.offload_evict;
+    }
+  }
+  if (!rep.offload_flush.empty()) be_->offload_commit();
   for (DpBackend::FlowRef f : rep.quarantine) {
     attribution_.erase(f);
     be_->remove(f);

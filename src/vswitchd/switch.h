@@ -116,6 +116,23 @@ struct SwitchConfig {
   // serial on the control thread.
   size_t revalidator_threads = 1;
 
+  // Simulated NIC hardware-offload tier (DESIGN.md §13). offload_slots > 0
+  // enables a fixed-capacity offload table probed before the EMC; megaflows
+  // *earn* slots by measured hit rate: the revalidator keeps a per-flow EWMA
+  // of packets seen per dump interval and programs the top flows, with
+  // hysteresis so a challenger only displaces the coldest incumbent when
+  // clearly hotter. 0 disables the tier (bit-for-bit the pre-offload
+  // switch). Mirrored into datapath.offload_slots at construction.
+  size_t offload_slots = 0;
+  // EWMA smoothing for per-dump packet deltas (1.0 = last interval only).
+  double offload_ewma_alpha = 0.5;
+  // A challenger must beat the coldest offloaded flow's EWMA by this factor
+  // to take its slot (churn hysteresis; 1.0 = plain rank order).
+  double offload_challenge_factor = 2.0;
+  // Flows below this EWMA never earn a slot, and offloaded flows that decay
+  // below it are evicted even when no challenger wants the slot.
+  double offload_min_ewma = 1.0;
+
   // false reproduces Table 1's "megaflows disabled" row: userspace installs
   // exact-match (microflow) entries only.
   bool megaflows_enabled = true;
@@ -294,6 +311,13 @@ class Switch {
     uint64_t reval_updated_actions = 0;
     uint64_t reval_skipped_by_tags = 0;
     uint64_t evicted_flow_limit = 0;
+    // NIC offload tier (DESIGN.md §13): slots programmed / invalidated by
+    // the placement policy (backend-internal evictions on megaflow removal
+    // are not counted here), plus restart-reconciliation verdicts.
+    uint64_t offload_installs = 0;
+    uint64_t offload_evicts = 0;
+    uint64_t offload_adopted = 0;   // restart: slot kept (owner survived)
+    uint64_t offload_flushed = 0;   // restart: slot invalidated
     uint64_t tx_packets = 0;
     uint64_t tx_bytes = 0;
     // Overload / robustness accounting. Invariant (degradation on):
@@ -382,6 +406,15 @@ class Switch {
   void apply_limit_backoff();
   void update_emc_policy();
   void revalidate(uint64_t now_ns);
+  // Offload placement (DESIGN.md §13): folds this dump interval's per-flow
+  // packet deltas into the EWMAs, then programs/evicts slots. Runs inside
+  // revalidate() after the apply phase and inside restart() reconciliation.
+  void offload_placement(const std::vector<DpBackend::FlowRef>& flows,
+                         uint64_t now_ns);
+  // Restart reconciliation for the offload table: slots whose owner
+  // survived the ladder are adopted (their hit totals seed the EWMA so hot
+  // hardware flows keep their slots); the rest are flushed.
+  void offload_reconcile();
 
   // Per-megaflow attribution for OpenFlow flow statistics (§6): which
   // rules this cache entry's traffic counts against, and how much has
@@ -448,6 +481,16 @@ class Switch {
   bool emc_degraded_ = false;
   uint64_t emc_attempts_seen_ = 0;  // insert attempts at last policy check
   uint64_t emc_hits_seen_ = 0;      // microflow hits at last policy check
+
+  // Offload placement state (userspace — dies with the daemon on crash()).
+  // One record per live megaflow once the flow has been seen by a dump;
+  // erased when the flow is removed.
+  struct OffloadState {
+    double ewma = 0.0;          // smoothed packets per dump interval
+    uint64_t last_packets = 0;  // flow_packets() at the previous dump
+    bool offloaded = false;     // mirror of backend offload_contains()
+  };
+  std::unordered_map<DpBackend::FlowRef, OffloadState> offload_state_;
 };
 
 }  // namespace ovs

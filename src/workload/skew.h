@@ -1,0 +1,43 @@
+// Parameterized per-flow popularity skew, shared by every traffic source
+// that needs it (LongLivedFlowsWorkload, the fleet simulator's tenant
+// connection picker, bench_offload).
+//
+// Flow popularity in real networks is famously Zipfian (paper §8.4 cites
+// Sarrar et al.): a handful of elephant flows carry most packets while a
+// long tail of mice each carry a few. The skew exponent `s` controls how
+// top-heavy the distribution is; `s == 0` degrades to uniform (every flow
+// equally likely), which doubles as the "no skew" ablation in benchmarks.
+//
+// Determinism contract: given the same (n, s) and the same Rng stream, the
+// draw sequence is identical across runs and across call sites — one Rng
+// draw per sample() in both the Zipf and the uniform arm, so swapping `s`
+// perturbs values but never the draw count. Fleet fingerprints and bench
+// baselines rely on this.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace ovs {
+
+class SkewSampler {
+ public:
+  // Zipf(s) over {0, ..., n-1}; s <= 0 selects uniform (the Zipf CDF is
+  // still built so construction cost does not depend on the branch taken).
+  SkewSampler(size_t n, double s) : zipf_(n, s), s_(s), n_(n) {}
+
+  size_t sample(Rng& rng) const noexcept {
+    return s_ > 0 ? zipf_.sample(rng) : static_cast<size_t>(rng.uniform(n_));
+  }
+
+  size_t size() const noexcept { return n_; }
+  double skew() const noexcept { return s_; }
+
+ private:
+  ZipfSampler zipf_;
+  double s_;
+  size_t n_;
+};
+
+}  // namespace ovs

@@ -87,7 +87,7 @@ Packet PortScanWorkload::next() {
 LongLivedFlowsWorkload::LongLivedFlowsWorkload(const Config& cfg)
     : cfg_(cfg),
       rng_(cfg.seed),
-      zipf_(cfg.n_flows, cfg.zipf_s),
+      skew_(cfg.n_flows, cfg.zipf_s),
       flows_(cfg.n_flows) {
   for (size_t i = 0; i < cfg_.n_flows; ++i) {
     Packet& p = flows_[i];
@@ -105,9 +105,6 @@ LongLivedFlowsWorkload::LongLivedFlowsWorkload(const Config& cfg)
   }
 }
 
-Packet LongLivedFlowsWorkload::next() {
-  return flows_[cfg_.zipf_s > 0 ? zipf_.sample(rng_)
-                                : rng_.uniform(flows_.size())];
-}
+Packet LongLivedFlowsWorkload::next() { return flows_[skew_.sample(rng_)]; }
 
 }  // namespace ovs

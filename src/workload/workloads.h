@@ -11,6 +11,7 @@
 
 #include "packet/packet.h"
 #include "util/rng.h"
+#include "workload/skew.h"
 
 namespace ovs {
 
@@ -90,7 +91,7 @@ class LongLivedFlowsWorkload {
  private:
   Config cfg_;
   Rng rng_;
-  ZipfSampler zipf_;
+  SkewSampler skew_;
   std::vector<Packet> flows_;
 };
 

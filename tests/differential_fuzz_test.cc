@@ -114,7 +114,7 @@ TEST(DifferentialFuzz, AllConfigsMatchOracle) {
   const size_t n_seeds = env_or("VSWITCH_FUZZ_SEEDS", 200);
   const GeneratorConfig gcfg = generator_config();
   const std::vector<DiffConfig> cfgs = fuzz::standard_configs();
-  ASSERT_EQ(8u, cfgs.size());
+  ASSERT_EQ(10u, cfgs.size());
   DifferentialRunner runner;
 
   std::vector<std::string> failures;

@@ -108,6 +108,95 @@ TEST(DpCheckTest, DisjointEntriesPassMaskPairProbing) {
   EXPECT_GE(r.mask_pairs_checked, 1u);
 }
 
+// --- Offload shadow coherence (DESIGN.md §13) -------------------------------
+
+// Three mutation classes mirror OffloadTable::Corruption: a stale action
+// snapshot, a slot whose owner is gone, and an inflated hit counter. The
+// checker must catch each, and flushing the flagged slots must restore a
+// clean report without touching the megaflows themselves.
+class DpCheckOffloadTest : public ::testing::Test {
+ protected:
+  DpCheckOffloadTest() : be_([] {
+    DatapathConfig cfg;
+    cfg.offload_slots = 8;
+    return cfg;
+  }()) {
+    a_ = be_.install(MatchBuilder().ip().nw_dst_prefix(Ipv4(9, 0, 0, 0), 8),
+                     DpActions().output(2), 0);
+    b_ = be_.install(MatchBuilder().tcp().nw_dst_prefix(Ipv4(10, 0, 0, 0), 8),
+                     DpActions().output(3), 0);
+    EXPECT_TRUE(be_.offload_install(a_, 0));
+    EXPECT_TRUE(be_.offload_install(b_, 0));
+  }
+
+  void expect_caught(uint64_t DpCheckReport::*field) {
+    DpCheckReport r = run_dp_check(be_);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.*field, 1u);
+    EXPECT_EQ(r.offload_flush.size(), 1u);
+    EXPECT_TRUE(r.quarantine.empty());  // repair is slot flush, not delete
+    quarantine_flows(be_, r);
+    EXPECT_EQ(be_.flow_count(), 2u);
+    EXPECT_EQ(be_.offload_size(), 1u);
+    EXPECT_TRUE(run_dp_check(be_).ok());
+  }
+
+  SingleDpBackend be_;
+  DpBackend::FlowRef a_ = nullptr;
+  DpBackend::FlowRef b_ = nullptr;
+};
+
+TEST_F(DpCheckOffloadTest, CoherentSlotsPass) {
+  const DpCheckReport r = run_dp_check(be_);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.offload_checked, 2u);
+}
+
+TEST_F(DpCheckOffloadTest, CatchesStaleActionSnapshot) {
+  ASSERT_TRUE(be_.offload_corrupt(0, OffloadTable::Corruption::kStaleActions));
+  expect_caught(&DpCheckReport::offload_stale_actions);
+}
+
+TEST_F(DpCheckOffloadTest, CatchesDanglingSlotAfterMegaflowDelete) {
+  // Bypass the backend's auto-evict (remove() would flush the slot) with the
+  // targeted corruption, modeling a reconciliation bug that re-keys a slot
+  // to a dead owner.
+  ASSERT_TRUE(be_.offload_corrupt(0, OffloadTable::Corruption::kOrphanSlot));
+  expect_caught(&DpCheckReport::offload_dangling);
+}
+
+TEST_F(DpCheckOffloadTest, CatchesInflatedHitCounter) {
+  ASSERT_TRUE(be_.offload_corrupt(0, OffloadTable::Corruption::kInflateHits));
+  expect_caught(&DpCheckReport::offload_stat_violations);
+}
+
+TEST_F(DpCheckOffloadTest, BackendRemoveKeepsSlotsCoherent) {
+  // The non-bypassed path: remove() auto-evicts the owner's slot, so no
+  // dangling slot survives for the checker to find.
+  be_.remove(a_);
+  be_.purge_dead();
+  EXPECT_EQ(be_.offload_size(), 1u);
+  EXPECT_TRUE(run_dp_check(be_).ok());
+}
+
+TEST(DpCheckOffloadShardedTest, CatchesCorruptionOnShardedBackend) {
+  ShardedDatapathConfig cfg;
+  cfg.n_workers = 2;
+  cfg.offload_slots = 8;
+  MtDpBackend be{cfg};
+  DpBackend::FlowRef f = be.install(
+      MatchBuilder().ip().nw_dst_prefix(Ipv4(9, 0, 0, 0), 8),
+      DpActions().output(2), 0);
+  ASSERT_TRUE(be.offload_install(f, 0));
+  be.offload_commit();
+  ASSERT_TRUE(be.offload_corrupt(0, OffloadTable::Corruption::kStaleActions));
+  DpCheckReport r = run_dp_check(be);
+  EXPECT_EQ(r.offload_stale_actions, 1u);
+  quarantine_flows(be, r);
+  EXPECT_EQ(be.offload_size(), 0u);
+  EXPECT_TRUE(run_dp_check(be).ok());
+}
+
 // --- Property test: randomized workloads keep the invariant -----------------
 
 // Drives a tenant workload from the table_gen NVP pipeline (randomized
