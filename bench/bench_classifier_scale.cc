@@ -86,6 +86,8 @@ struct EngineRun {
   double wall_batch_klookups_s = 0;
   double churn_updates_s = 0;
   size_t masks_built = 0;
+  size_t subtables = 0;     // per-mask hash tables maintained
+  size_t probe_depth = 0;   // structural per-lookup probe bound
 };
 
 Digests digest_scalar(const Classifier& cls,
@@ -125,6 +127,8 @@ EngineRun run_engine(ClassifierEngine engine, size_t n_rules, size_t n_masks,
 
   EngineRun out;
   out.masks_built = cls.tuple_count();
+  out.subtables = cls.n_subtables();
+  out.probe_depth = cls.max_probe_depth();
 
   // Scalar pass: one timed loop yields the digest, the wall rate, and (via
   // the stats delta) the model cycle count.
@@ -198,9 +202,9 @@ int bench_main(int argc, char** argv) {
 
   BenchReport report("classifier_scale");
   int rc = 0;
-  std::printf("%-7s %-9s %-8s %14s %14s %14s %12s\n", "masks", "rules",
-              "engine", "model cyc/lkp", "klookups/s", "batch klkp/s",
-              "churn/s");
+  std::printf("%-7s %-9s %-8s %8s %9s %14s %14s %14s %12s\n", "masks",
+              "rules", "engine", "subtbl", "maxprobe", "model cyc/lkp",
+              "klookups/s", "batch klkp/s", "churn/s");
   print_rule();
 
   for (const Cell& cell : cells) {
@@ -236,10 +240,14 @@ int bench_main(int argc, char** argv) {
                  params, n_pkts);
       report.add("churn_updates_per_s", r.churn_updates_s, params,
                  churn_ops);
-      std::printf("%-7zu %-9zu %-8s %14.0f %14.1f %14.1f %12.0f\n",
+      report.add("subtables", static_cast<double>(r.subtables), params, 1);
+      report.add("max_probe_depth", static_cast<double>(r.probe_depth),
+                 params, 1);
+      std::printf("%-7zu %-9zu %-8s %8zu %9zu %14.0f %14.1f %14.1f %12.0f\n",
                   cell.masks, cell.rules, classifier_engine_name(e),
-                  r.model_cyc_per_lookup, r.wall_klookups_s,
-                  r.wall_batch_klookups_s, r.churn_updates_s);
+                  r.subtables, r.probe_depth, r.model_cyc_per_lookup,
+                  r.wall_klookups_s, r.wall_batch_klookups_s,
+                  r.churn_updates_s);
     }
 
     // Gate 1: zero result divergence across engines, pre- and post-churn,

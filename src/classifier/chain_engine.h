@@ -58,6 +58,12 @@ class ChainedTupleEngine final : public ClassifierBackend {
   size_t chain_count() const noexcept { return chains_.size(); }
   size_t max_chain_length() const noexcept;
 
+  // A lookup pays at most one guide probe per non-matching chain and walks
+  // the matching chain to its depth.
+  size_t max_probe_depth() const noexcept override {
+    return chains_.empty() ? 0 : chains_.size() + max_chain_length() - 1;
+  }
+
   // SoA batch slice width (see batch_block); matches StagedTssEngine's.
   static constexpr size_t kBatchBlock = 16;
 

@@ -57,6 +57,14 @@ size_t Classifier::tuple_count() const noexcept {
   return backend_->mask_count();
 }
 
+size_t Classifier::n_subtables() const noexcept {
+  return backend_->n_subtables();
+}
+
+size_t Classifier::max_probe_depth() const noexcept {
+  return backend_->max_probe_depth();
+}
+
 Classifier::Stats Classifier::stats() const noexcept {
   return backend_->stats();
 }

@@ -60,6 +60,18 @@ struct ClassifierConfig {
   // aggregate-init call site) valid.
   ClassifierEngine engine = ClassifierEngine::kStagedTss;
 
+  // Per-tenant hard partitioning (DESIGN.md §14): rules whose match is
+  // exact on metadata are segregated into one inner engine per metadata
+  // value; rules without an exact metadata match share a common inner
+  // engine. A lookup probes only the shared engine plus the packet's own
+  // tenant engine, so one tenant's subtable explosion cannot lengthen
+  // another tenant's probe sequence. Semantics-preserving: a rule exact on
+  // metadata != the packet's metadata can never match, and the partition
+  // routing is recorded by marking metadata exact in the wildcards (the
+  // same soundness argument as §5.5 metadata partitions). Off by default
+  // (bit-for-bit the flat engine).
+  bool tenant_partition = false;
+
   static ClassifierConfig all_disabled() {
     return ClassifierConfig{false, false, false, false, false, false, false};
   }
@@ -126,6 +138,10 @@ class Classifier {
 
   size_t rule_count() const noexcept;
   size_t tuple_count() const noexcept;  // distinct masks ("subtables")
+  size_t n_subtables() const noexcept;  // per-mask hash tables maintained
+  // Structural bound on subtables a single lookup may probe (see
+  // cls_backend.h); the tuple-explosion detector and bench read this.
+  size_t max_probe_depth() const noexcept;
 
   using Stats = ClassifierStats;
   Stats stats() const noexcept;

@@ -2,6 +2,7 @@
 
 #include "classifier/chain_engine.h"
 #include "classifier/staged_tss.h"
+#include "classifier/tenant_engine.h"
 
 namespace ovs {
 
@@ -14,6 +15,9 @@ void ClassifierBackend::lookup_batch(const FlowKey* keys, size_t n,
 
 std::unique_ptr<ClassifierBackend> make_classifier_backend(
     const ClassifierConfig& cfg) {
+  // The tenant-partition wrapper composes with any engine: it builds its
+  // inner backends through this same factory with the flag cleared.
+  if (cfg.tenant_partition) return std::make_unique<TenantPartitionEngine>(cfg);
   switch (cfg.engine) {
     case ClassifierEngine::kChainedTuple:
       return std::make_unique<ChainedTupleEngine>(cfg);

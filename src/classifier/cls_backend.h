@@ -43,6 +43,17 @@ class ClassifierBackend {
   virtual size_t rule_count() const noexcept = 0;
   virtual size_t mask_count() const noexcept = 0;
 
+  // Shape introspection for the mask-explosion detector (DESIGN.md §14) and
+  // the scale benchmark. n_subtables() is the number of per-mask hash
+  // tables the engine maintains (== mask_count() for flat engines; the
+  // tenant-partition wrapper sums across its inner engines).
+  // max_probe_depth() is a structural upper bound on the subtables a single
+  // lookup may probe: the whole table for plain TSS, one guide probe per
+  // chain plus the deepest chain for the chained engine, and
+  // shared + worst-tenant for the partitioned wrapper.
+  virtual size_t n_subtables() const noexcept { return mask_count(); }
+  virtual size_t max_probe_depth() const noexcept { return mask_count(); }
+
   virtual ClassifierStats stats() const noexcept = 0;
   virtual void reset_stats() const noexcept = 0;
 

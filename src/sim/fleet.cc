@@ -8,6 +8,7 @@
 #include "util/fault.h"
 #include "util/stats.h"
 #include "vswitchd/switch.h"
+#include "workload/explosion.h"
 #include "workload/skew.h"
 #include "workload/table_gen.h"
 
@@ -26,9 +27,10 @@ struct Connection {
 class HypervisorSim {
  public:
   HypervisorSim(const FleetConfig& fleet, Rng& master, bool outlier,
-                bool stormy, bool faulted, bool crashed)
+                bool stormy, bool exploded, bool faulted, bool crashed)
       : fleet_(fleet), rng_(master.next()), outlier_(outlier),
-        stormy_(stormy), faulted_(faulted), crashed_(crashed) {
+        stormy_(stormy), exploded_(exploded), faulted_(faulted),
+        crashed_(crashed) {
     SwitchConfig cfg;
     cfg.classifier.icmp_port_trie_bug = outlier;
     cfg.rx_batch = fleet.rx_batch;
@@ -36,6 +38,14 @@ class HypervisorSim {
     cfg.datapath_workers = fleet.datapath_workers;
     cfg.revalidator_threads = fleet.revalidator_threads;
     cfg.offload_slots = fleet.offload_slots;
+    // Tuple-explosion defenses (DESIGN.md §14) apply fleet-wide — a defense
+    // an operator deploys everywhere, not just where the attack lands. The
+    // zero/false defaults leave the config untouched.
+    cfg.classifier.tenant_partition = fleet.explosion_partition;
+    cfg.max_masks_per_tenant = fleet.explosion_mask_cap;
+    cfg.degradation.mask_explosion_subtables = fleet.explosion_detect_subtables;
+    cfg.degradation.mask_probe_ewma_threshold =
+        fleet.explosion_detect_probe_ewma;
     if (faulted_ || crashed_) {
       // The injector starts disarmed; run_interval arms it only inside the
       // rack's fault window. Seeded per hypervisor so fault *timing* varies
@@ -81,6 +91,23 @@ class HypervisorSim {
   FleetInterval run_interval(size_t hv, size_t idx) {
     const bool storm_on = stormy_ && idx >= fleet_.storm_first_interval &&
                           idx <= fleet_.storm_last_interval;
+    const bool explosion_on = exploded_ &&
+                              idx >= fleet_.explosion_first_interval &&
+                              idx <= fleet_.explosion_last_interval;
+    if (explosion_on && attack_rules_.empty()) {
+      // Window start: the attacker tenant submits its whole rule budget
+      // through the admission-controlled path; whatever the cap rejects
+      // never exists. Rules land in the per-tenant ACL stage (table 2).
+      arng_ = Rng(rng_.next());
+      ExplosionConfig ec;
+      ec.tenant = 1;
+      ec.n_rules = fleet_.explosion_rules;
+      ec.seed = arng_.next();
+      attack_rules_ = make_explosion_rules(ec);
+      for (const Match& m : attack_rules_)
+        (void)sw_->add_flow(/*table=*/2, m, ec.priority, OfActions::drop());
+      attack_vms_ = topo_.tenant_vms(1);
+    }
     const bool fault_on = faulted_ && idx >= fleet_.fault_first_interval &&
                           idx <= fleet_.fault_last_interval;
     if (fault_ != nullptr) {
@@ -116,6 +143,11 @@ class HypervisorSim {
     const double user0 = sw_->cpu().user_cycles;
     const double kern0 = sw_->cpu().kernel_cycles;
 
+    auto next_packet = [&]() {
+      return explosion_on && rng_.chance(fleet_.explosion_pps_fraction)
+                 ? attack_packet()
+                 : pick_packet();
+    };
     const auto whole_seconds = static_cast<size_t>(std::ceil(seconds));
     for (size_t s = 0; s < whole_seconds; ++s) {
       const double frac =
@@ -130,7 +162,7 @@ class HypervisorSim {
         std::vector<Packet> burst;
         burst.reserve(fleet_.rx_batch);
         for (size_t i = 0; i < npkts; ++i) {
-          burst.push_back(pick_packet());
+          burst.push_back(next_packet());
           clock_.advance(step_ns);
           if (burst.size() == fleet_.rx_batch) {
             sw_->inject_batch(burst, clock_.now());
@@ -141,7 +173,7 @@ class HypervisorSim {
         if (!burst.empty()) sw_->inject_batch(burst, clock_.now());
       } else {
         for (size_t i = 0; i < npkts; ++i) {
-          sw_->inject(pick_packet(), clock_.now());
+          sw_->inject(next_packet(), clock_.now());
           clock_.advance(step_ns);
           if ((i & 63) == 63) sw_->handle_upcalls(clock_.now());
         }
@@ -176,6 +208,7 @@ class HypervisorSim {
     out.interval = idx;
     out.outlier = outlier_;
     out.stormy = storm_on;
+    out.exploded = explosion_on;
     out.faulted = fault_on;
     // An interval is "crashed" if the daemon died in it, reconciliation
     // charged blackout in it, or it ends still not serving.
@@ -200,6 +233,8 @@ class HypervisorSim {
     out.kernel_cpu_pct =
         100.0 * m.seconds(sw_->cpu().kernel_cycles - kern0) / seconds;
     out.flows = sw_->backend().flow_count();
+    out.dp_masks = sw_->backend().mask_count();
+    out.rules_rejected = sw_->counters().rules_rejected_mask_cap;
     return out;
   }
 
@@ -243,6 +278,18 @@ class HypervisorSim {
       conns_[rng_.uniform(conns_.size())] = new_connection();
   }
 
+  // One attacker packet: legitimately NVP-addressed within tenant 1 (so the
+  // logical pipeline carries it to the ACL stage holding the attack rules),
+  // then stamped with a random attack rule's targeting — fresh megaflow
+  // with the rule's fine mask on nearly every packet.
+  Packet attack_packet() {
+    const NvpVm& a = *attack_vms_[arng_.uniform(attack_vms_.size())];
+    const NvpVm& b = *attack_vms_[arng_.uniform(attack_vms_.size())];
+    Packet p = nvp_packet(a, b, 0, 0);
+    return explosion_stamp(attack_rules_[arng_.uniform(attack_rules_.size())],
+                           p, arng_);
+  }
+
   Packet pick_packet() {
     const Connection& c = conns_[skew_->sample(rng_)];
     const NvpVm& a = topo_.vms[c.src_vm];
@@ -257,6 +304,7 @@ class HypervisorSim {
   Rng rng_;
   bool outlier_;
   bool stormy_ = false;
+  bool exploded_ = false;  // hosts the attacking tenant
   bool faulted_ = false;
   bool crashed_ = false;  // on this hypervisor's rack crash schedule
   std::unique_ptr<FaultInjector> fault_;  // created only for faulted racks
@@ -269,6 +317,10 @@ class HypervisorSim {
   double churn_ = 0;
   VirtualClock clock_;
   Distribution flow_samples_;
+  // Tuple-explosion attack state, populated at the window start.
+  std::vector<Match> attack_rules_;
+  std::vector<const NvpVm*> attack_vms_;
+  Rng arng_{0};
 };
 
 }  // namespace
@@ -290,6 +342,15 @@ FleetResults run_fleet(const FleetConfig& cfg) {
           ? 0
           : std::max<size_t>(
                 1, static_cast<size_t>(cfg.storm_fraction *
+                                       static_cast<double>(
+                                           cfg.n_hypervisors)));
+  // Exploded hypervisors sit immediately below the storm band (disjoint
+  // from storms at the very top and outliers at the very bottom).
+  const size_t n_exploded =
+      cfg.explosion_fraction <= 0
+          ? 0
+          : std::max<size_t>(
+                1, static_cast<size_t>(cfg.explosion_fraction *
                                        static_cast<double>(
                                            cfg.n_hypervisors)));
   // Faulted racks come from the middle of the rack range, keeping them
@@ -324,12 +385,15 @@ FleetResults run_fleet(const FleetConfig& cfg) {
       // Stormed hypervisors are drawn from the top of the id range so the
       // outlier and storm populations stay disjoint in small fleets.
       const bool stormy = hv >= cfg.n_hypervisors - n_stormy;
+      const bool exploded = !stormy &&
+                            hv >= cfg.n_hypervisors - n_stormy - n_exploded;
       const size_t rack = hv / rack_size;
       const bool faulted = rack >= first_fault_rack &&
                            rack < first_fault_rack + n_fault_racks;
       const bool crashed = rack >= first_crash_rack &&
                            rack < first_crash_rack + n_crash_racks;
-      HypervisorSim sim(cfg, master, outlier, stormy, faulted, crashed);
+      HypervisorSim sim(cfg, master, outlier, stormy, exploded, faulted,
+                        crashed);
       for (size_t i = 0; i < cfg.n_intervals; ++i)
         results.intervals.push_back(sim.run_interval(hv, i));
       results.hypervisors.push_back(sim.summary());
@@ -346,14 +410,16 @@ FleetResults run_fleet(const FleetConfig& cfg) {
   for (size_t hv = 0; hv < cfg.n_hypervisors; ++hv) {
     const bool outlier = hv < n_outliers;
     const bool stormy = hv >= cfg.n_hypervisors - n_stormy;
+    const bool exploded = !stormy &&
+                          hv >= cfg.n_hypervisors - n_stormy - n_exploded;
     const size_t rack = hv / rack_size;
     const bool faulted = rack >= first_fault_rack &&
                          rack < first_fault_rack + n_fault_racks;
     const bool crashed = rack >= first_crash_rack &&
                          rack < first_crash_rack + n_crash_racks;
     hv_faulted[hv] = faulted;
-    sims.push_back(std::make_unique<HypervisorSim>(cfg, master, outlier,
-                                                   stormy, faulted, crashed));
+    sims.push_back(std::make_unique<HypervisorSim>(
+        cfg, master, outlier, stormy, exploded, faulted, crashed));
   }
 
   std::vector<Switch*> switches;

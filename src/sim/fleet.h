@@ -61,6 +61,25 @@ struct FleetConfig {
   double storm_churn = 3.0;          // connection replacement rate while stormed
   bool degradation = true;           // Switch degradation policies on/off
 
+  // Tuple-space explosion attacks (DESIGN.md §14, workload/explosion.h): a
+  // fraction of hypervisors host a tenant that installs a budget of
+  // pairwise-incomparable-mask rules at the window start (through admission
+  // control) and aims high-entropy traffic at them, exploding the kernel
+  // mask list that every other tenant's packets must probe. Attacked
+  // hypervisors are drawn immediately below the storm band, keeping all
+  // five populations (outliers, storms, explosions, faults, crashes)
+  // disjoint. The defense knobs below apply fleet-wide; all zero/false
+  // keeps every hypervisor bit-for-bit the pre-explosion switch.
+  double explosion_fraction = 0.0;      // hypervisors attacked (0 = off)
+  size_t explosion_first_interval = 0;  // attack window [first, last]
+  size_t explosion_last_interval = 0;
+  size_t explosion_rules = 512;         // attacker rule budget
+  double explosion_pps_fraction = 0.5;  // attacker share of offered pps
+  size_t explosion_mask_cap = 0;        // SwitchConfig::max_masks_per_tenant
+  bool explosion_partition = false;     // ClassifierConfig::tenant_partition
+  size_t explosion_detect_subtables = 0;  // detector mask-count trigger
+  double explosion_detect_probe_ewma = 0.0;  // detector probe-EWMA trigger
+
   // True multi-worker hypervisors: each Switch runs the sharded datapath
   // with this many kernel-side workers (0/1 = the classic single-threaded
   // backend) and this many revalidator plan threads (§4.3).
@@ -142,6 +161,7 @@ struct FleetInterval {
   size_t interval = 0;
   bool outlier = false;
   bool stormy = false;       // adversarial churn active this interval
+  bool exploded = false;     // tuple-explosion attack active this interval
   bool faulted = false;      // rack fault schedule active this interval
   bool crashed = false;      // userspace crash/reconcile touched this interval
   double offered_pps = 0;
@@ -152,6 +172,8 @@ struct FleetInterval {
   double user_cpu_pct = 0;   // ovs-vswitchd equivalent, % of one core
   double kernel_cpu_pct = 0;
   uint64_t flows = 0;        // datapath flow count at interval end
+  uint64_t dp_masks = 0;     // kernel mask-list length at interval end
+  uint64_t rules_rejected = 0;       // cumulative mask-cap rejections
   uint64_t flow_limit_backoffs = 0;  // cumulative AIMD reductions
   uint64_t install_fails = 0;        // failed cache installs this interval
   uint64_t quarantined = 0;          // flows removed by self-check (cumulative)

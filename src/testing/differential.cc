@@ -17,6 +17,7 @@ SwitchConfig DiffConfig::to_switch_config() const {
   c.reval_mode = reval_mode;
   c.revalidator_threads = revalidator_threads;
   c.classifier.engine = engine;
+  c.classifier.tenant_partition = tenant_partition;
   c.offload_slots = offload_slots;
   return c;
 }
@@ -74,6 +75,19 @@ std::vector<DiffConfig> engine_configs() {
     c.datapath_workers = 4;
     c.rx_batch = 8;
     c.engine = e;
+    out.push_back(std::move(c));
+  }
+  // Tenant-partitioned points (DESIGN.md §14), one per engine including the
+  // reference: partitioning must be semantics-preserving against the flat
+  // oracle no matter which engine runs inside the partitions.
+  for (ClassifierEngine e :
+       {ClassifierEngine::kStagedTss, ClassifierEngine::kChainedTuple,
+        ClassifierEngine::kBloomGated}) {
+    DiffConfig c;
+    c.name = std::string("engine-") + classifier_engine_name(e) +
+             "/partitioned";
+    c.engine = e;
+    c.tenant_partition = true;
     out.push_back(std::move(c));
   }
   return out;

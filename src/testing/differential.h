@@ -55,6 +55,11 @@ struct DiffConfig {
   // and crash/restart reconciliation never change which actions a packet
   // receives — only which tier served them.
   size_t offload_slots = 0;
+  // Per-tenant classifier partitioning (DESIGN.md §14). The oracle never
+  // partitions, so partition-on replays check that segregating exact-
+  // metadata rules is semantics-preserving end to end (it must be: a rule
+  // exact on metadata != the packet's can never match).
+  bool tenant_partition = false;
 
   SwitchConfig to_switch_config() const;
 };

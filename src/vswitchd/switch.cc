@@ -5,6 +5,7 @@
 
 #include "ofproto/flow_parser.h"
 #include "util/fault.h"
+#include "util/hash.h"
 
 namespace ovs {
 
@@ -58,10 +59,71 @@ std::string Switch::add_flow(const std::string& text, uint64_t now_ns) {
   if (!res.ok) return res.error;
   if (res.flow.table >= pipeline_.n_tables())
     return "table " + std::to_string(res.flow.table) + " out of range";
+  if (!admit_flow(res.flow.match))
+    return "rejected: per-tenant mask cap reached";
   pipeline_.table(res.flow.table)
       .add_flow(res.flow.match, res.flow.priority, res.flow.actions,
                 res.flow.cookie, res.flow.timeouts, now_ns);
+  // The add we just admitted is the only mutation since the fingerprint
+  // check, and admit_flow already recorded any new mask, so the cache stays
+  // valid at the new generation.
+  if (tenant_masks_valid_) tenant_masks_gen_ = pipeline_.tables_generation();
   return "";
+}
+
+std::string Switch::add_flow(size_t table, const Match& match,
+                             int32_t priority, OfActions actions,
+                             uint64_t now_ns) {
+  if (table >= pipeline_.n_tables())
+    return "table " + std::to_string(table) + " out of range";
+  if (!admit_flow(match)) return "rejected: per-tenant mask cap reached";
+  pipeline_.table(table).add_flow(match, priority, std::move(actions),
+                                  /*cookie=*/0, /*timeouts=*/{}, now_ns);
+  if (tenant_masks_valid_) tenant_masks_gen_ = pipeline_.tables_generation();
+  return "";
+}
+
+void Switch::refresh_tenant_masks() {
+  const uint64_t gen = pipeline_.tables_generation();
+  if (tenant_masks_valid_ && gen == tenant_masks_gen_) return;
+  tenant_masks_.clear();
+  for (size_t t = 0; t < pipeline_.n_tables(); ++t) {
+    pipeline_.table(t).for_each([this](const OfRule* r) {
+      const Match& m = r->match();
+      if (!m.mask.is_exact(FieldId::kMetadata)) return;
+      tenant_masks_[m.key.get(FieldId::kMetadata)].insert(
+          hash_words(m.mask.w.data(), kFlowWords));
+    });
+  }
+  tenant_masks_gen_ = gen;
+  tenant_masks_valid_ = true;
+}
+
+bool Switch::admit_flow(const Match& match) {
+  ++counters_.flow_adds_attempted;
+  // Only tenant-attributed rules (exact metadata match) are capped: the cap
+  // defends tenants from each other, and rules without a tenant tag are the
+  // operator's own (install_nvp_pipeline's ingress stage, say).
+  if (cfg_.max_masks_per_tenant == 0 ||
+      !match.mask.is_exact(FieldId::kMetadata)) {
+    ++counters_.flow_adds_admitted;
+    return true;
+  }
+  refresh_tenant_masks();
+  const uint64_t tenant = match.key.get(FieldId::kMetadata);
+  const uint64_t fp = hash_words(match.mask.w.data(), kFlowWords);
+  auto& masks = tenant_masks_[tenant];
+  // Reusing an installed mask is always admitted — that is what makes a
+  // runtime cap reduction grandfather existing rules instead of wedging
+  // every subsequent add from that tenant.
+  if (masks.find(fp) == masks.end() &&
+      masks.size() >= cfg_.max_masks_per_tenant) {
+    ++counters_.rules_rejected_mask_cap;
+    return false;
+  }
+  masks.insert(fp);
+  ++counters_.flow_adds_admitted;
+  return true;
 }
 
 std::string Switch::del_flows(const std::string& text, size_t* n_deleted) {
@@ -584,7 +646,10 @@ void Switch::revalidate(uint64_t now_ns) {
     if (pass_ns > static_cast<double>(cfg_.max_revalidation_ns)) {
       ++counters_.reval_overruns;
       apply_limit_backoff();
-    } else {
+    } else if (!mask_explosion_) {
+      // Additive recovery pauses while the tuple-explosion detector is
+      // engaged: a clean pass under attack only means the shrunken table
+      // fits the deadline, not that growing it back is safe.
       limit_scale_ =
           std::min(1.0, limit_scale_ + cfg_.degradation.limit_recovery);
     }
@@ -762,6 +827,68 @@ void Switch::update_emc_policy() {
   }
 }
 
+void Switch::update_cls_policy() {
+  const DegradationConfig& d = cfg_.degradation;
+  if (!d.enabled) return;
+  if (d.mask_explosion_subtables == 0 && d.mask_probe_ewma_threshold <= 0.0)
+    return;
+  // Per-packet probe cost over the interval, smoothed. The kernel datapath
+  // is where attacker-minted masks accumulate (megaflows inherit them), so
+  // its counters are the detector's input — the userspace classifier shape
+  // is visible via cls_subtables() but is bounded by admission/partitioning
+  // upstream.
+  const Datapath::Stats s = be_->stats();
+  const uint64_t dpkts = s.packets - dp_packets_seen_;
+  const uint64_t dtuples = s.tuples_searched - dp_tuples_seen_;
+  dp_packets_seen_ = s.packets;
+  dp_tuples_seen_ = s.tuples_searched;
+  if (dpkts > 0) {
+    const double probe =
+        static_cast<double>(dtuples) / static_cast<double>(dpkts);
+    probe_ewma_ = d.mask_probe_ewma_alpha * probe +
+                  (1.0 - d.mask_probe_ewma_alpha) * probe_ewma_;
+  }
+  const size_t masks = be_->mask_count();
+  const bool count_hot = d.mask_explosion_subtables > 0 &&
+                         masks >= d.mask_explosion_subtables;
+  const bool probe_hot = d.mask_probe_ewma_threshold > 0.0 &&
+                         probe_ewma_ > d.mask_probe_ewma_threshold;
+  const bool count_cool = d.mask_explosion_subtables == 0 ||
+                          masks < d.mask_explosion_subtables / 2;
+  const bool probe_cool = d.mask_probe_ewma_threshold <= 0.0 ||
+                          probe_ewma_ < d.mask_probe_ewma_threshold / 2;
+  if (!mask_explosion_) {
+    if (count_hot || probe_hot) {
+      mask_explosion_ = true;
+      ++counters_.mask_explosion_engaged;
+      apply_limit_backoff();
+    }
+  } else if (count_cool && probe_cool) {
+    // Hysteresis: both signals must fall to half their engage thresholds —
+    // the attack subsiding, not one quiet interval — before recovery
+    // resumes (revalidate()'s additive increase takes over from here).
+    mask_explosion_ = false;
+  } else if (count_hot || probe_hot) {
+    // Signal persisting at engage level: keep ratcheting the table down
+    // until eviction sheds enough attacker masks to cool the probes.
+    apply_limit_backoff();
+  }
+}
+
+size_t Switch::cls_subtables() const noexcept {
+  size_t n = 0;
+  for (size_t t = 0; t < pipeline_.n_tables(); ++t)
+    n += pipeline_.table(t).classifier().n_subtables();
+  return n;
+}
+
+size_t Switch::cls_max_probe_depth() const noexcept {
+  size_t n = 0;
+  for (size_t t = 0; t < pipeline_.n_tables(); ++t)
+    n = std::max(n, pipeline_.table(t).classifier().max_probe_depth());
+  return n;
+}
+
 void Switch::refresh_attribution(DpBackend::FlowRef f, XlateResult&& xr) {
   Attribution& at = attribution_[f];
   at.rules = std::move(xr.matched_rules);
@@ -811,6 +938,13 @@ void Switch::crash() {
   const Datapath::Stats s = be_->stats();
   emc_attempts_seen_ = s.emc_inserts + s.emc_insert_skips;
   emc_hits_seen_ = s.microflow_hits;
+  mask_explosion_ = false;
+  probe_ewma_ = 0.0;
+  dp_tuples_seen_ = s.tuples_searched;
+  dp_packets_seen_ = s.packets;
+  tenant_masks_.clear();
+  tenant_masks_valid_ = false;
+  tenant_masks_gen_ = 0;
   reval_force_full_ = false;
   pipeline_gen_at_last_reval_ = 0;
   tables_gen_at_last_reval_ = 0;
@@ -988,6 +1122,7 @@ void Switch::run_maintenance(uint64_t now_ns) {
   }
   pipeline_.mac_learning().expire(now_ns);
   update_emc_policy();
+  update_cls_policy();
   revalidate(now_ns);
   // OpenFlow idle/hard flow expiry uses the statistics refreshed above
   // (§6); expirations bump the pipeline generation, so the next

@@ -30,6 +30,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "datapath/dp_backend.h"
@@ -96,6 +97,24 @@ struct DegradationConfig {
   size_t max_install_retries = 3;
   uint64_t retry_backoff_ns = 10 * kMillisecond;  // doubles per attempt
   size_t max_retry_queue = 1024;
+
+  // Tuple-space explosion detection (DESIGN.md §14), evaluated once per
+  // maintenance interval. Two triggers, each 0 = off (the default keeps the
+  // pre-detector switch bit-for-bit):
+  //   * the kernel datapath's megaflow mask count crossing
+  //     mask_explosion_subtables — the direct signature of an attacker
+  //     minting pairwise-incomparable masks;
+  //   * an EWMA of megaflow tables probed per packet crossing
+  //     mask_probe_ewma_threshold — the cost signature, which also fires
+  //     when masks stay under the count trigger but lookups degrade.
+  // Engaging bumps counters().mask_explosion_engaged and applies one
+  // multiplicative flow-limit backoff per interval the signal persists
+  // (shedding cached flows sheds their masks); additive recovery is
+  // suppressed while engaged. Disengage at half the thresholds, the same
+  // hysteresis shape as the EMC thrash detector.
+  size_t mask_explosion_subtables = 0;
+  double mask_probe_ewma_threshold = 0.0;
+  double mask_probe_ewma_alpha = 0.3;  // EWMA smoothing per interval
 };
 
 class FaultInjector;
@@ -148,6 +167,16 @@ struct SwitchConfig {
   // packets into bursts of this size and charge the batched cost model.
   size_t rx_batch = 1;
 
+  // Rule-admission mask cap (DESIGN.md §14): tenant-attributed rules (match
+  // exact on metadata, the logical-pipeline tenant tag) may hold at most
+  // this many distinct masks per tenant. An add that would mint a new mask
+  // past the cap is rejected before any rule state is constructed
+  // (counters().rules_rejected_mask_cap); adds reusing an already-installed
+  // mask are always admitted, so lowering the cap at runtime grandfathers
+  // existing rules instead of evicting them. Rules without an exact
+  // metadata match are uncapped. 0 disables admission control.
+  size_t max_masks_per_tenant = 0;
+
   // Cache invalidation parameters (§6).
   size_t flow_limit = 200000;
   bool dynamic_flow_limit = true;     // keep revalidation under the deadline
@@ -191,6 +220,12 @@ class Switch {
   void set_revalidator_threads(size_t n) noexcept {
     cfg_.revalidator_threads = n;
   }
+  // The admission cap is safe to change at runtime: already-installed rules
+  // are grandfathered (never evicted); only new mask creation is re-judged
+  // against the new cap.
+  void set_max_masks_per_tenant(size_t n) noexcept {
+    cfg_.max_masks_per_tenant = n;
+  }
   // Next revalidation re-translates every flow, tags notwithstanding (the
   // ovs-appctl "revalidator purge" analogue; also set by entry-fault
   // injection, whose corruption bypasses the generation counters).
@@ -211,6 +246,11 @@ class Switch {
   // ovs-ofctl-style text interface (see ofproto/flow_parser.h). Returns an
   // empty string on success, otherwise the parse error.
   std::string add_flow(const std::string& text, uint64_t now_ns = 0);
+  // Programmatic add used by benches and the fleet sim; runs the same
+  // admission control as the text interface (direct table(i).add_flow calls
+  // bypass it, like a management plane writing OVSDB behind the daemon).
+  std::string add_flow(size_t table, const Match& match, int32_t priority,
+                       OfActions actions, uint64_t now_ns = 0);
   // Loose-match deletion ("tcp, nw_dst=9.1.1.0/24"; empty = everything;
   // include table=N to restrict). On success returns "" and stores the
   // number deleted in *n_deleted if non-null.
@@ -336,6 +376,15 @@ class Switch {
     uint64_t reval_overruns = 0;    // pass blew max_revalidation_ns
     uint64_t reval_stalls = 0;      // injected stall skipped a pass
     uint64_t emc_degrade_engaged = 0;  // thrash detector activations
+    // Tuple-space explosion defenses (DESIGN.md §14). Admission ledger:
+    //   flow_adds_attempted == flow_adds_admitted + rules_rejected_mask_cap
+    // (every parsed, in-range add is either admitted or rejected by the
+    // mask cap; rejection happens before the rule is constructed, so a
+    // rejected add leaves flow_count/tuple_count untouched).
+    uint64_t flow_adds_attempted = 0;
+    uint64_t flow_adds_admitted = 0;
+    uint64_t rules_rejected_mask_cap = 0;
+    uint64_t mask_explosion_engaged = 0;  // detector activations
     // Crash/restart lifecycle (DESIGN.md §9). Reconciliation verdicts:
     // adopted + repaired + reval_deleted_{idle,stale} deltas partition the
     // dump; quarantined counts post-check deletions. The upcall/install
@@ -374,6 +423,13 @@ class Switch {
   double flow_limit_scale() const noexcept { return limit_scale_; }
   // True while the EMC thrash detector holds probabilistic insertion on.
   bool emc_degraded() const noexcept { return emc_degraded_; }
+  // True while the tuple-explosion detector holds the AIMD backoff engaged
+  // (recovery suspended; one backoff per interval the signal persists).
+  bool mask_explosion_active() const noexcept { return mask_explosion_; }
+  // Userspace classifier shape (DESIGN.md §14): subtables maintained summed
+  // across tables, and the per-lookup probe bound of the worst table.
+  size_t cls_subtables() const noexcept;
+  size_t cls_max_probe_depth() const noexcept;
 
   size_t upcall_queue_depth() const noexcept { return queue_.depth(); }
   size_t retry_queue_depth() const noexcept { return retry_q_.size(); }
@@ -405,6 +461,13 @@ class Switch {
   void maybe_inject_entry_faults();
   void apply_limit_backoff();
   void update_emc_policy();
+  // Admission control (DESIGN.md §14): charges the add to the ledger and
+  // answers whether it may proceed; refresh rebuilds the per-tenant mask
+  // fingerprints when a table mutation invalidated them.
+  bool admit_flow(const Match& match);
+  void refresh_tenant_masks();
+  // Tuple-explosion detector, evaluated per maintenance interval.
+  void update_cls_policy();
   void revalidate(uint64_t now_ns);
   // Offload placement (DESIGN.md §13): folds this dump interval's per-flow
   // packet deltas into the EWMAs, then programs/evicts slots. Runs inside
@@ -481,6 +544,18 @@ class Switch {
   bool emc_degraded_ = false;
   uint64_t emc_attempts_seen_ = 0;  // insert attempts at last policy check
   uint64_t emc_hits_seen_ = 0;      // microflow hits at last policy check
+
+  // Tuple-explosion detector state (DESIGN.md §14).
+  bool mask_explosion_ = false;
+  double probe_ewma_ = 0.0;         // smoothed megaflow probes per packet
+  uint64_t dp_tuples_seen_ = 0;     // tuples_searched at last policy check
+  uint64_t dp_packets_seen_ = 0;    // packets at last policy check
+  // Per-tenant distinct-mask fingerprints backing the admission cap,
+  // rebuilt lazily whenever the tables generation moved (deletes and
+  // expiry free cap; the rebuild costs one table scan per mutation burst).
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> tenant_masks_;
+  uint64_t tenant_masks_gen_ = 0;
+  bool tenant_masks_valid_ = false;
 
   // Offload placement state (userspace — dies with the daemon on crash()).
   // One record per live megaflow once the flow has been seen by a dump;

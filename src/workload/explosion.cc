@@ -1,0 +1,108 @@
+#include "workload/explosion.h"
+
+#include <cassert>
+
+#include "ofproto/actions.h"
+#include "vswitchd/switch.h"
+
+namespace ovs {
+
+std::vector<FlowMask> make_explosion_masks(size_t n, size_t prefix_sum) {
+  std::vector<FlowMask> out;
+  out.reserve(n);
+  // Deterministic enumeration of quadruples (a, b, c, d) with a + b + c +
+  // d == prefix_sum. Any two distinct quadruples of equal sum differ with
+  // one component larger and another smaller — neither mask subsumes the
+  // other, so each gets its own subtable and chains stay at length 1.
+  for (unsigned a = 0; a <= 32 && out.size() < n; ++a) {
+    for (unsigned b = 0; b <= 32 && out.size() < n; ++b) {
+      for (unsigned c = 0; c <= 16 && out.size() < n; ++c) {
+        if (a + b + c > prefix_sum) break;
+        const size_t d = prefix_sum - a - b - c;
+        if (d > 16) continue;
+        FlowMask m;
+        m.set_exact(FieldId::kMetadata);
+        m.set_exact(FieldId::kEthType);
+        m.set_exact(FieldId::kNwProto);
+        m.set_prefix(FieldId::kNwSrc, a);
+        m.set_prefix(FieldId::kNwDst, b);
+        m.set_prefix(FieldId::kTpSrc, c);
+        m.set_prefix(FieldId::kTpDst, static_cast<unsigned>(d));
+        out.push_back(m);
+        if (out.size() == n) return out;
+      }
+    }
+  }
+  assert(out.size() == n && "prefix_sum admits fewer quadruples than n");
+  return out;
+}
+
+std::vector<Match> make_explosion_rules(const ExplosionConfig& cfg) {
+  const std::vector<FlowMask> masks =
+      make_explosion_masks(cfg.n_rules, cfg.prefix_sum);
+  Rng rng(cfg.seed);
+  std::vector<Match> out;
+  out.reserve(masks.size());
+  for (const FlowMask& mask : masks) {
+    Match m;
+    m.mask = mask;
+    m.key.set_metadata(cfg.tenant);
+    m.key.set_eth_type(ethertype::kIpv4);
+    m.key.set_nw_proto(ipproto::kTcp);
+    m.key.set(FieldId::kNwSrc, rng.next() & 0xffffffffu);
+    m.key.set(FieldId::kNwDst, rng.next() & 0xffffffffu);
+    m.key.set(FieldId::kTpSrc, rng.next() & 0xffffu);
+    m.key.set(FieldId::kTpDst, rng.next() & 0xffffu);
+    m.normalize();
+    out.push_back(m);
+  }
+  return out;
+}
+
+ExplosionInstall install_explosion_rules(Switch& sw, size_t table,
+                                         const ExplosionConfig& cfg) {
+  ExplosionInstall r;
+  for (const Match& m : make_explosion_rules(cfg)) {
+    const std::string err =
+        sw.add_flow(table, m, cfg.priority, OfActions::drop());
+    if (err.empty())
+      ++r.installed;
+    else
+      ++r.rejected;
+  }
+  return r;
+}
+
+Packet explosion_stamp(const Match& rule, Packet base, Rng& rng) {
+  // The rule's masked bits aim the packet at it; every unmasked bit of the
+  // four attack fields is noise, so consecutive packets share neither a
+  // microflow nor (megaflows inheriting the fine mask) a megaflow.
+  const struct {
+    FieldId f;
+    uint64_t width_mask;
+  } kAttackFields[] = {{FieldId::kNwSrc, 0xffffffffu},
+                       {FieldId::kNwDst, 0xffffffffu},
+                       {FieldId::kTpSrc, 0xffffu},
+                       {FieldId::kTpDst, 0xffffu}};
+  for (const auto& af : kAttackFields) {
+    const uint64_t mb = rule.mask.get(af.f);
+    const uint64_t v =
+        (rule.key.get(af.f) & mb) | (rng.next() & af.width_mask & ~mb);
+    base.key.set(af.f, v);
+  }
+  return base;
+}
+
+ExplosionWorkload::ExplosionWorkload(const ExplosionConfig& cfg)
+    : cfg_(cfg), rules_(make_explosion_rules(cfg)), rng_(cfg.seed ^ 0xa77ac) {}
+
+Packet ExplosionWorkload::next() {
+  Packet p;
+  p.key.set_in_port(cfg_.in_port);
+  p.key.set_eth_type(ethertype::kIpv4);
+  p.key.set_nw_proto(ipproto::kTcp);
+  ++packets_;
+  return explosion_stamp(rules_[rng_.uniform(rules_.size())], p, rng_);
+}
+
+}  // namespace ovs

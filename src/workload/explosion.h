@@ -1,0 +1,93 @@
+// Tuple-space explosion attack generator (DESIGN.md §14).
+//
+// The Csikor et al. attack against tuple-space-search classifiers: a tenant
+// with ordinary rule-install rights mints rules whose masks are pairwise
+// incomparable, so every rule forces its own subtable and no mask-ordering
+// defense (subsumption chains, tries) can merge them. The construction here
+// uses prefix-length quadruples (nw_src/a, nw_dst/b, tp_src/c, tp_dst/d)
+// with a CONSTANT SUM a+b+c+d: two distinct quadruples of equal sum must
+// have one component larger and another smaller, hence neither mask
+// subsumes the other. With a ≤ 32, b ≤ 32, c ≤ 16, d ≤ 16 a single sum
+// value yields thousands of masks — enough to saturate any realistic rule
+// budget with chains of length 1.
+//
+// The paired packet stream aims traffic at the attacker's own rules with
+// noise in every unmasked bit: each packet is a fresh megaflow miss whose
+// installed megaflow INHERITS the fine attacker mask, so the kernel
+// datapath's mask list — probed linearly per packet — explodes alongside
+// the userspace table. Victim traffic then pays the probe bill
+// (bench_tuple_explosion measures the curve; the admission cap,
+// tenant partitioning, and the mask-explosion detector are the defenses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/match.h"
+#include "packet/packet.h"
+#include "util/rng.h"
+
+namespace ovs {
+
+class Switch;
+
+struct ExplosionConfig {
+  uint64_t tenant = 1;      // metadata value the attacker's rules carry
+  size_t n_rules = 1024;    // attacker rule budget
+  // Constant prefix-length sum of the quadruples. 48 sits mid-range of the
+  // feasible [0, 96] so the sum admits the most quadruples.
+  size_t prefix_sum = 48;
+  uint32_t in_port = 1;     // ingress port of the attacker's packets
+  int32_t priority = 10;
+  uint64_t seed = 42;
+};
+
+// `n` pairwise-incomparable masks: exact metadata/eth_type/nw_proto plus a
+// constant-sum prefix quadruple. Deterministic enumeration; asserts n is
+// feasible for the sum (ExplosionConfig's default admits > 10k).
+std::vector<FlowMask> make_explosion_masks(size_t n, size_t prefix_sum = 48);
+
+// The attacker's rule set: one Match per explosion mask, keys drawn from
+// the seeded rng (masked bits populated, the rest zero). All rules carry
+// exact metadata = tenant, so they are tenant-attributed for admission
+// control and land in the tenant's engine under partitioning.
+std::vector<Match> make_explosion_rules(const ExplosionConfig& cfg);
+
+// Installs make_explosion_rules into `table` via Switch::add_flow — i.e.
+// THROUGH admission control, which is the point: the count actually
+// installed is the attack surface the defenses left standing. Actions are
+// drop (an attacker needs no forwarding). Returns {installed, rejected}.
+struct ExplosionInstall {
+  size_t installed = 0;
+  size_t rejected = 0;
+};
+ExplosionInstall install_explosion_rules(Switch& sw, size_t table,
+                                         const ExplosionConfig& cfg);
+
+// Applies `rule`'s targeting to `base`: the masked bits of the four attack
+// fields (nw_src/nw_dst/tp_src/tp_dst) are copied from the rule's key, the
+// unmasked bits randomized from `rng`. The fleet sim stamps NVP-addressed
+// packets so the attack traffic traverses the logical pipeline to the
+// table holding the attacker's rules.
+Packet explosion_stamp(const Match& rule, Packet base, Rng& rng);
+
+// The attacker's packet stream: each packet targets a (seeded-)random rule
+// of the set, with every bit outside that rule's mask randomized. Every
+// packet is thus a distinct microflow AND (megaflows inheriting the fine
+// mask) typically a distinct megaflow — maximal cache churn per pps.
+class ExplosionWorkload {
+ public:
+  explicit ExplosionWorkload(const ExplosionConfig& cfg);
+
+  Packet next();
+
+  uint64_t packets() const noexcept { return packets_; }
+
+ private:
+  ExplosionConfig cfg_;
+  std::vector<Match> rules_;
+  Rng rng_;
+  uint64_t packets_ = 0;
+};
+
+}  // namespace ovs

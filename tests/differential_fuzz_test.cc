@@ -141,16 +141,17 @@ TEST(DifferentialFuzz, AllConfigsMatchOracle) {
 
 // The classifier-engine matrix: the same seeded scenarios, but the switch
 // under test runs the chained-tuple or bloom-gated engine (per-packet,
-// batched, and sharded/batched variants) while the oracle stays pinned to
-// the staged-TSS reference. Zero divergences means the alternative engines
-// are end-to-end indistinguishable from the paper baseline — megaflow
-// generation included, since unsound wildcards surface as probe or trace
-// divergences here.
+// batched, and sharded/batched variants) or a tenant-partitioned classifier
+// (one point per engine, DESIGN.md §14) while the oracle stays pinned to
+// the flat staged-TSS reference. Zero divergences means the alternative
+// engines are end-to-end indistinguishable from the paper baseline —
+// megaflow generation included, since unsound wildcards surface as probe
+// or trace divergences here.
 TEST(DifferentialFuzz, EngineMatrixMatchesOracle) {
   const size_t n_seeds = env_or("VSWITCH_FUZZ_SEEDS", 200);
   const GeneratorConfig gcfg = generator_config();
   const std::vector<DiffConfig> cfgs = fuzz::engine_configs();
-  ASSERT_EQ(6u, cfgs.size());
+  ASSERT_EQ(9u, cfgs.size());
   DifferentialRunner runner;
 
   std::vector<std::string> failures;

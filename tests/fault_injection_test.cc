@@ -49,6 +49,10 @@ void expect_accounting_invariants(const Switch& sw) {
   // Every failure was retried, is still pending, or was given up.
   EXPECT_EQ(c.install_fails,
             c.upcalls_retried + sw.retry_queue_depth() + c.retry_abandoned);
+  // Every rule-add attempt was either admitted into a table or rejected by
+  // the per-tenant mask cap — a rejection must not leak a partial rule.
+  EXPECT_EQ(c.flow_adds_attempted,
+            c.flow_adds_admitted + c.rules_rejected_mask_cap);
   // Reconciliation verdicts only ever come from examined flows, and
   // blackout cycles only from taken crashes.
   EXPECT_LE(c.flows_adopted + c.flows_repaired, c.reval_flows_examined);
