@@ -56,10 +56,19 @@ struct OfNormal {
 };
 
 // Connection tracking (§8.1): stamps ct_state into the key and resubmits to
-// `next_table`; with commit=true the connection is committed first.
+// `next_table`; with commit=true the connection is committed first. `zone`
+// selects an independent connection table. NAT: kApply only applies an
+// existing binding to the packet (lookup-pure — safe for generated fuzz
+// rules); kSrc/kDst additionally request a SNAT/DNAT binding at commit time.
 struct OfCt {
+  enum class Nat : uint8_t { kNone, kApply, kSrc, kDst };
+
   uint8_t next_table = 0;
   bool commit = false;
+  uint16_t zone = 0;
+  Nat nat = Nat::kNone;
+  uint32_t nat_addr = 0;
+  uint16_t nat_port = 0;
   bool operator==(const OfCt&) const = default;
 };
 
@@ -110,8 +119,26 @@ struct OfActions {
     list.push_back(OfNormal{});
     return *this;
   }
-  OfActions& ct(uint8_t next_table, bool commit = false) {
-    list.push_back(OfCt{next_table, commit});
+  OfActions& ct(uint8_t next_table, bool commit = false, uint16_t zone = 0) {
+    OfCt c;
+    c.next_table = next_table;
+    c.commit = commit;
+    c.zone = zone;
+    list.push_back(c);
+    return *this;
+  }
+  // ct with NAT: kApply to rewrite per existing bindings, kSrc/kDst (with
+  // commit) to create a binding toward (addr, port).
+  OfActions& ct_nat(uint8_t next_table, bool commit, OfCt::Nat nat,
+                    uint32_t addr = 0, uint16_t port = 0, uint16_t zone = 0) {
+    OfCt c;
+    c.next_table = next_table;
+    c.commit = commit;
+    c.zone = zone;
+    c.nat = nat;
+    c.nat_addr = addr;
+    c.nat_port = port;
+    list.push_back(c);
     return *this;
   }
 

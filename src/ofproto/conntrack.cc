@@ -1,0 +1,272 @@
+#include "ofproto/conntrack.h"
+
+namespace ovs {
+
+ConnTracker::ConnKey ConnTracker::conn_key(const FlowKey& k,
+                                           uint16_t zone) noexcept {
+  const uint64_t a_addr = k.nw_src().value(), b_addr = k.nw_dst().value();
+  const uint32_t a_port = k.tp_src(), b_port = k.tp_dst();
+  ConnKey ck;
+  ck.proto = k.nw_proto();
+  ck.zone = zone;
+  if (a_addr < b_addr || (a_addr == b_addr && a_port <= b_port)) {
+    ck.lo_addr = a_addr;
+    ck.hi_addr = b_addr;
+    ck.lo_port = a_port;
+    ck.hi_port = b_port;
+  } else {
+    ck.lo_addr = b_addr;
+    ck.hi_addr = a_addr;
+    ck.lo_port = b_port;
+    ck.hi_port = a_port;
+  }
+  return ck;
+}
+
+bool ConnTracker::is_lo_direction(const FlowKey& k) noexcept {
+  const uint64_t a = k.nw_src().value(), b = k.nw_dst().value();
+  return a < b || (a == b && k.tp_src() <= k.tp_dst());
+}
+
+const ConnTracker::Entry* ConnTracker::find(const FlowKey& key,
+                                            uint16_t zone) const noexcept {
+  auto it = table_.find(conn_key(key, zone));
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+uint8_t ConnTracker::lookup(const FlowKey& key,
+                            uint16_t zone) const noexcept {
+  const Entry* e = find(key, zone);
+  if (e == nullptr) return ct_state::kNew;
+  uint8_t s = ct_state::kEstablished;
+  if (e->symmetric)
+    s |= ct_state::kSymmetric;
+  else if (is_lo_direction(key) != e->orig_is_lo)
+    s |= ct_state::kReply;
+  return s;
+}
+
+std::optional<ConnTracker::NatRewrite> ConnTracker::nat_lookup(
+    const FlowKey& key, uint16_t zone) const noexcept {
+  const Entry* e = find(key, zone);
+  if (e == nullptr || !e->has_nat) return std::nullopt;
+  // Symmetric connections have no reply direction; their binding applies as
+  // if every packet were forward.
+  const bool fwd = e->symmetric || is_lo_direction(key) == e->orig_is_lo;
+  if (e->nat_on_reply ? fwd : !fwd) return std::nullopt;
+  return e->nat;
+}
+
+ConnTracker::Entry& ConnTracker::insert(const ConnKey& ck, uint64_t now_ns) {
+  make_room(ck.zone);
+  std::list<ConnKey>& lru = zones_[ck.zone];
+  lru.push_back(ck);
+  Entry& e = table_[ck];
+  e.last_seen_ns = now_ns;
+  e.lru = std::prev(lru.end());
+  return e;
+}
+
+void ConnTracker::make_room(uint16_t zone) {
+  if (cfg_.max_per_zone > 0) {
+    auto zit = zones_.find(zone);
+    while (zit != zones_.end() && zit->second.size() >= cfg_.max_per_zone)
+      evict_lru_of_zone(zone, /*zone_cap=*/true);
+  }
+  while (cfg_.max_entries > 0 && table_.size() >= cfg_.max_entries) {
+    uint16_t victim_zone = zone;
+    if (cfg_.fair_eviction) {
+      // Evict from the largest zone: a churning attacker zone pays for its
+      // own churn instead of flushing quiet zones' state.
+      size_t largest = 0;
+      for (const auto& [z, lru] : zones_) {
+        if (lru.size() > largest) {
+          largest = lru.size();
+          victim_zone = z;
+        }
+      }
+    } else {
+      // Globally least-recent entry across all zone fronts (the unfair
+      // policy the bench ablates).
+      uint64_t oldest = UINT64_MAX;
+      for (const auto& [z, lru] : zones_) {
+        if (lru.empty()) continue;
+        const uint64_t t = table_.at(lru.front()).last_seen_ns;
+        if (t < oldest) {
+          oldest = t;
+          victim_zone = z;
+        }
+      }
+    }
+    evict_lru_of_zone(victim_zone, /*zone_cap=*/false);
+  }
+}
+
+void ConnTracker::evict_lru_of_zone(uint16_t zone, bool zone_cap) {
+  auto zit = zones_.find(zone);
+  if (zit == zones_.end() || zit->second.empty()) return;
+  const size_t n = remove_conn(zit->second.front());
+  if (zone_cap)
+    stats_.evicted_zone_cap += n;
+  else
+    stats_.evicted_global_cap += n;
+}
+
+size_t ConnTracker::remove_conn(const ConnKey& ck) {
+  auto it = table_.find(ck);
+  if (it == table_.end()) return 0;
+  const bool has_pair = it->second.has_pair;
+  const ConnKey pair = it->second.pair;
+  zones_[ck.zone].erase(it->second.lru);
+  table_.erase(it);
+  size_t n = 1;
+  if (has_pair) {
+    auto pit = table_.find(pair);
+    if (pit != table_.end()) {
+      zones_[pair.zone].erase(pit->second.lru);
+      table_.erase(pit);
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool ConnTracker::commit(const FlowKey& key, uint16_t zone,
+                         uint64_t now_ns) {
+  const ConnKey ck = conn_key(key, zone);
+  auto it = table_.find(ck);
+  if (it != table_.end()) {
+    // Idempotent refresh: timestamp and LRU position only; the table's
+    // answer to every lookup is unchanged, so generation stays put.
+    Entry& e = it->second;
+    e.last_seen_ns = now_ns;
+    std::list<ConnKey>& lru = zones_[ck.zone];
+    lru.splice(lru.end(), lru, e.lru);
+    if (e.has_pair) {
+      auto pit = table_.find(e.pair);
+      if (pit != table_.end()) {
+        pit->second.last_seen_ns = now_ns;
+        std::list<ConnKey>& plru = zones_[e.pair.zone];
+        plru.splice(plru.end(), plru, pit->second.lru);
+      }
+    }
+    ++stats_.refreshed;
+    return false;
+  }
+  Entry& e = insert(ck, now_ns);
+  e.orig_is_lo = is_lo_direction(key);
+  e.symmetric = ck.lo_addr == ck.hi_addr && ck.lo_port == ck.hi_port;
+  ++stats_.committed;
+  ++generation_;
+  return true;
+}
+
+bool ConnTracker::commit_nat(const FlowKey& key, const CtNatSpec& nat,
+                             uint16_t zone, uint64_t now_ns) {
+  const ConnKey ck = conn_key(key, zone);
+  if (table_.find(ck) != table_.end()) {
+    // Existing connection: refresh only. Bindings are immutable once
+    // committed (rebinding mid-connection would break replies in flight).
+    return commit(key, zone, now_ns);
+  }
+  // The post-NAT tuple, as the rewritten forward packet would carry it.
+  FlowKey rewritten = key;
+  if (nat.src) {
+    rewritten.set_nw_src(Ipv4(nat.addr));
+    rewritten.set_tp_src(nat.port);
+  } else {
+    rewritten.set_nw_dst(Ipv4(nat.addr));
+    rewritten.set_tp_dst(nat.port);
+  }
+  const ConnKey rk = conn_key(rewritten, zone);
+  if (rk == ck) {
+    // No-op rewrite: a plain commit tracks it fine.
+    return commit(key, zone, now_ns);
+  }
+
+  const bool fresh = commit(key, zone, now_ns);
+  if (!fresh) return false;
+  Entry& prim = table_.at(ck);
+  prim.has_nat = true;
+  prim.nat_on_reply = false;
+  prim.nat = NatRewrite{nat.src, nat.addr, nat.port};
+  ++stats_.nat_bindings;
+
+  if (table_.find(rk) != table_.end()) {
+    // Post-NAT tuple collides with an existing connection: first one wins;
+    // the forward rewrite stands but replies will not un-NAT. Deterministic
+    // on both the switch and the oracle, which is what the harness needs.
+    return true;
+  }
+  // Reverse entry: keyed on the post-NAT tuple, carrying the inverse
+  // rewrite for reply-direction packets.
+  Entry& rev = insert(rk, now_ns);
+  rev.orig_is_lo = is_lo_direction(rewritten);
+  rev.symmetric = rk.lo_addr == rk.hi_addr && rk.lo_port == rk.hi_port;
+  rev.has_nat = true;
+  rev.nat_on_reply = true;
+  rev.nat = nat.src
+                ? NatRewrite{/*to_src=*/false, key.nw_src().value(),
+                             key.tp_src()}
+                : NatRewrite{/*to_src=*/true, key.nw_dst().value(),
+                             key.tp_dst()};
+  rev.has_pair = true;
+  rev.pair = ck;
+  // insert() may have evicted the primary to make room (tiny caps); only
+  // link the pair when it survived.
+  auto pit = table_.find(ck);
+  if (pit != table_.end()) {
+    pit->second.has_pair = true;
+    pit->second.pair = rk;
+  }
+  return true;
+}
+
+bool ConnTracker::remove(const FlowKey& key, uint16_t zone) {
+  const size_t n = remove_conn(conn_key(key, zone));
+  if (n == 0) return false;
+  stats_.removed += n;
+  ++generation_;
+  return true;
+}
+
+size_t ConnTracker::expire_idle(uint64_t now_ns) {
+  if (cfg_.idle_timeout_ns == 0) return 0;
+  size_t n = 0;
+  for (auto& [zone, lru] : zones_) {
+    while (!lru.empty()) {
+      const Entry& e = table_.at(lru.front());
+      if (e.last_seen_ns + cfg_.idle_timeout_ns > now_ns) break;
+      n += remove_conn(lru.front());
+    }
+  }
+  if (n > 0) {
+    stats_.expired_idle += n;
+    ++generation_;
+  }
+  return n;
+}
+
+bool ConnTracker::has_expirable(uint64_t now_ns) const noexcept {
+  if (cfg_.idle_timeout_ns == 0) return false;
+  for (const auto& [zone, lru] : zones_) {
+    if (lru.empty()) continue;
+    const Entry& e = table_.at(lru.front());
+    if (e.last_seen_ns + cfg_.idle_timeout_ns <= now_ns) return true;
+  }
+  return false;
+}
+
+void ConnTracker::flush() {
+  if (table_.empty()) return;
+  table_.clear();
+  zones_.clear();
+  ++generation_;
+}
+
+size_t ConnTracker::zone_size(uint16_t zone) const noexcept {
+  auto it = zones_.find(zone);
+  return it == zones_.end() ? 0 : it->second.size();
+}
+
+}  // namespace ovs

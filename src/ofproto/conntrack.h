@@ -1,16 +1,38 @@
-// Minimal connection tracker (paper §8.1: "an ongoing effort to provide a
+// Bounded connection tracker (paper §8.1: "an ongoing effort to provide a
 // new OpenFlow action that invokes a kernel module that provides ...
 // connection state (new, established, related)").
 //
-// Connections are keyed by the bidirectional 5-tuple; the CT action stamps
-// ct_state into the flow key so subsequent tables can match on it, exactly
-// like the OVS `ct` action feeding `ct_state` matches.
+// Connections are keyed by the bidirectional 5-tuple plus a zone; the CT
+// action stamps ct_state into the flow key so subsequent tables can match on
+// it, exactly like the OVS `ct` action feeding `ct_state` matches. Beyond
+// the minimal lookup/commit tracker this adds the production-shaped pieces
+// (DESIGN.md §15):
+//
+//   * bounded capacity with per-zone limits and LRU eviction — a stateful
+//     table is a resource-exhaustion surface exactly like the megaflow mask
+//     list (§14), so it gets the same bounded-memory treatment;
+//   * idle expiry driven by virtual time, with the determinism contract
+//     that lookups NEVER refresh last-seen — only commits do — so the
+//     table's contents are a pure function of the commit/remove/expire
+//     event sequence (what lets the differential oracle mirror it);
+//   * SNAT/DNAT bindings: a committed NAT connection stores the forward
+//     rewrite and stamps a reverse-direction entry keyed on the post-NAT
+//     tuple carrying the inverse rewrite, so replies un-NAT statelessly.
+//
+// Self-connections (src==dst addr AND port): the two directions of such a
+// tuple are literally the same packet, so "reply" is undecidable from the
+// wire. They are marked kSymmetric instead of ever setting kReply — the
+// deterministic resolution of the old canonical-order ambiguity.
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <unordered_map>
 
 #include "packet/flow_key.h"
-#include "util/flat_hash.h"
+#include "util/hash.h"
 
 namespace ovs {
 
@@ -18,85 +40,157 @@ namespace ct_state {
 inline constexpr uint8_t kNew = 0x01;
 inline constexpr uint8_t kEstablished = 0x02;
 inline constexpr uint8_t kReply = 0x04;
+// Fully symmetric 5-tuple (self-connection): direction undecidable, so the
+// reply bit is never set and this bit is stamped instead.
+inline constexpr uint8_t kSymmetric = 0x08;
 }  // namespace ct_state
+
+namespace tcpflags {
+inline constexpr uint16_t kFin = 0x01;
+inline constexpr uint16_t kRst = 0x04;
+}  // namespace tcpflags
+
+// NAT binding requested at commit time: rewrite the source (SNAT) or the
+// destination (DNAT) of forward-direction packets to (addr, port).
+struct CtNatSpec {
+  bool src = true;  // true = SNAT, false = DNAT
+  uint32_t addr = 0;
+  uint16_t port = 0;
+  bool operator==(const CtNatSpec&) const noexcept = default;
+};
+
+struct ConnTrackerConfig {
+  size_t max_entries = 0;        // 0 = unbounded
+  size_t max_per_zone = 0;       // 0 = no per-zone cap
+  uint64_t idle_timeout_ns = 0;  // 0 = entries never idle out
+  // Global-cap eviction policy: true evicts the LRU entry of the LARGEST
+  // zone (an attacker zone churning connections cannot displace a quiet
+  // victim zone's state); false evicts the globally least-recent entry
+  // (the bench ablation showing why fairness matters).
+  bool fair_eviction = true;
+};
 
 class ConnTracker {
  public:
-  // Connection state of the packet's 5-tuple (direction-normalized).
-  uint8_t lookup(const FlowKey& key) const noexcept {
-    const ConnKey ck = conn_key(key);
-    const ConnKey* e = table_.find(ck.hash(), [&](const ConnKey& x) {
-      return x == ck;
-    });
-    if (e == nullptr) return ct_state::kNew;
-    uint8_t s = ct_state::kEstablished;
-    if (!forward_direction(key)) s |= ct_state::kReply;
-    return s;
-  }
+  ConnTracker() = default;
+  explicit ConnTracker(const ConnTrackerConfig& cfg) : cfg_(cfg) {}
 
-  // Commits the connection (the `ct(commit)` action).
-  void commit(const FlowKey& key) {
-    const ConnKey ck = conn_key(key);
-    if (table_.find(ck.hash(), [&](const ConnKey& x) { return x == ck; }))
-      return;
-    table_.insert(ck.hash(), ck);
-    ++generation_;
-  }
+  // Connection state of the packet's 5-tuple (direction-normalized). Const
+  // and time-free by design: state transitions happen only via commit /
+  // remove / expire_idle, so two trackers fed the same mutation sequence
+  // answer identically regardless of when lookups happened in between.
+  uint8_t lookup(const FlowKey& key, uint16_t zone = 0) const noexcept;
 
-  // Tears down the connection (simulating FIN/RST or timeout).
-  bool remove(const FlowKey& key) noexcept {
-    const ConnKey ck = conn_key(key);
-    if (!table_.erase(ck.hash(), [&](const ConnKey& x) { return x == ck; }))
-      return false;
-    ++generation_;
-    return true;
-  }
+  // The NAT rewrite this packet should receive, if its connection carries a
+  // binding applying in the packet's direction: forward packets get the
+  // committed rewrite, replies (via the reverse entry) the inverse.
+  struct NatRewrite {
+    bool to_src = false;  // rewrite source (else destination)
+    uint32_t addr = 0;
+    uint16_t port = 0;
+  };
+  std::optional<NatRewrite> nat_lookup(const FlowKey& key,
+                                       uint16_t zone = 0) const noexcept;
+
+  // Commits the connection (the `ct(commit)` action or an explicit
+  // controller write). Inserting a NEW connection bumps generation() and
+  // may evict (zone cap first, then global cap); re-committing an existing
+  // one only refreshes last-seen — idempotent, generation unchanged.
+  // Returns true when a new entry was created.
+  bool commit(const FlowKey& key, uint16_t zone = 0, uint64_t now_ns = 0);
+
+  // Commit with a NAT binding: stores the forward rewrite on the primary
+  // entry and stamps a reverse-direction entry keyed on the post-NAT tuple
+  // with the inverse rewrite. If the post-NAT tuple collides with an
+  // existing distinct connection the reverse entry is skipped (first wins,
+  // deterministically). Re-commits refresh timestamps but never replace an
+  // existing binding.
+  bool commit_nat(const FlowKey& key, const CtNatSpec& nat,
+                  uint16_t zone = 0, uint64_t now_ns = 0);
+
+  // Tears down the connection (FIN/RST or controller delete), including its
+  // paired NAT reverse entry.
+  bool remove(const FlowKey& key, uint16_t zone = 0);
+
+  // Removes every entry idle past the timeout as of now_ns; returns the
+  // number removed. No-op (0) when idle_timeout_ns is 0.
+  size_t expire_idle(uint64_t now_ns);
+  // Would expire_idle(now_ns) remove anything?
+  bool has_expirable(uint64_t now_ns) const noexcept;
+
+  // Drops everything (userspace restart: conntrack is process state).
+  void flush();
 
   size_t size() const noexcept { return table_.size(); }
+  size_t zone_size(uint16_t zone) const noexcept;
   uint64_t generation() const noexcept { return generation_; }
+  const ConnTrackerConfig& config() const noexcept { return cfg_; }
+
+  struct Stats {
+    uint64_t committed = 0;          // new entries created
+    uint64_t refreshed = 0;          // idempotent re-commits
+    uint64_t removed = 0;            // explicit teardowns
+    uint64_t expired_idle = 0;       // idle-timeout expirations
+    uint64_t evicted_zone_cap = 0;   // LRU evictions at the per-zone cap
+    uint64_t evicted_global_cap = 0; // LRU evictions at the global cap
+    uint64_t nat_bindings = 0;       // NAT bindings created
+  };
+  const Stats& stats() const noexcept { return stats_; }
 
  private:
   struct ConnKey {
     uint64_t lo_addr = 0, hi_addr = 0;  // normalized endpoint order
     uint32_t lo_port = 0, hi_port = 0;
     uint8_t proto = 0;
+    uint16_t zone = 0;
 
     bool operator==(const ConnKey&) const noexcept = default;
     uint64_t hash() const noexcept {
       uint64_t h = hash_mix64(lo_addr);
       h = hash_add64(h, hi_addr);
       h = hash_add64(h, (uint64_t{lo_port} << 32) | hi_port);
-      return hash_add64(h, proto);
+      return hash_add64(h, (uint64_t{zone} << 8) | proto);
+    }
+  };
+  struct ConnKeyHash {
+    size_t operator()(const ConnKey& k) const noexcept {
+      return static_cast<size_t>(k.hash());
     }
   };
 
+  struct Entry {
+    bool orig_is_lo = true;   // direction the committing packet traveled
+    bool symmetric = false;   // self-connection: direction undecidable
+    uint64_t last_seen_ns = 0;
+    bool has_nat = false;
+    bool nat_on_reply = false;  // rewrite applies to reply-direction packets
+    NatRewrite nat;
+    bool has_pair = false;      // NAT primary <-> reverse entry linkage
+    ConnKey pair;
+    std::list<ConnKey>::iterator lru;  // position in the zone's LRU list
+  };
+
   // Endpoint (addr, port) pairs sorted so both directions map to one key.
-  static ConnKey conn_key(const FlowKey& k) noexcept {
-    const uint64_t a_addr = k.nw_src().value(), b_addr = k.nw_dst().value();
-    const uint32_t a_port = k.tp_src(), b_port = k.tp_dst();
-    ConnKey ck;
-    ck.proto = k.nw_proto();
-    if (a_addr < b_addr || (a_addr == b_addr && a_port <= b_port)) {
-      ck.lo_addr = a_addr;
-      ck.hi_addr = b_addr;
-      ck.lo_port = a_port;
-      ck.hi_port = b_port;
-    } else {
-      ck.lo_addr = b_addr;
-      ck.hi_addr = a_addr;
-      ck.lo_port = b_port;
-      ck.hi_port = a_port;
-    }
-    return ck;
-  }
+  static ConnKey conn_key(const FlowKey& k, uint16_t zone) noexcept;
+  // True when (src, sport) is the canonically-low endpoint.
+  static bool is_lo_direction(const FlowKey& k) noexcept;
 
-  static bool forward_direction(const FlowKey& k) noexcept {
-    const uint64_t a = k.nw_src().value(), b = k.nw_dst().value();
-    return a < b || (a == b && k.tp_src() <= k.tp_dst());
-  }
+  const Entry* find(const FlowKey& key, uint16_t zone) const noexcept;
+  // Inserts a fresh entry after making room; returns it (never fails).
+  Entry& insert(const ConnKey& ck, uint64_t now_ns);
+  // Removes the connection under ck plus its NAT pair; returns entries
+  // removed (0, 1 or 2).
+  size_t remove_conn(const ConnKey& ck);
+  void make_room(uint16_t zone);
+  void evict_lru_of_zone(uint16_t zone, bool zone_cap);
 
-  HashBuckets<ConnKey> table_;
+  ConnTrackerConfig cfg_;
+  std::unordered_map<ConnKey, Entry, ConnKeyHash> table_;
+  // Per-zone LRU order (front = least recently committed). std::map keyed
+  // by zone id keeps the largest-zone scan deterministic.
+  std::map<uint16_t, std::list<ConnKey>> zones_;
   uint64_t generation_ = 0;
+  Stats stats_;
 };
 
 }  // namespace ovs

@@ -348,24 +348,48 @@ std::string apply_action(OfActions& actions, const std::string& token) {
   }
   if (token.rfind("ct(", 0) == 0 && token.back() == ')') {
     const std::string args = token.substr(3, token.size() - 4);
-    bool commit = false;
-    uint8_t table = 0;
+    OfCt ct;
     bool have_table = false;
     for (const std::string& part : split_commas(args)) {
       if (part == "commit") {
-        commit = true;
+        ct.commit = true;
       } else if (part.rfind("table=", 0) == 0) {
         auto v = parse_u64(part.substr(6));
         if (!v || *v >= Pipeline::kMaxTables)
           return "bad ct table '" + part + "'";
-        table = static_cast<uint8_t>(*v);
+        ct.next_table = static_cast<uint8_t>(*v);
         have_table = true;
+      } else if (part.rfind("zone=", 0) == 0) {
+        auto v = parse_u64(part.substr(5));
+        if (!v || *v > 65535) return "bad ct zone '" + part + "'";
+        ct.zone = static_cast<uint16_t>(*v);
+      } else if (part == "nat") {
+        ct.nat = OfCt::Nat::kApply;
+      } else if (part.rfind("nat(", 0) == 0 && part.back() == ')') {
+        // nat(src=A.B.C.D:PORT) or nat(dst=A.B.C.D:PORT)
+        const std::string spec = part.substr(4, part.size() - 5);
+        if (spec.rfind("src=", 0) == 0)
+          ct.nat = OfCt::Nat::kSrc;
+        else if (spec.rfind("dst=", 0) == 0)
+          ct.nat = OfCt::Nat::kDst;
+        else
+          return "bad ct nat spec '" + part + "'";
+        const std::string ap = spec.substr(4);
+        const size_t colon = ap.rfind(':');
+        if (colon == std::string::npos)
+          return "ct nat needs addr:port '" + part + "'";
+        auto addr = parse_ipv4(ap.substr(0, colon));
+        auto port = parse_u64(ap.substr(colon + 1));
+        if (!addr || !port || *port > 65535)
+          return "bad ct nat addr:port '" + part + "'";
+        ct.nat_addr = addr->value();
+        ct.nat_port = static_cast<uint16_t>(*port);
       } else {
         return "unknown ct arg '" + part + "'";
       }
     }
     if (!have_table) return "ct needs table=N";
-    actions.ct(table, commit);
+    actions.list.push_back(ct);
     return "";
   }
   return "unknown action '" + token + "'";
@@ -582,8 +606,18 @@ std::string format_actions(const OfActions& actions) {
     } else if (std::get_if<OfNormal>(&a)) {
       emit("normal");
     } else if (const auto* ct = std::get_if<OfCt>(&a)) {
-      emit(std::string("ct(") + (ct->commit ? "commit," : "") +
-           "table=" + std::to_string(ct->next_table) + ")");
+      std::string s = "ct(";
+      if (ct->commit) s += "commit,";
+      if (ct->zone != 0) s += "zone=" + std::to_string(ct->zone) + ",";
+      if (ct->nat == OfCt::Nat::kApply) {
+        s += "nat,";
+      } else if (ct->nat != OfCt::Nat::kNone) {
+        s += std::string("nat(") +
+             (ct->nat == OfCt::Nat::kSrc ? "src=" : "dst=") +
+             Ipv4(ct->nat_addr).to_string() + ":" +
+             std::to_string(ct->nat_port) + "),";
+      }
+      emit(s + "table=" + std::to_string(ct->next_table) + ")");
     }
   }
   return os.str();

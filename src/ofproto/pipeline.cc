@@ -5,7 +5,9 @@
 
 namespace ovs {
 
-Pipeline::Pipeline(size_t n_tables, ClassifierConfig cls_cfg) {
+Pipeline::Pipeline(size_t n_tables, ClassifierConfig cls_cfg,
+                   ConnTrackerConfig ct_cfg)
+    : ct_(ct_cfg) {
   assert(n_tables >= 1 && n_tables <= kMaxTables);
   tables_.reserve(n_tables);
   for (size_t i = 0; i < n_tables; ++i)
@@ -112,10 +114,49 @@ void Pipeline::do_ct(XlateCtx& ctx, const OfCt& ct, int depth) {
   ctx.consult_field(FieldId::kNwProto);
   ctx.consult_field(FieldId::kTpSrc);
   ctx.consult_field(FieldId::kTpDst);
-  const uint8_t state = ct_.lookup(ctx.key);
-  if (ct.commit && ctx.side_effects) ct_.commit(ctx.key);
+  const bool is_tcp = ctx.key.nw_proto() == ipproto::kTcp;
+  // Only commit-capable TCP ct reads the flags word (FIN/RST teardown), so
+  // lookup-only ct rules keep megaflows flag-wildcarded.
+  if (ct.commit && is_tcp) ctx.consult_field(FieldId::kTcpFlags);
+
+  const uint8_t state = ct_.lookup(ctx.key, ct.zone);
+  const bool teardown =
+      ct.commit && is_tcp &&
+      (ctx.key.tcp_flags() & (tcpflags::kFin | tcpflags::kRst)) != 0 &&
+      (state & ct_state::kEstablished) != 0;
+
+  if (ct.commit && ctx.side_effects) {
+    if (teardown) {
+      ct_.remove(ctx.key, ct.zone);
+    } else if (ct.nat == OfCt::Nat::kSrc || ct.nat == OfCt::Nat::kDst) {
+      CtNatSpec spec;
+      spec.src = ct.nat == OfCt::Nat::kSrc;
+      spec.addr = ct.nat_addr;
+      spec.port = ct.nat_port;
+      ct_.commit_nat(ctx.key, spec, ct.zone, ctx.now_ns);
+    } else {
+      ct_.commit(ctx.key, ct.zone, ctx.now_ns);
+    }
+  }
+
+  // NAT: apply the connection's binding (if any) in this packet's direction.
+  // Pure lookup — bindings only change via commits above or explicit
+  // controller writes — and the rewrite is a set-field like any other, so
+  // rewritten bits stop contributing to the megaflow mask.
+  if (ct.nat != OfCt::Nat::kNone && !teardown) {
+    if (auto rw = ct_.nat_lookup(ctx.key, ct.zone)) {
+      const FieldId addr_f = rw->to_src ? FieldId::kNwSrc : FieldId::kNwDst;
+      const FieldId port_f = rw->to_src ? FieldId::kTpSrc : FieldId::kTpDst;
+      ctx.set_field(addr_f, rw->addr);
+      ctx.out.set_field(addr_f, rw->addr);
+      ctx.set_field(port_f, rw->port);
+      ctx.out.set_field(port_f, rw->port);
+    }
+  }
+
   // ct_state is derived state, not packet bits: mark it rewritten so later
-  // ct_state matches don't unwildcard anything.
+  // ct_state matches don't unwildcard anything. A FIN/RST packet still sees
+  // the pre-teardown state (it belongs to the connection it closes).
   ctx.set_field(FieldId::kCtState, state);
   xlate_table(ctx, ct.next_table, depth + 1);
 }

@@ -15,8 +15,10 @@
 //   * `ct` recirculation is folded into translation: the connection state is
 //     stamped during xlate and the consulted 5-tuple becomes part of the
 //     megaflow, so ct-using pipelines produce per-connection megaflows.
-//     Connection-table changes do not retroactively revalidate megaflows;
-//     the new/established transition only affects later flow setups.
+//     Because ct_state feeds classification, megaflows DEPEND on conntrack
+//     state: the Switch layer tracks ConnTracker::generation() as a
+//     revalidation dirtiness source (ct_reval_dirty) so commits, teardowns
+//     and idle expiry repair stale ct_state megaflows on the next pass.
 #pragma once
 
 #include <array>
@@ -52,7 +54,8 @@ class Pipeline {
   static constexpr size_t kMaxTables = 16;
   static constexpr int kMaxResubmitDepth = 64;
 
-  explicit Pipeline(size_t n_tables = 8, ClassifierConfig cls_cfg = {});
+  explicit Pipeline(size_t n_tables = 8, ClassifierConfig cls_cfg = {},
+                    ConnTrackerConfig ct_cfg = {});
 
   FlowTable& table(size_t i) { return *tables_[i]; }
   const FlowTable& table(size_t i) const { return *tables_[i]; }
@@ -61,6 +64,7 @@ class Pipeline {
   MacLearning& mac_learning() noexcept { return mac_; }
   const MacLearning& mac_learning() const noexcept { return mac_; }
   ConnTracker& conntrack() noexcept { return ct_; }
+  const ConnTracker& conntrack() const noexcept { return ct_; }
 
   void add_port(uint32_t port);
   void remove_port(uint32_t port);
@@ -101,8 +105,10 @@ class Pipeline {
   size_t expire_flows(uint64_t now_ns);
 
   // Changes whenever translation results may change: flow table mods, MAC
-  // learning changes, port changes. (Conntrack commits are deliberately
-  // excluded; see the header comment.)
+  // learning changes, port changes. Conntrack mutations are deliberately
+  // excluded here and tracked via conntrack().generation() instead — the
+  // Switch layer combines the two, which is what lets the differential
+  // harness ablate ct-driven revalidation independently (ct_reval_dirty).
   uint64_t generation() const noexcept;
 
   // Changes only on flow-table modifications — the events that can delete

@@ -19,6 +19,14 @@ SwitchConfig DiffConfig::to_switch_config() const {
   c.classifier.engine = engine;
   c.classifier.tenant_partition = tenant_partition;
   c.offload_slots = offload_slots;
+  // Bounded conntrack, tiny on purpose: the generated pool holds 24
+  // connections against 16 global / 12 per-zone slots and an 8s idle
+  // timeout, so every replay exercises LRU eviction, zone caps and expiry —
+  // the state transitions the oracle must mirror exactly.
+  c.ct_max_entries = 16;
+  c.ct_max_per_zone = 12;
+  c.ct_idle_timeout_ns = 8 * kSecond;
+  c.ct_reval_dirty = ct_reval_dirty;
   return c;
 }
 
@@ -100,6 +108,13 @@ DiffConfig tags_ablation_config() {
   return c;
 }
 
+DiffConfig ct_ablation_config() {
+  DiffConfig c;
+  c.name = "single/per-pkt/CT-ABLATION";
+  c.ct_reval_dirty = false;
+  return c;
+}
+
 std::string Divergence::to_string() const {
   return "[" + config + "] " + kind + " @event " +
          std::to_string(event_index) + ": " + detail;
@@ -137,7 +152,14 @@ std::optional<Divergence> DifferentialRunner::run(const Scenario& sc,
   // of that engine against the staged-TSS baseline.
   ClassifierConfig oracle_cls = swc.classifier;
   oracle_cls.engine = ClassifierEngine::kStagedTss;
-  OracleSwitch oracle(swc.n_tables, oracle_cls);
+  // The oracle runs the identical bounded ConnTracker configuration, so
+  // replaying the ct mutation log reproduces eviction and expiry exactly.
+  ConnTrackerConfig oracle_ct;
+  oracle_ct.max_entries = swc.ct_max_entries;
+  oracle_ct.max_per_zone = swc.ct_max_per_zone;
+  oracle_ct.idle_timeout_ns = swc.ct_idle_timeout_ns;
+  oracle_ct.fair_eviction = swc.ct_fair_eviction;
+  OracleSwitch oracle(swc.n_tables, oracle_cls, oracle_ct);
   ReplayClock clock(opts_.quanta);
 
   // id -> every action trace the switch emitted for that packet.
@@ -218,6 +240,27 @@ std::optional<Divergence> DifferentialRunner::run(const Scenario& sc,
         sw.remove_port(ev.port);
         oracle.remove_port(ev.port);
         break;
+      case FuzzEvent::Kind::kCtCommit: {
+        // Same wall-clock timestamp on both sides: the oracle replays it
+        // into every epoch, so LRU/expiry order matches the switch's.
+        const uint64_t now = clock.now();
+        if (ev.ct_nat) {
+          CtNatSpec nat;
+          nat.src = ev.ct_nat_src;
+          nat.addr = ev.ct_nat_addr;
+          nat.port = ev.ct_nat_port;
+          sw.ct_commit_nat(ev.pkt.key, nat, ev.ct_zone, now);
+          oracle.ct_commit_nat(ev.pkt.key, nat, ev.ct_zone, now);
+        } else {
+          sw.ct_commit(ev.pkt.key, ev.ct_zone, now);
+          oracle.ct_commit(ev.pkt.key, ev.ct_zone, now);
+        }
+        break;
+      }
+      case FuzzEvent::Kind::kCtRemove:
+        sw.ct_remove(ev.pkt.key, ev.ct_zone);
+        oracle.ct_remove(ev.pkt.key, ev.ct_zone);
+        break;
       default:
         break;
     }
@@ -236,6 +279,14 @@ std::optional<Divergence> DifferentialRunner::run(const Scenario& sc,
     const Switch::Counters before = sw.counters();
     sw.run_maintenance(now);
     const Switch::Counters& after = sw.counters();
+    // Mirror the switch's conntrack maintenance exactly: idle expiry runs
+    // only on a round that entered AND left serving (a fault-injected
+    // kUserspaceCrash returns before expire_idle); a round that crashed the
+    // daemon takes the connection table with it.
+    if (was_serving && serving())
+      oracle.ct_tick(now);
+    else if (was_serving)
+      oracle.ct_flush();
     bool clean = false;
     if (serving()) {
       if (!was_serving) {
@@ -268,6 +319,8 @@ std::optional<Divergence> DifferentialRunner::run(const Scenario& sc,
       case FuzzEvent::Kind::kDelFlows:
       case FuzzEvent::Kind::kAddPort:
       case FuzzEvent::Kind::kRemovePort:
+      case FuzzEvent::Kind::kCtCommit:
+      case FuzzEvent::Kind::kCtRemove:
         flush();
         // While crashed/reconciling the daemon's tables are about to be
         // rebuilt from the crash-time snapshot; mutations land once it is
@@ -296,6 +349,9 @@ std::optional<Divergence> DifferentialRunner::run(const Scenario& sc,
         flush();
         lossy_now = true;
         sw.crash();
+        // Conntrack is process state: it dies with the daemon, unlike the
+        // durable port/rule snapshot the restart replays.
+        oracle.ct_flush();
         break;
     }
   }

@@ -60,6 +60,10 @@ struct DiffConfig {
   // metadata rules is semantics-preserving end to end (it must be: a rule
   // exact on metadata != the packet's can never match).
   bool tenant_partition = false;
+  // Conntrack-generation revalidation dirtiness (DESIGN.md §15). true for
+  // every sound config; false is the deliberately-unsound ablation where
+  // megaflows stamped with stale ct_state survive revalidation forever.
+  bool ct_reval_dirty = true;
 
   SwitchConfig to_switch_config() const;
 };
@@ -78,6 +82,12 @@ std::vector<DiffConfig> engine_configs();
 // whose Bloom tags track only MAC learning and therefore skip repairing
 // flows invalidated by table changes. The harness must detect this.
 DiffConfig tags_ablation_config();
+
+// The second unsound ablation (DESIGN.md §15): conntrack generation ignored
+// as a revalidation dirtiness source, so megaflows stamped with a stale
+// ct_state keep forwarding with it after the connection table changed
+// underneath them. The harness must detect this one too.
+DiffConfig ct_ablation_config();
 
 struct Divergence {
   std::string config;  // DiffConfig::name

@@ -6,6 +6,7 @@
 #include <iterator>
 #include <sstream>
 
+#include "ofproto/conntrack.h"
 #include "sim/clock.h"
 #include "util/rng.h"
 
@@ -63,6 +64,23 @@ std::string FuzzEvent::to_line() const {
     }
     case Kind::kCrash:
       return "crash";
+    case Kind::kCtCommit:
+    case Kind::kCtRemove: {
+      std::string s =
+          kind == Kind::kCtCommit ? "ct_commit " : "ct_remove ";
+      std::snprintf(buf, sizeof(buf), "%" PRIu16, ct_zone);
+      s += buf;
+      for (uint64_t w : pkt.key.w) {
+        std::snprintf(buf, sizeof(buf), " %" PRIx64, w);
+        s += buf;
+      }
+      if (kind == Kind::kCtCommit && ct_nat) {
+        std::snprintf(buf, sizeof(buf), " nat %s %" PRIu32 " %" PRIu16,
+                      ct_nat_src ? "src" : "dst", ct_nat_addr, ct_nat_port);
+        s += buf;
+      }
+      return s;
+    }
   }
   return "";
 }
@@ -99,6 +117,24 @@ bool FuzzEvent::from_line(const std::string& line, FuzzEvent* out) {
     if (!parse_fault_point(name, &ev.fault)) return false;
   } else if (word == "crash") {
     ev.kind = Kind::kCrash;
+  } else if (word == "ct_commit" || word == "ct_remove") {
+    ev.kind = word == "ct_commit" ? Kind::kCtCommit : Kind::kCtRemove;
+    if (!(in >> ev.ct_zone)) return false;
+    for (size_t i = 0; i < kFlowWords; ++i)
+      if (!(in >> std::hex >> ev.pkt.key.w[i])) return false;
+    in >> std::dec;
+    std::string tail;
+    if (in >> tail) {
+      if (ev.kind != Kind::kCtCommit || tail != "nat") return false;
+      std::string dir;
+      uint32_t port;
+      if (!(in >> dir >> ev.ct_nat_addr >> port)) return false;
+      if (dir != "src" && dir != "dst") return false;
+      if (port > 65535) return false;
+      ev.ct_nat = true;
+      ev.ct_nat_src = dir == "src";
+      ev.ct_nat_port = static_cast<uint16_t>(port);
+    }
   } else {
     return false;
   }
@@ -166,10 +202,12 @@ bool Scenario::deserialize(const std::string& text, Scenario* out) {
 
 namespace {
 
-// The rule-template family. All templates avoid NORMAL/ct so the packet
-// fate is a pure function of the flow tables (see header comment), yet
-// together they exercise priorities, CIDR prefixes (megaflow widening),
-// resubmit, set-field, tunnels, controller sends, and drops.
+// The rule-template family. All templates avoid NORMAL and ct(commit) so
+// the packet fate is a pure function of the flow tables plus the
+// explicitly-mutated connection table (see header comment), yet together
+// they exercise priorities, CIDR prefixes (megaflow widening), resubmit,
+// set-field, tunnels, controller sends, and drops. Lookup-only ct rules are
+// part of the fixed prologue (below), not this random family.
 std::string make_rule(Rng& rng, uint32_t n_ports, int* reroute_priority) {
   char buf[160];
   const auto port = [&] { return 1 + rng.uniform(n_ports); };
@@ -237,35 +275,88 @@ std::string make_delete(Rng& rng) {
   }
 }
 
+// Stateful service ports: 7070/9090 run through lookup-only ct, 6060
+// through lookup-only ct with NAT application, 9090 in its own zone.
+constexpr uint16_t kCtPort = 7070;
+constexpr uint16_t kCtZonePort = 9090;
+constexpr uint16_t kCtNatPort = 6060;
+
+uint16_t zone_for(uint16_t dport) { return dport == kCtZonePort ? 1 : 0; }
+
+// The NAT binding a ct_commit event requests for pool connection `conn`:
+// unique per connection so post-NAT tuples never collide.
+CtNatSpec nat_for(uint64_t conn) {
+  CtNatSpec nat;
+  nat.src = true;
+  nat.addr = (192u << 24) | (0u << 16) | (2u << 8) |
+             static_cast<uint32_t>(conn & 0xff);
+  nat.port = static_cast<uint16_t>(40000 + conn);
+  return nat;
+}
+
+// The forward-direction 5-tuple of pool connection `conn`: a pure function
+// of the connection id, so packet events and ct events rebuild the exact
+// same tuple independently.
+FlowKey conn_tuple(uint64_t conn, const GeneratorConfig& cfg) {
+  Rng crng(0xC0FFEE ^ (conn * 0x9E3779B97F4A7C15ULL));
+  FlowKey k;
+  const uint32_t in_port =
+      1 + static_cast<uint32_t>(crng.uniform(cfg.n_ports));
+  k.set_in_port(in_port);
+  k.set_eth_src(EthAddr(in_port));
+  k.set_eth_dst(EthAddr(0x99));
+  k.set_eth_type(ethertype::kIpv4);
+  // ~1/8 of connections come from the blocklisted 11/8 range.
+  if (crng.chance(0.125)) {
+    k.set_nw_src(Ipv4((11u << 24) |
+                      static_cast<uint32_t>(crng.uniform(1u << 16))));
+  } else {
+    k.set_nw_src(Ipv4((192u << 24) | (168u << 16) |
+                      static_cast<uint32_t>(crng.uniform(1u << 16))));
+  }
+  k.set_nw_dst(Ipv4((10u << 24) |
+                    (static_cast<uint32_t>(crng.uniform(8)) << 16) |
+                    (static_cast<uint32_t>(crng.uniform(4)) << 8) | 5));
+  static constexpr uint16_t kDports[] = {80,   443,  53,        22,
+                                         8080, kCtPort, kCtZonePort,
+                                         kCtNatPort};
+  k.set_tp_dst(kDports[crng.uniform(std::size(kDports))]);
+  const bool udp = k.tp_dst() == 53;
+  k.set_nw_proto(udp ? ipproto::kUdp : ipproto::kTcp);
+  k.set_tp_src(static_cast<uint16_t>(1024 + crng.uniform(64)));
+  k.set_nw_ttl(64);
+  return k;
+}
+
 Packet make_packet(Rng& rng, const GeneratorConfig& cfg) {
   // Draw from a bounded connection pool so scenarios revisit flows (cache
   // hits) instead of being all-miss traffic.
   const uint64_t conn = rng.uniform(cfg.n_conns);
-  Rng crng(0xC0FFEE ^ (conn * 0x9E3779B97F4A7C15ULL));
   Packet p;
-  const uint32_t in_port =
-      1 + static_cast<uint32_t>(crng.uniform(cfg.n_ports));
-  p.key.set_in_port(in_port);
-  p.key.set_eth_src(EthAddr(in_port));
-  p.key.set_eth_dst(EthAddr(0x99));
-  p.key.set_eth_type(ethertype::kIpv4);
-  // ~1/8 of connections come from the blocklisted 11/8 range.
-  if (crng.chance(0.125)) {
-    p.key.set_nw_src(Ipv4((11u << 24) | static_cast<uint32_t>(
-                                            crng.uniform(1u << 16))));
-  } else {
-    p.key.set_nw_src(Ipv4((192u << 24) | (168u << 16) |
-                          static_cast<uint32_t>(crng.uniform(1u << 16))));
+  p.key = conn_tuple(conn, cfg);
+  // Direction mix: mostly forward, some replies (which flip the ct_state
+  // the stateful tables see), and for NAT connections some replies sent to
+  // the NAT address (exercising the reverse entry's un-NAT rewrite).
+  const double dir = rng.uniform_double();
+  if (dir >= 0.70) {
+    const FlowKey fwd = p.key;
+    if (dir >= 0.90 && fwd.tp_dst() == kCtNatPort) {
+      const CtNatSpec nat = nat_for(conn);
+      p.key.set_nw_src(fwd.nw_dst());
+      p.key.set_tp_src(fwd.tp_dst());
+      p.key.set_nw_dst(Ipv4(nat.addr));
+      p.key.set_tp_dst(nat.port);
+    } else {
+      p.key.set_nw_src(fwd.nw_dst());
+      p.key.set_nw_dst(fwd.nw_src());
+      p.key.set_tp_src(fwd.tp_dst());
+      p.key.set_tp_dst(fwd.tp_src());
+    }
+    // A reply enters on a different port than the forward path (still
+    // within the base range so it stays valid under port churn).
+    p.key.set_in_port(1 + static_cast<uint32_t>((conn + 1) % cfg.n_ports));
+    p.key.set_eth_src(EthAddr(p.key.in_port()));
   }
-  p.key.set_nw_dst(Ipv4((10u << 24) |
-                        (static_cast<uint32_t>(crng.uniform(8)) << 16) |
-                        (static_cast<uint32_t>(crng.uniform(4)) << 8) | 5));
-  static constexpr uint16_t kDports[] = {80, 443, 53, 22, 8080};
-  p.key.set_tp_dst(kDports[crng.uniform(5)]);
-  const bool udp = p.key.tp_dst() == 53;
-  p.key.set_nw_proto(udp ? ipproto::kUdp : ipproto::kTcp);
-  p.key.set_tp_src(static_cast<uint16_t>(1024 + crng.uniform(64)));
-  p.key.set_nw_ttl(64);
   // size_bytes is the runner's packet<->trace correlation id; the caller
   // overwrites it per event.
   p.size_bytes = 64;
@@ -296,10 +387,60 @@ Scenario generate_scenario(uint64_t seed, const GeneratorConfig& cfg) {
                         &reroute_priority);
     sc.events.push_back(std::move(ev));
   }
+  // Stateful prologue: lookup-only ct entry rules for both directions of
+  // the ct service ports, and a table-2 ct_state dispatch. Output ports are
+  // seeded per scenario; the rules themselves are fixed so every scenario
+  // exercises the conntrack seam (the shrinker drops whichever the
+  // reproducer doesn't need).
+  {
+    char buf[128];
+    std::vector<std::string> ct_rules;
+    const auto out_port = [&] { return 1 + rng.uniform(cfg.n_ports); };
+    std::snprintf(buf, sizeof(buf),
+                  "priority=35, tcp, tp_dst=%u, actions=ct(table=2)", kCtPort);
+    ct_rules.push_back(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "priority=35, tcp, tp_src=%u, actions=ct(table=2)", kCtPort);
+    ct_rules.push_back(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "priority=35, tcp, tp_dst=%u, actions=ct(nat,table=2)",
+                  kCtNatPort);
+    ct_rules.push_back(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "priority=35, tcp, tp_src=%u, actions=ct(nat,table=2)",
+                  kCtNatPort);
+    ct_rules.push_back(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "priority=35, tcp, tp_dst=%u, actions=ct(zone=1,table=2)",
+                  kCtZonePort);
+    ct_rules.push_back(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "priority=35, tcp, tp_src=%u, actions=ct(zone=1,table=2)",
+                  kCtZonePort);
+    ct_rules.push_back(buf);
+    // ct_state dispatch: new / established-forward / established-reply
+    // routes plus a default (symmetric never occurs in pool traffic).
+    for (unsigned st : {1u, 2u, 6u}) {
+      std::snprintf(buf, sizeof(buf),
+                    "table=2, priority=30, ct_state=%u, actions=output:%" PRIu64,
+                    st, out_port());
+      ct_rules.push_back(buf);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "table=2, priority=1, actions=output:%" PRIu64, out_port());
+    ct_rules.push_back(buf);
+    for (std::string& r : ct_rules) {
+      FuzzEvent ev;
+      ev.kind = FuzzEvent::Kind::kAddFlow;
+      ev.text = std::move(r);
+      sc.events.push_back(std::move(ev));
+    }
+  }
 
   const GeneratorWeights& w = cfg.weights;
   const double total = w.packet + w.add_flow + w.del_flows + w.port_churn +
-                       w.reval_tick + w.advance + w.fault + w.crash;
+                       w.reval_tick + w.advance + w.fault + w.crash +
+                       w.ct_commit + w.ct_remove;
   bool crashed_once = false;
   for (size_t i = 0; i < cfg.n_events; ++i) {
     double r = rng.uniform_double() * total;
@@ -340,7 +481,7 @@ Scenario generate_scenario(uint64_t seed, const GeneratorConfig& cfg) {
       };
       ev.fault = kArmable[rng.uniform(std::size(kArmable))];
       ev.fault_count = 1 + static_cast<uint32_t>(rng.uniform(4));
-    } else {
+    } else if ((r -= w.crash) < 0) {
       // At most one crash per scenario keeps replays fast (each crash costs
       // a full restart/reconcile round) without losing coverage.
       if (crashed_once) {
@@ -349,6 +490,27 @@ Scenario generate_scenario(uint64_t seed, const GeneratorConfig& cfg) {
         ev.kind = FuzzEvent::Kind::kCrash;
         crashed_once = true;
       }
+    } else if ((r -= w.ct_commit) < 0) {
+      // Connection churn: commit a pool connection (with its NAT binding on
+      // the NAT service port). Committing already-committed connections is
+      // the refresh path; with the harness's small ct caps the churn drives
+      // LRU eviction on both sides.
+      const uint64_t conn = rng.uniform(cfg.n_conns);
+      ev.kind = FuzzEvent::Kind::kCtCommit;
+      ev.pkt.key = conn_tuple(conn, cfg);
+      ev.ct_zone = zone_for(ev.pkt.key.tp_dst());
+      if (ev.pkt.key.tp_dst() == kCtNatPort) {
+        const CtNatSpec nat = nat_for(conn);
+        ev.ct_nat = true;
+        ev.ct_nat_src = nat.src;
+        ev.ct_nat_addr = nat.addr;
+        ev.ct_nat_port = nat.port;
+      }
+    } else {
+      const uint64_t conn = rng.uniform(cfg.n_conns);
+      ev.kind = FuzzEvent::Kind::kCtRemove;
+      ev.pkt.key = conn_tuple(conn, cfg);
+      ev.ct_zone = zone_for(ev.pkt.key.tp_dst());
     }
     sc.events.push_back(std::move(ev));
   }

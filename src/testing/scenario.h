@@ -8,11 +8,15 @@
 // format so minimized reproducers can live in tests/corpus/ and replay as
 // ordinary ctest cases.
 //
-// Generated rules deliberately avoid NORMAL and ct() actions: with only
-// explicit output / set_field / tunnel / controller / drop / resubmit
-// actions, translation is a pure function of the flow tables, which is what
-// lets the OracleSwitch predict every packet's fate from the mutation log
-// alone (see oracle_switch.h).
+// Generated rules deliberately avoid NORMAL and ct(commit): with explicit
+// output / set_field / tunnel / controller / drop / resubmit actions plus
+// LOOKUP-ONLY ct (ct(table=N), ct(table=N,nat)), translation is a pure
+// function of the flow tables and the connection table, both of which the
+// OracleSwitch rebuilds from the mutation log alone (see oracle_switch.h).
+// Connection state changes are explicit events (ct_commit / ct_remove),
+// applied to the switch and the oracle in lockstep — translate-time
+// ct(commit) timing would depend on which packets hit caches, which no
+// per-config oracle can predict.
 #pragma once
 
 #include <cstdint>
@@ -35,15 +39,23 @@ struct FuzzEvent {
     kAdvanceTime,  // advance the replay clock by dt_ns
     kFaultWindow,  // arm `fault` for the next `fault_count` occurrences
     kCrash,        // kill the userspace daemon (datapath survives)
+    kCtCommit,     // commit pkt.key's connection (optionally with NAT)
+    kCtRemove,     // tear pkt.key's connection down
   };
 
   Kind kind = Kind::kPacket;
-  Packet pkt;             // kPacket
+  Packet pkt;             // kPacket; kCtCommit/kCtRemove carry the 5-tuple
+                          // in pkt.key (size_bytes unused)
   std::string text;       // kAddFlow / kDelFlows
   uint32_t port = 0;      // kAddPort / kRemovePort
   uint64_t dt_ns = 0;     // kAdvanceTime
   FaultPoint fault = FaultPoint::kUpcallDrop;  // kFaultWindow
   uint32_t fault_count = 0;                    // kFaultWindow
+  uint16_t ct_zone = 0;       // kCtCommit / kCtRemove
+  bool ct_nat = false;        // kCtCommit: carries a NAT binding
+  bool ct_nat_src = true;     // SNAT (else DNAT)
+  uint32_t ct_nat_addr = 0;
+  uint16_t ct_nat_port = 0;
 
   std::string to_line() const;
   // Parses one serialized line; returns false (and leaves *out untouched)
@@ -72,7 +84,7 @@ struct Scenario {
 
 // Event-mix weights (normalized internally; relative magnitudes matter).
 struct GeneratorWeights {
-  double packet = 0.70;
+  double packet = 0.65;
   double add_flow = 0.06;     // includes reroutes shadowing earlier rules
   double del_flows = 0.02;
   double port_churn = 0.03;
@@ -80,6 +92,9 @@ struct GeneratorWeights {
   double advance = 0.05;
   double fault = 0.04;
   double crash = 0.01;
+  double ct_commit = 0.05;    // connection churn: commits (NAT on the
+                              // NAT-designated service port)
+  double ct_remove = 0.02;    // explicit teardowns
 };
 
 struct GeneratorConfig {

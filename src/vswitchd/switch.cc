@@ -21,11 +21,20 @@ SwitchConfig merge_offload(SwitchConfig cfg) {
   return cfg;
 }
 
+ConnTrackerConfig ct_config(const SwitchConfig& cfg) {
+  ConnTrackerConfig c;
+  c.max_entries = cfg.ct_max_entries;
+  c.max_per_zone = cfg.ct_max_per_zone;
+  c.idle_timeout_ns = cfg.ct_idle_timeout_ns;
+  c.fair_eviction = cfg.ct_fair_eviction;
+  return c;
+}
+
 }  // namespace
 
 Switch::Switch(SwitchConfig cfg)
     : cfg_(merge_offload(std::move(cfg))),
-      pipeline_(cfg_.n_tables, cfg_.classifier),
+      pipeline_(cfg_.n_tables, cfg_.classifier, ct_config(cfg_)),
       be_(make_dp_backend(cfg_.datapath, cfg_.datapath_workers)),
       effective_limit_(cfg_.flow_limit),
       queue_(cfg_.upcall_queue),
@@ -515,8 +524,14 @@ void Switch::revalidate(uint64_t now_ns) {
   const uint64_t gen = pipeline_.generation();
   const uint64_t tables_gen = pipeline_.tables_generation();
   const uint64_t ports_gen = pipeline_.ports_generation();
+  // ct_state feeds classification, so conntrack mutations are a dirtiness
+  // source of their own. Gated by ct_reval_dirty: the ablation the
+  // differential fuzzer must catch serves stale ct_state megaflows here.
+  const uint64_t ct_gen = pipeline_.conntrack().generation();
+  const bool ct_dirty =
+      cfg_.ct_reval_dirty && ct_gen != ct_gen_at_last_reval_;
   const bool maybe_stale =
-      gen != pipeline_gen_at_last_reval_ || reval_force_full_;
+      gen != pipeline_gen_at_last_reval_ || ct_dirty || reval_force_full_;
   const uint64_t changed_tags = pipeline_.mac_learning().take_changed_tags();
 
   // Plan phase: partition the dump across revalidator threads; each
@@ -533,11 +548,13 @@ void Switch::revalidate(uint64_t now_ns) {
   // generation moved — a rule or port change can invalidate flows whose
   // tags never change, so only MAC-driven staleness may take the tier-1
   // skip (the soundness condition behind making kTwoTier the default).
+  // Conntrack staleness likewise never shows up in tags, so ct-generation
+  // movement drops the fast path for the pass.
   rc.use_tags =
       cfg_.reval_mode == RevalidationMode::kTags ||
       (cfg_.reval_mode == RevalidationMode::kTwoTier && !reval_force_full_ &&
        tables_gen == tables_gen_at_last_reval_ &&
-       ports_gen == ports_gen_at_last_reval_);
+       ports_gen == ports_gen_at_last_reval_ && !ct_dirty);
   rc.changed_tags = changed_tags;
   rc.reval_per_flow = m.reval_per_flow;
   rc.per_table_lookup = m.per_table_lookup;
@@ -606,6 +623,7 @@ void Switch::revalidate(uint64_t now_ns) {
   pipeline_gen_at_last_reval_ = gen;
   tables_gen_at_last_reval_ = tables_gen;
   ports_gen_at_last_reval_ = ports_gen;
+  ct_gen_at_last_reval_ = ct_gen;
   reval_force_full_ = false;
 
   // Hard eviction if still above the limit: oldest-used first, like
@@ -646,10 +664,11 @@ void Switch::revalidate(uint64_t now_ns) {
     if (pass_ns > static_cast<double>(cfg_.max_revalidation_ns)) {
       ++counters_.reval_overruns;
       apply_limit_backoff();
-    } else if (!mask_explosion_) {
-      // Additive recovery pauses while the tuple-explosion detector is
-      // engaged: a clean pass under attack only means the shrunken table
-      // fits the deadline, not that growing it back is safe.
+    } else if (!mask_explosion_ && !ct_pressure_) {
+      // Additive recovery pauses while the tuple-explosion or conntrack
+      // pressure detector is engaged: a clean pass under attack only means
+      // the shrunken table fits the deadline, not that growing it back is
+      // safe.
       limit_scale_ =
           std::min(1.0, limit_scale_ + cfg_.degradation.limit_recovery);
     }
@@ -875,6 +894,32 @@ void Switch::update_cls_policy() {
   }
 }
 
+void Switch::update_ct_policy() {
+  const DegradationConfig& d = cfg_.degradation;
+  if (!d.enabled || d.ct_pressure_ratio <= 0.0 || cfg_.ct_max_entries == 0)
+    return;
+  const double occupancy =
+      static_cast<double>(pipeline_.conntrack().size()) /
+      static_cast<double>(cfg_.ct_max_entries);
+  const bool hot = occupancy >= d.ct_pressure_ratio;
+  const bool cool = occupancy < d.ct_pressure_ratio / 2;
+  if (!ct_pressure_) {
+    if (hot) {
+      ct_pressure_ = true;
+      ++counters_.ct_pressure_engaged;
+      apply_limit_backoff();
+    }
+  } else if (cool) {
+    // Hysteresis: occupancy must fall to half the engage ratio — the churn
+    // subsiding, not one eviction — before additive recovery resumes.
+    ct_pressure_ = false;
+  } else if (hot) {
+    // Pressure persisting at engage level: keep ratcheting the megaflow
+    // table down (per-connection megaflows are the product of ct churn).
+    apply_limit_backoff();
+  }
+}
+
 size_t Switch::cls_subtables() const noexcept {
   size_t n = 0;
   for (size_t t = 0; t < pipeline_.n_tables(); ++t)
@@ -924,8 +969,12 @@ void Switch::crash() {
   // Tear down userspace: fresh pipeline (tables rebuilt from config on
   // restart), no attribution, degradation detectors back to defaults. The
   // EMC insertion knob is kernel state the dead daemon had set — a restart
-  // restores the configured policy, like a fresh daemon would.
-  pipeline_ = Pipeline(cfg_.n_tables, cfg_.classifier);
+  // restores the configured policy, like a fresh daemon would. Conntrack
+  // lives in the pipeline and dies with it (userspace state, unlike the
+  // real kernel module): established connections re-enter as kNew after
+  // restart, and reconciliation repairs megaflows stamped with the stale
+  // ct_state.
+  pipeline_ = Pipeline(cfg_.n_tables, cfg_.classifier, ct_config(cfg_));
   attribution_.clear();
   // Placement memory is process state; the offload table itself is NIC
   // state and survives, still forwarding, until restart() adopts or
@@ -942,6 +991,7 @@ void Switch::crash() {
   probe_ewma_ = 0.0;
   dp_tuples_seen_ = s.tuples_searched;
   dp_packets_seen_ = s.packets;
+  ct_pressure_ = false;
   tenant_masks_.clear();
   tenant_masks_valid_ = false;
   tenant_masks_gen_ = 0;
@@ -949,6 +999,7 @@ void Switch::crash() {
   pipeline_gen_at_last_reval_ = 0;
   tables_gen_at_last_reval_ = 0;
   ports_gen_at_last_reval_ = 0;
+  ct_gen_at_last_reval_ = 0;
   last_pass_ = RevalPassStats{};
   ++counters_.userspace_crashes;
   state_ = LifecycleState::kCrashed;
@@ -1055,6 +1106,7 @@ bool Switch::restart(uint64_t now_ns) {
   pipeline_gen_at_last_reval_ = pipeline_.generation();
   tables_gen_at_last_reval_ = pipeline_.tables_generation();
   ports_gen_at_last_reval_ = pipeline_.ports_generation();
+  ct_gen_at_last_reval_ = pipeline_.conntrack().generation();
   reval_force_full_ = false;
   cpu_.user_cycles += blackout_cycles;
   counters_.reconcile_blackout_cycles +=
@@ -1121,8 +1173,14 @@ void Switch::run_maintenance(uint64_t now_ns) {
     return;
   }
   pipeline_.mac_learning().expire(now_ns);
+  // Conntrack idle expiry before revalidation: expiring entries bumps the
+  // ct generation, so megaflows stamped with the dead connections' ct_state
+  // are repaired in the same pass instead of serving stale state for a
+  // round (DESIGN.md §15).
+  counters_.ct_expired_idle += pipeline_.conntrack().expire_idle(now_ns);
   update_emc_policy();
   update_cls_policy();
+  update_ct_policy();
   revalidate(now_ns);
   // OpenFlow idle/hard flow expiry uses the statistics refreshed above
   // (§6); expirations bump the pipeline generation, so the next

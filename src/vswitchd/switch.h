@@ -115,6 +115,17 @@ struct DegradationConfig {
   size_t mask_explosion_subtables = 0;
   double mask_probe_ewma_threshold = 0.0;
   double mask_probe_ewma_alpha = 0.3;  // EWMA smoothing per interval
+
+  // Conntrack pressure (DESIGN.md §15), evaluated once per maintenance
+  // interval. 0 = off (default; keeps the pre-conntrack switch bit-for-bit).
+  // Engages when conntrack occupancy reaches ct_pressure_ratio of
+  // ct_max_entries: one multiplicative flow-limit backoff per interval the
+  // pressure persists (per-connection megaflows are what a churning
+  // stateful table mints, so shedding cached flows sheds the product of the
+  // churn), additive recovery suppressed while engaged. Disengages below
+  // half the ratio — the same hysteresis shape as the mask-explosion
+  // detector. Meaningless without a ct_max_entries cap.
+  double ct_pressure_ratio = 0.0;
 };
 
 class FaultInjector;
@@ -176,6 +187,20 @@ struct SwitchConfig {
   // existing rules instead of evicting them. Rules without an exact
   // metadata match are uncapped. 0 disables admission control.
   size_t max_masks_per_tenant = 0;
+
+  // Bounded conntrack (DESIGN.md §15). All default-off: 0 caps/timeouts
+  // reproduce the unbounded no-expiry tracker bit-for-bit.
+  size_t ct_max_entries = 0;
+  size_t ct_max_per_zone = 0;
+  uint64_t ct_idle_timeout_ns = 0;
+  bool ct_fair_eviction = true;
+  // ct_state feeds classification, so megaflows depend on conntrack state;
+  // this makes ConnTracker::generation() a revalidation dirtiness source
+  // (and suspends the kTwoTier tag fast path while it moves — tags track
+  // MAC learning only). false is DELIBERATELY UNSOUND: stale ct_state
+  // megaflows survive revalidation. It exists as the differential fuzzer's
+  // ablation gate, same pattern as the kTags reval mode.
+  bool ct_reval_dirty = true;
 
   // Cache invalidation parameters (§6).
   size_t flow_limit = 200000;
@@ -258,6 +283,26 @@ class Switch {
                         size_t* n_deleted = nullptr);
   // All flows across all tables in add_flow syntax, sorted.
   std::vector<std::string> dump_flows() const;
+
+  // Controller-driven conntrack writes (DESIGN.md §15): the ovs-ctl
+  // "ct-commit"/"ct-delete" analogues, and what the differential harness
+  // drives in lockstep on the switch and its oracle (translate-time
+  // ct(commit) timing is cache-state-dependent, so fuzz scenarios mutate
+  // the connection table explicitly). ct-generation movement makes the next
+  // revalidation repair any megaflow stamped with the old ct_state.
+  bool ct_commit(const FlowKey& key, uint16_t zone, uint64_t now_ns) {
+    return pipeline_.conntrack().commit(key, zone, now_ns);
+  }
+  bool ct_commit_nat(const FlowKey& key, const CtNatSpec& nat, uint16_t zone,
+                     uint64_t now_ns) {
+    return pipeline_.conntrack().commit_nat(key, nat, zone, now_ns);
+  }
+  bool ct_remove(const FlowKey& key, uint16_t zone) {
+    return pipeline_.conntrack().remove(key, zone);
+  }
+  const ConnTracker& conntrack() const noexcept {
+    return pipeline_.conntrack();
+  }
 
   // Invoked for every packet transmitted on a port.
   using OutputFn = std::function<void(uint32_t port, const Packet&)>;
@@ -385,6 +430,9 @@ class Switch {
     uint64_t flow_adds_admitted = 0;
     uint64_t rules_rejected_mask_cap = 0;
     uint64_t mask_explosion_engaged = 0;  // detector activations
+    // Stateful pipeline (DESIGN.md §15).
+    uint64_t ct_expired_idle = 0;      // conntrack idle-timeout expirations
+    uint64_t ct_pressure_engaged = 0;  // ct pressure detector activations
     // Crash/restart lifecycle (DESIGN.md §9). Reconciliation verdicts:
     // adopted + repaired + reval_deleted_{idle,stale} deltas partition the
     // dump; quarantined counts post-check deletions. The upcall/install
@@ -426,6 +474,8 @@ class Switch {
   // True while the tuple-explosion detector holds the AIMD backoff engaged
   // (recovery suspended; one backoff per interval the signal persists).
   bool mask_explosion_active() const noexcept { return mask_explosion_; }
+  // True while the conntrack pressure detector holds the backoff engaged.
+  bool ct_pressure_active() const noexcept { return ct_pressure_; }
   // Userspace classifier shape (DESIGN.md §14): subtables maintained summed
   // across tables, and the per-lookup probe bound of the worst table.
   size_t cls_subtables() const noexcept;
@@ -468,6 +518,8 @@ class Switch {
   void refresh_tenant_masks();
   // Tuple-explosion detector, evaluated per maintenance interval.
   void update_cls_policy();
+  // Conntrack pressure detector (DESIGN.md §15), same cadence.
+  void update_ct_policy();
   void revalidate(uint64_t now_ns);
   // Offload placement (DESIGN.md §13): folds this dump interval's per-flow
   // packet deltas into the EWMAs, then programs/evicts slots. Runs inside
@@ -527,6 +579,9 @@ class Switch {
   // engages only while the tables and ports generations are unchanged.
   uint64_t tables_gen_at_last_reval_ = 0;
   uint64_t ports_gen_at_last_reval_ = 0;
+  // Conntrack generation at the last pass: a separate dirtiness source so
+  // the ct_reval_dirty ablation can ignore it without touching the rest.
+  uint64_t ct_gen_at_last_reval_ = 0;
 
   // Crash/restart lifecycle (DESIGN.md §9).
   LifecycleState state_ = LifecycleState::kServing;
@@ -544,6 +599,9 @@ class Switch {
   bool emc_degraded_ = false;
   uint64_t emc_attempts_seen_ = 0;  // insert attempts at last policy check
   uint64_t emc_hits_seen_ = 0;      // microflow hits at last policy check
+
+  // Conntrack pressure detector state (DESIGN.md §15).
+  bool ct_pressure_ = false;
 
   // Tuple-explosion detector state (DESIGN.md §14).
   bool mask_explosion_ = false;

@@ -227,6 +227,58 @@ TEST(DifferentialFuzz, TagsAblationIsCaughtAndShrunk) {
   std::remove(path.c_str());
 }
 
+// Same teeth check for the second ablation (DESIGN.md §15): a switch that
+// ignores conntrack generation as a revalidation dirtiness source keeps
+// serving megaflows stamped with stale ct_state (or dead NAT bindings)
+// after the connection table changed underneath them. The fuzzer must
+// diverge on it and the shrinker must minimize the reproducer.
+TEST(DifferentialFuzz, CtAblationIsCaughtAndShrunk) {
+  const GeneratorConfig gcfg = generator_config();
+  const DiffConfig ablation = fuzz::ct_ablation_config();
+  DifferentialRunner runner;
+
+  Scenario found;
+  std::optional<Divergence> d;
+  uint64_t found_seed = 0;
+  for (uint64_t seed = 1; seed <= 50 && !d; ++seed) {
+    Scenario sc = fuzz::generate_scenario(seed, gcfg);
+    d = runner.run(sc, ablation);
+    if (d) {
+      found = std::move(sc);
+      found_seed = seed;
+    }
+  }
+  ASSERT_TRUE(d.has_value())
+      << "ct ablation produced no divergence in 50 seeds: the stateful "
+         "scenarios have no bug-finding power";
+
+  const Scenario small = runner.shrink(found, ablation);
+  EXPECT_LE(small.events.size(), 10u)
+      << "shrinker left " << small.events.size() << " events:\n"
+      << small.serialize();
+  std::optional<Divergence> still = runner.run(small, ablation);
+  ASSERT_TRUE(still.has_value()) << "shrunk scenario no longer diverges";
+
+  // The minimized reproducer indicts the ablation, not the harness: every
+  // sound configuration replays it cleanly.
+  for (const DiffConfig& cfg : fuzz::standard_configs()) {
+    std::optional<Divergence> dv = runner.run(small, cfg);
+    EXPECT_FALSE(dv.has_value())
+        << cfg.name << " diverges on the minimized scenario: "
+        << dv->to_string() << "\n"
+        << small.serialize();
+  }
+
+  // Round-trip through the corpus format and re-reproduce.
+  const std::string path = repro_path(found_seed, ablation.name);
+  ASSERT_TRUE(fuzz::save_scenario(path, small, still->to_string()));
+  Scenario loaded;
+  ASSERT_TRUE(fuzz::load_scenario(path, &loaded));
+  EXPECT_EQ(small.serialize(), loaded.serialize());
+  EXPECT_TRUE(runner.run(loaded, ablation).has_value());
+  std::remove(path.c_str());
+}
+
 #ifdef VSWITCH_TEST_CORPUS_DIR
 // Checked-in minimized reproducers replay as ordinary test cases: each must
 // still diverge under its ablation and replay cleanly under every sound
@@ -276,6 +328,45 @@ TEST(DifferentialFuzz, CorpusOverbroadDropMegaflowReplays) {
     EXPECT_FALSE(dv.has_value()) << cfg.name << ": " << dv->to_string();
   }
 }
+// The three minimized stateful reproducers: each must still diverge under
+// the CT ablation — with the expected probe signature — and replay cleanly
+// under every sound configuration (standard + engine matrix).
+class CorpusCtScenario : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorpusCtScenario, DivergesUnderCtAblationOnly) {
+  const std::string path =
+      std::string(VSWITCH_TEST_CORPUS_DIR) + "/" + GetParam();
+  Scenario sc;
+  ASSERT_TRUE(fuzz::load_scenario(path, &sc)) << path;
+  ASSERT_FALSE(sc.events.empty());
+
+  DifferentialRunner runner;
+  std::optional<Divergence> d = runner.run(sc, fuzz::ct_ablation_config());
+  ASSERT_TRUE(d.has_value())
+      << "corpus scenario no longer reproduces the ct-ablation bug: "
+      << path;
+  EXPECT_EQ("probe", d->kind) << d->to_string();
+
+  for (const DiffConfig& cfg : fuzz::standard_configs()) {
+    std::optional<Divergence> dv = runner.run(sc, cfg);
+    EXPECT_FALSE(dv.has_value()) << cfg.name << ": " << dv->to_string();
+  }
+  for (const DiffConfig& cfg : fuzz::engine_configs()) {
+    std::optional<Divergence> dv = runner.run(sc, cfg);
+    EXPECT_FALSE(dv.has_value()) << cfg.name << ": " << dv->to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StatefulCorpus, CorpusCtScenario,
+    ::testing::Values("ct_stale_ctstate.scenario",
+                      "ct_expiry_reval.scenario",
+                      "ct_nat_rebinding.scenario"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      name = name.substr(0, name.find('.'));
+      return name;
+    });
 #endif
 
 }  // namespace

@@ -384,5 +384,132 @@ TEST(RestartRecoveryTest, MaintenanceDrivenRecoveryUnderLoad) {
             c.upcalls_retried + sw.retry_queue_depth() + c.retry_abandoned);
 }
 
+// Stateful pipeline across the crash/restart lifecycle (DESIGN.md §15):
+// conntrack is process state — it dies with the daemon while the megaflows
+// it shaped survive in the kernel cache. Reconciliation must repair those
+// stale-ct_state survivors against the empty connection table, never adopt
+// them.
+TEST(StatefulRestartTest, CrashFlushesConntrackAndRepairsStaleCtMegaflows) {
+  SwitchConfig cfg;
+  Switch sw(cfg);
+  for (uint32_t p = 1; p <= 3; ++p) sw.add_port(p);
+  ASSERT_EQ("", sw.add_flow(
+                    "priority=35, tcp, tp_dst=7070, actions=ct(table=2)", 0));
+  ASSERT_EQ("", sw.add_flow(
+                    "table=2, priority=30, ct_state=1, actions=output:2", 0));
+  ASSERT_EQ("", sw.add_flow(
+                    "table=2, priority=30, ct_state=2, actions=output:3", 0));
+  VirtualClock clock;
+  clock.advance(kSecond);
+
+  FlowKey k;
+  k.set_in_port(1);
+  k.set_eth_type(ethertype::kIpv4);
+  k.set_nw_proto(ipproto::kTcp);
+  k.set_nw_src(Ipv4(192, 168, 0, 1));
+  k.set_nw_dst(Ipv4(10, 1, 1, 5));
+  k.set_tp_src(1234);
+  k.set_tp_dst(7070);
+  sw.ct_commit(k, 0, clock.now());
+  ASSERT_TRUE(sw.conntrack().lookup(k) & ct_state::kEstablished);
+
+  std::vector<std::string> traces;
+  sw.set_trace_hook([&](const Packet&, const DpActions& a,
+                        Datapath::Path) { traces.push_back(a.to_string()); });
+
+  Packet pkt;
+  pkt.key = k;
+  pkt.size_bytes = 64;
+  sw.inject(pkt, clock.now());
+  sw.handle_upcalls(clock.now());
+  ASSERT_FALSE(traces.empty());
+  EXPECT_EQ("output:3", traces.back());  // established-state route cached
+  ASSERT_EQ(sw.backend().flow_count(), 1u);
+
+  sw.crash();
+  // Conntrack died with the daemon: empty table, connection back to new.
+  EXPECT_EQ(sw.conntrack().size(), 0u);
+  EXPECT_EQ(sw.conntrack().lookup(k), ct_state::kNew);
+
+  // Blackout: the kernel cache outlives the daemon and keeps serving the
+  // (now stale) established-state route — legal until reconciliation.
+  sw.inject(pkt, clock.now());
+  EXPECT_EQ("output:3", traces.back());
+
+  clock.advance(kSecond);
+  ASSERT_TRUE(sw.restart(clock.now()));
+  // Reconciliation re-translated against the EMPTY connection table: the
+  // stale megaflow was repaired to the new-state route, not adopted.
+  EXPECT_EQ(sw.counters().flows_repaired, 1u);
+  EXPECT_EQ(sw.counters().flows_adopted, 0u);
+
+  // Zero misdelivery from here on: post-restart traffic takes the
+  // new-state route, and every surviving flow answers exactly like a fresh
+  // translation.
+  sw.inject(pkt, clock.now());
+  EXPECT_EQ("output:2", traces.back());
+  for (DpBackend::FlowRef f : sw.backend().dump()) {
+    const XlateResult want =
+        sw.pipeline().translate(sw.backend().flow_match(f).key, clock.now(),
+                                /*side_effects=*/false);
+    EXPECT_EQ(sw.backend().flow_actions(f), want.actions);
+  }
+  EXPECT_TRUE(sw.self_check().ok());
+
+  // Re-committing after restart restores the established route end to end.
+  sw.ct_commit(k, 0, clock.now());
+  clock.advance(kSecond);
+  sw.run_maintenance(clock.now());
+  sw.inject(pkt, clock.now());
+  EXPECT_EQ("output:3", traces.back());
+}
+
+// A NAT'd connection's rewrite must not survive the daemon either: after
+// restart the un-committed connection forwards un-rewritten.
+TEST(StatefulRestartTest, NatBindingDiesWithDaemonAndMegaflowIsRepaired) {
+  SwitchConfig cfg;
+  Switch sw(cfg);
+  for (uint32_t p = 1; p <= 3; ++p) sw.add_port(p);
+  ASSERT_EQ("", sw.add_flow(
+                    "priority=35, tcp, tp_dst=6060, actions=ct(nat,table=2)",
+                    0));
+  ASSERT_EQ("", sw.add_flow("table=2, priority=1, actions=output:2", 0));
+  VirtualClock clock;
+  clock.advance(kSecond);
+
+  FlowKey k;
+  k.set_in_port(1);
+  k.set_eth_type(ethertype::kIpv4);
+  k.set_nw_proto(ipproto::kTcp);
+  k.set_nw_src(Ipv4(192, 168, 0, 1));
+  k.set_nw_dst(Ipv4(10, 1, 1, 5));
+  k.set_tp_src(1234);
+  k.set_tp_dst(6060);
+  CtNatSpec nat{/*src=*/true, Ipv4(192, 0, 2, 9).value(), 40001};
+  sw.ct_commit_nat(k, nat, 0, clock.now());
+  ASSERT_TRUE(sw.conntrack().nat_lookup(k).has_value());
+
+  std::vector<std::string> traces;
+  sw.set_trace_hook([&](const Packet&, const DpActions& a,
+                        Datapath::Path) { traces.push_back(a.to_string()); });
+  Packet pkt;
+  pkt.key = k;
+  pkt.size_bytes = 64;
+  sw.inject(pkt, clock.now());
+  sw.handle_upcalls(clock.now());
+  ASSERT_FALSE(traces.empty());
+  const std::string natted = traces.back();
+  EXPECT_NE(natted.find("set("), std::string::npos) << natted;
+
+  sw.crash();
+  EXPECT_FALSE(sw.conntrack().nat_lookup(k).has_value());
+  clock.advance(kSecond);
+  ASSERT_TRUE(sw.restart(clock.now()));
+  EXPECT_EQ(sw.counters().flows_repaired, 1u);
+
+  sw.inject(pkt, clock.now());
+  EXPECT_EQ("output:2", traces.back());  // no rewrite: binding is gone
+}
+
 }  // namespace
 }  // namespace ovs
